@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Streaming/buffering ablation (paper §V-B3): how PEMA buffering depth
+ * changes the stall behaviour of monolithic multiplications, and how
+ * the explicit pipeline compares to the analytic max(compute, memory)
+ * folding across compute-bound and memory-bound shapes.
+ */
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "sim/analytic_model.hpp"
+#include "sim/stream_sim.hpp"
+#include "support/table.hpp"
+
+using camp::Table;
+using namespace camp::sim;
+
+int
+main()
+{
+    const AnalyticModel model;
+    camp::bench::section(
+        "PEMA buffering ablation: pipeline stalls vs analytic bound");
+    Table table({"shape (bits)", "analytic cycles", "buffered waves",
+                 "pipeline cycles", "fill", "stalls",
+                 "overlap efficiency"});
+    struct Shape
+    {
+        std::uint64_t a, b;
+    };
+    const Shape shapes[] = {
+        {4096, 4096},    // one-wave burst
+        {35904, 35904},  // compute bound, many waves
+        {35904, 512},    // skinny: memory pressure
+        {35904, 32},     // memory bound
+    };
+    for (const auto& shape : shapes) {
+        const std::uint64_t analytic =
+            model.multiply_cycles(shape.a, shape.b);
+        for (const unsigned depth : {1u, 2u, 4u}) {
+            const StreamingSimulator streamer(default_config(), depth);
+            const StreamStats stats =
+                streamer.run_multiply(shape.a, shape.b);
+            char eff[16];
+            std::snprintf(eff, sizeof(eff), "%5.1f%%",
+                          100.0 * stats.overlap_efficiency());
+            table.add_row({std::to_string(shape.a) + "x" +
+                               std::to_string(shape.b),
+                           std::to_string(analytic),
+                           std::to_string(depth),
+                           std::to_string(stats.cycles),
+                           std::to_string(stats.fill_cycles),
+                           std::to_string(stats.stall_cycles), eff});
+        }
+    }
+    table.print();
+    std::printf(
+        "\ndouble buffering (the hardware's PEMA scheme) hides the "
+        "stream behind compute except for the first fill; the analytic "
+        "max(compute, memory) model is the depth->inf envelope. Within "
+        "the monolithic range the design is compute bound — the "
+        "\"granularity sufficiently large to alleviate the "
+        "anti-memory-wall\" claim of SV-A.\n");
+
+    camp::bench::section(
+        "LLC bandwidth sweep: where the stream stops hiding "
+        "(35904x35904)");
+    Table sweep({"LLC GB/s (at 50% duty)", "compute cycles",
+                 "pipeline cycles", "stalls", "overlap efficiency"});
+    for (const double llc : {512.0, 256.0, 128.0, 64.0, 32.0, 16.0}) {
+        SimConfig config;
+        config.llc_gbps = llc;
+        const AnalyticModel m(config);
+        const StreamingSimulator streamer(config, 2);
+        const StreamStats stats = streamer.run_multiply(35904, 35904);
+        char eff[16];
+        std::snprintf(eff, sizeof(eff), "%5.1f%%",
+                      100.0 * stats.overlap_efficiency());
+        sweep.add_row(
+            {Table::fmt(llc, 4),
+             std::to_string(m.multiply_stats(35904, 35904)
+                                .compute_cycles),
+             std::to_string(stats.cycles),
+             std::to_string(stats.stall_cycles), eff});
+    }
+    sweep.print();
+    std::printf("\nthe paper's 512 GB/s LLC leaves 20x headroom at the "
+                "full monolithic size; the pipeline only starts "
+                "stalling below ~32 GB/s.\n");
+    return 0;
+}

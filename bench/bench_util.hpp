@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries: a
+ * repeat-until-stable wall timer and common formatting.
+ */
+#ifndef CAMP_BENCH_BENCH_UTIL_HPP
+#define CAMP_BENCH_BENCH_UTIL_HPP
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace camp::bench {
+
+/** Seconds for one call of @p fn, repeated until >= @p min_seconds of
+ * total runtime accumulates (at least once). */
+inline double
+time_call(const std::function<void()>& fn, double min_seconds = 0.05)
+{
+    using clock = std::chrono::steady_clock;
+    int runs = 0;
+    const auto start = clock::now();
+    double elapsed = 0;
+    do {
+        fn();
+        ++runs;
+        elapsed = std::chrono::duration<double>(clock::now() - start)
+                      .count();
+    } while (elapsed < min_seconds && runs < 1000000);
+    return elapsed / runs;
+}
+
+/** Print a section header in a uniform style. */
+inline void
+section(const std::string& title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+} // namespace camp::bench
+
+#endif // CAMP_BENCH_BENCH_UTIL_HPP

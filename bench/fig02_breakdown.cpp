@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Figure 2 reproduction.
+ *
+ * Right panel: runtime breakdown of the four APC applications on the
+ * CPU baseline into the paper's categories (kernel operators Multiply/
+ * Add/Shift, other low-level operators, high-level, auxiliary). The
+ * paper reports low-level operators at 96.1/99.8/98.4/97% per app
+ * (97.8% average) with kernel operators at 87.2%.
+ *
+ * Left panel: the GPU (V100+XMP) slowdown on general-purpose APC.
+ * Substitution (DESIGN.md §4): without a GPU we replay each app's
+ * operator histogram through a batch-1 GPU cost model — every operator
+ * pays a kernel-launch latency and runs at single-stream throughput
+ * (XMP/CGBN are batch-oriented; utilization for one operand collapses,
+ * the paper measures < 0.001%). The paper reports a 32.2x average
+ * slowdown vs one CPU core.
+ */
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/frac/mandelbrot.hpp"
+#include "apps/pi/chudnovsky.hpp"
+#include "apps/rsa/rsa.hpp"
+#include "apps/zkcm/zkcm.hpp"
+#include "bench_util.hpp"
+#include "profile/profiler.hpp"
+#include "support/table.hpp"
+
+using camp::Table;
+using namespace camp::profile;
+
+namespace {
+
+/** Batch-1 GPU cost model (documented constants). */
+double
+gpu_model_seconds(const Profiler& profiler)
+{
+    constexpr double kLaunchSeconds = 5e-6;  // kernel launch + sync
+    constexpr double kGpuMac64PerSec = 1e9;  // single-stream, batch = 1
+    constexpr double kGpuWordPerSec = 20e9;  // linear ops, one stream
+    double total = 0;
+    for (const auto& [key, bucket] : profiler.histogram()) {
+        const auto kind = key.first;
+        const double mean_a = bucket.sum_bits_a / bucket.count;
+        const double mean_b =
+            bucket.sum_bits_b > 0 ? bucket.sum_bits_b / bucket.count
+                                  : mean_a;
+        double per_op = kLaunchSeconds;
+        switch (kind) {
+        case camp::mpn::OpKind::Mul:
+        case camp::mpn::OpKind::Sqr:
+            per_op += (mean_a / 64.0) * (mean_b / 64.0) /
+                      kGpuMac64PerSec;
+            break;
+        case camp::mpn::OpKind::Div:
+        case camp::mpn::OpKind::Sqrt:
+            per_op += 2.5 * (mean_a / 64.0) * (mean_b > 0 ? mean_b : mean_a) /
+                      64.0 / kGpuMac64PerSec;
+            break;
+        default:
+            per_op += (std::max(mean_a, mean_b) / 64.0) /
+                      kGpuWordPerSec;
+            break;
+        }
+        total += per_op * static_cast<double>(bucket.count);
+    }
+    return total;
+}
+
+struct AppRun
+{
+    std::string name;
+    std::function<void()> body;
+};
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<AppRun> apps = {
+        {"Pi", [] { camp::apps::pi::compute_pi(3000); }},
+        {"Frac",
+         [] {
+             camp::apps::frac::RenderParams params;
+             params.precision_bits = 512;
+             params.zoom_log2 = 50;
+             params.width = 48;
+             params.height = 32;
+             params.max_iterations = 3000;
+             camp::apps::frac::render(params);
+         }},
+        {"zkcm",
+         [] { camp::apps::zkcm::qft_circuit(4, 4096); }},
+        {"RSA",
+         [] { camp::apps::rsa::modexp_workload(4096, 2, 11); }},
+    };
+
+    camp::bench::section(
+        "Figure 2 (right): runtime breakdown on the CPU baseline");
+    Table table({"app", "Multiply", "Add/Sub", "Shift", "OtherLowLvl",
+                 "low-level total", "kernel ops", "GPU-model slowdown"});
+    double sum_low = 0, sum_kernel = 0, sum_slowdown = 0;
+    for (const auto& app : apps) {
+        ProfileSession session;
+        app.body();
+        auto& profiler = Profiler::instance();
+        const double total = profiler.total_seconds();
+        auto share = [&](Category c) {
+            return 100.0 * profiler.seconds(c) / total;
+        };
+        const double kernel = share(Category::KernelMul) +
+                              share(Category::KernelAdd) +
+                              share(Category::KernelShift);
+        const double low = kernel + share(Category::LowLevelOther);
+        const double gpu_s = gpu_model_seconds(profiler);
+        const double slowdown = gpu_s / total;
+        sum_low += low;
+        sum_kernel += kernel;
+        sum_slowdown += slowdown;
+        char buf[6][32];
+        std::snprintf(buf[0], 32, "%5.1f%%", share(Category::KernelMul));
+        std::snprintf(buf[1], 32, "%5.1f%%", share(Category::KernelAdd));
+        std::snprintf(buf[2], 32, "%5.1f%%",
+                      share(Category::KernelShift));
+        std::snprintf(buf[3], 32, "%5.1f%%",
+                      share(Category::LowLevelOther));
+        std::snprintf(buf[4], 32, "%5.1f%%", low);
+        std::snprintf(buf[5], 32, "%5.1f%%", kernel);
+        table.add_row({app.name, buf[0], buf[1], buf[2], buf[3], buf[4],
+                       buf[5], Table::fmt(slowdown, 3) + "x"});
+    }
+    table.print();
+    std::printf("\naverages: low-level %.1f%% (paper 97.8%%), kernel "
+                "ops %.1f%% (paper 87.2%%), GPU-model slowdown %.1fx "
+                "(paper 32.2x)\n",
+                sum_low / apps.size(), sum_kernel / apps.size(),
+                sum_slowdown / apps.size());
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 3 reproduction: per-hierarchy-level bandwidth utilization for
+ * Random Access, Matrix Multiply, and APC Multiply (panel b) and the
+ * operational-intensity collapse toward the register file that the
+ * roofline analysis shows (panel c).
+ *
+ * Methodology: each workload trace runs through the Zen3-like cache
+ * simulator. Runtime is the compute-bound estimate ops/peak (the
+ * paper's idealized model), so utilization at a boundary is
+ * traffic / runtime / capability.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cachesim/cache.hpp"
+#include "cachesim/traces.hpp"
+#include "support/table.hpp"
+
+using camp::Table;
+using namespace camp::cachesim;
+
+namespace {
+
+constexpr double kPeakOpsPerSec = 11.1e9; // Xeon 6134 scalar INT64 peak
+
+void
+report(const char* name, Hierarchy& hierarchy, const TraceResult& trace,
+       Table& util_table, Table& oi_table)
+{
+    const double runtime = trace.ops / kPeakOpsPerSec;
+    const auto traffic = hierarchy.traffic_bytes();
+    const auto names = hierarchy.boundary_names();
+    const auto bw = hierarchy.boundary_bandwidth_gbps();
+    std::vector<std::string> util_row{name};
+    std::vector<std::string> oi_row{name};
+    for (std::size_t i = 0; i < traffic.size(); ++i) {
+        const double gbps = traffic[i] / runtime / 1e9;
+        char cell[48];
+        std::snprintf(cell, sizeof(cell), "%6.2f%% (%.1f GB/s)",
+                      100.0 * gbps / bw[i], gbps);
+        util_row.push_back(cell);
+        oi_row.push_back(
+            traffic[i] > 0 ? Table::fmt(trace.ops / traffic[i], 3)
+                           : std::string("inf"));
+    }
+    util_table.add_row(util_row);
+    oi_table.add_row(oi_row);
+}
+
+} // namespace
+
+int
+main()
+{
+    Hierarchy probe = Hierarchy::zen3_like();
+    const auto names = probe.boundary_names();
+    std::vector<std::string> header{"workload"};
+    header.insert(header.end(), names.begin(), names.end());
+    Table util_table(header);
+    Table oi_table(header);
+
+    {
+        Hierarchy h = Hierarchy::zen3_like();
+        const TraceResult r = trace_random_access(h, 1 << 21);
+        report("Random Access", h, r, util_table, oi_table);
+    }
+    {
+        Hierarchy h = Hierarchy::zen3_like();
+        const TraceResult r = trace_matmul(h, 192);
+        report("Matrix Multiply", h, r, util_table, oi_table);
+    }
+    {
+        Hierarchy h = Hierarchy::zen3_like();
+        const TraceResult r = trace_apc_mul(h, 4096); // 256 Kbit operands
+        report("APC Multiply", h, r, util_table, oi_table);
+    }
+
+    camp::bench::section(
+        "Figure 3(b): bandwidth utilization per hierarchy boundary");
+    util_table.print();
+    std::printf("\npaper signature: Random Access loads the remote "
+                "levels; Matrix Multiply concentrates at L1/RF with "
+                "locality; APC Multiply is stuck at the register file "
+                "while remote levels idle.\n");
+
+    camp::bench::section(
+        "Figure 3(c): operational intensity per boundary (ops/byte)");
+    oi_table.print();
+    std::printf("\nAPC Multiply's intensity collapses toward the near "
+                "hierarchy (right-most columns huge, RF column small): "
+                "raising peak ALUs cannot help once the RF bandwidth "
+                "ceiling binds (paper roofline argument).\n");
+    return 0;
+}

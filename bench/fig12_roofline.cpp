@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 12 reproduction: the roofline for APC multiplication on
+ * Cambricon-P. The larger multiplication granularity (32-bit hardware
+ * limbs feeding 35904-bit monolithic products) keeps operational
+ * intensity high enough to exploit the 8192 IPUs, while the CPU's
+ * fine-grained decomposition pins it against its register-file
+ * bandwidth. The LLC bandwidth is halved (50% memory-agent duty) as in
+ * the paper.
+ */
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "sim/analytic_model.hpp"
+#include "sim/config.hpp"
+#include "support/table.hpp"
+
+using camp::Table;
+using namespace camp::sim;
+
+int
+main()
+{
+    const AnalyticModel model;
+    const SimConfig& config = default_config();
+    const double peak = model.peak_mac64_per_s();
+    const double bw =
+        config.llc_gbps * 1e9 * config.ma_duty; // bytes/s available
+
+    camp::bench::section("Figure 12: Cambricon-P roofline");
+    std::printf("peak: %.1f GMAC64/s; LLC bandwidth at %.0f%% duty: "
+                "%.0f GB/s; ridge intensity: %.2f MAC64/byte\n\n",
+                peak / 1e9, 100.0 * config.ma_duty, bw / 1e9,
+                peak / bw);
+
+    Table table({"N (bits)", "MAC64 ops", "bytes", "intensity",
+                 "attained GMAC64/s", "peak util", "bound"});
+    for (std::uint64_t bits = 256; bits <= 35904; bits *= 2) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(bits, 35904);
+        const CoreStats stats = model.multiply_stats(n, n);
+        const double ops = AnalyticModel::equivalent_mac64(n, n);
+        const double seconds = stats.seconds(config);
+        const double attained = ops / seconds;
+        const double intensity = ops / static_cast<double>(stats.bytes);
+        char util[32];
+        std::snprintf(util, sizeof(util), "%5.1f%%",
+                      100.0 * attained / peak);
+        table.add_row(
+            {std::to_string(n), Table::fmt_si(ops),
+             Table::fmt_si(static_cast<double>(stats.bytes)),
+             Table::fmt(intensity, 4), Table::fmt(attained / 1e9, 4),
+             util,
+             stats.memory_cycles > stats.compute_cycles ? "memory"
+                                                        : "compute"});
+    }
+    {
+        const CoreStats stats = model.multiply_stats(35904, 35904);
+        (void)stats;
+    }
+    table.print();
+
+    std::printf(
+        "\nCPU comparison (paper Fig. 12): an ideal CPU core at "
+        "11.1 Gops INT64 with 64-bit granularity has ridge intensity "
+        "far left of APC multiply's achievable intensity, yet its "
+        "RF-bandwidth ceiling caps attained performance; Cambricon-P's "
+        "32-bit bit-serial granularity x 8192 IPUs raises the peak "
+        "%.0fx while the monolithic range keeps intensity above the "
+        "ridge (compute bound column).\n",
+        peak / 11.1e9);
+    return 0;
+}

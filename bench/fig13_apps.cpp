@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Figure 13 reproduction: time (top) and energy (bottom) of the four
+ * APC applications across a precision sweep, CPU baseline vs
+ * Cambricon-P. Each application runs twice under the MPApca runtime:
+ * once on the Cpu backend (measured wall time, CPU power model) and
+ * once on the CambriconP backend (kernel operators charged to the
+ * simulated accelerator, host share measured). The paper reports
+ * 23.41x average speedup and 30.16x average energy benefit, with per
+ * app averages Pi 11.22x, Frac 38.62x, zkcm 21.30x, RSA 21.94x.
+ */
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/frac/mandelbrot.hpp"
+#include "apps/pi/chudnovsky.hpp"
+#include "apps/rsa/rsa.hpp"
+#include "apps/zkcm/zkcm.hpp"
+#include "bench_util.hpp"
+#include "mpapca/runtime.hpp"
+#include "support/table.hpp"
+
+using camp::Table;
+using namespace camp::mpapca;
+
+namespace {
+
+struct Point
+{
+    std::string label;
+    std::function<void()> body;
+};
+
+struct AppSweep
+{
+    std::string name;
+    std::vector<Point> points;
+};
+
+} // namespace
+
+int
+main()
+{
+    std::vector<AppSweep> sweeps;
+    {
+        AppSweep pi{"Pi", {}};
+        for (const std::uint64_t digits : {1000u, 10000u, 30000u, 100000u})
+            pi.points.push_back({std::to_string(digits) + " digits",
+                                 [digits] {
+                                     camp::apps::pi::compute_pi(digits);
+                                 }});
+        sweeps.push_back(std::move(pi));
+    }
+    {
+        AppSweep frac{"Frac", {}};
+        for (const unsigned prec : {512u, 2048u, 4096u, 8192u}) {
+            frac.points.push_back(
+                {std::to_string(prec) + " bits", [prec] {
+                     camp::apps::frac::RenderParams params;
+                     params.precision_bits = prec;
+                     params.zoom_log2 = 50;
+                     params.width = 12;
+                     params.height = 8;
+                     params.max_iterations = 2500;
+                     camp::apps::frac::render(params);
+                 }});
+        }
+        sweeps.push_back(std::move(frac));
+    }
+    {
+        AppSweep zkcm{"zkcm", {}};
+        for (const unsigned prec : {512u, 2048u, 4096u, 8192u}) {
+            zkcm.points.push_back(
+                {std::to_string(prec) + " bits", [prec] {
+                     camp::apps::zkcm::qft_circuit(4, prec);
+                 }});
+        }
+        sweeps.push_back(std::move(zkcm));
+    }
+    {
+        AppSweep rsa{"RSA", {}};
+        for (const unsigned bits : {1024u, 2048u, 4096u, 8192u}) {
+            rsa.points.push_back(
+                {std::to_string(bits) + " bits", [bits] {
+                     camp::apps::rsa::modexp_workload(bits, 1, 77);
+                 }});
+        }
+        sweeps.push_back(std::move(rsa));
+    }
+
+    camp::bench::section(
+        "Figure 13: application time & energy, CPU vs Cambricon-P");
+    Table table({"app", "precision", "CPU (s)", "CambrP (s)", "speedup",
+                 "CPU (J)", "CambrP (J)", "energy benefit"});
+    double speedup_sum = 0, energy_sum = 0;
+    int points = 0;
+    for (const auto& sweep : sweeps) {
+        double app_speedup = 0;
+        int app_points = 0;
+        for (const auto& point : sweep.points) {
+            Runtime cpu(Backend::Cpu);
+            Runtime accel(Backend::CambriconP);
+            const AppReport r_cpu = cpu.run(sweep.name, point.body);
+            const AppReport r_acc = accel.run(sweep.name, point.body);
+            const double speedup = r_cpu.seconds / r_acc.seconds;
+            const double benefit = r_cpu.energy_j / r_acc.energy_j;
+            speedup_sum += speedup;
+            energy_sum += benefit;
+            app_speedup += speedup;
+            ++points;
+            ++app_points;
+            table.add_row({sweep.name, point.label,
+                           Table::fmt(r_cpu.seconds),
+                           Table::fmt(r_acc.seconds),
+                           Table::fmt(speedup, 4) + "x",
+                           Table::fmt(r_cpu.energy_j),
+                           Table::fmt(r_acc.energy_j),
+                           Table::fmt(benefit, 4) + "x"});
+        }
+        std::printf("%s average speedup: %.2fx\n", sweep.name.c_str(),
+                    app_speedup / app_points);
+    }
+    table.print();
+    std::printf("\noverall: %.2fx speedup (paper 23.41x), %.2fx energy "
+                "benefit (paper 30.16x). Paper app averages: Pi "
+                "11.22x, Frac 38.62x, zkcm 21.30x, RSA 21.94x.\n",
+                speedup_sum / points, energy_sum / points);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Example: design-space exploration with the analytic model — how the
+ * Cambricon-P configuration (PE count, IPUs per PE, LLC bandwidth)
+ * moves the performance of a monolithic multiplication and where the
+ * compute/memory crossover sits. This is the kind of what-if study the
+ * simulator exists for.
+ *
+ * Usage: design_space [bits]   (default 35904, the monolithic cap)
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/analytic_model.hpp"
+#include "sim/config.hpp"
+#include "support/table.hpp"
+
+using namespace camp::sim;
+using camp::Table;
+
+int
+main(int argc, char** argv)
+{
+    const std::uint64_t bits =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 35904;
+
+    Table table({"n_pe", "n_ipu", "LLC GB/s", "cycles", "time (ns)",
+                 "bound", "peak GMAC64/s"});
+    for (const unsigned n_pe : {64u, 128u, 256u, 512u}) {
+        for (const unsigned n_ipu : {16u, 32u, 64u}) {
+            for (const double llc : {256.0, 512.0, 1024.0}) {
+                SimConfig config;
+                config.n_pe = n_pe;
+                config.n_ipu = n_ipu;
+                config.llc_gbps = llc;
+                const AnalyticModel model(config);
+                const CoreStats stats =
+                    model.multiply_stats(bits, bits);
+                table.add_row(
+                    {std::to_string(n_pe), std::to_string(n_ipu),
+                     Table::fmt(llc, 4),
+                     std::to_string(stats.cycles),
+                     Table::fmt(stats.seconds(config) * 1e9, 4),
+                     stats.memory_cycles > stats.compute_cycles
+                         ? "memory"
+                         : "compute",
+                     Table::fmt(model.peak_mac64_per_s() / 1e9, 4)});
+            }
+        }
+    }
+    std::printf("design space for a %llu-bit monolithic "
+                "multiplication (paper config: 256 PEs x 32 IPUs, "
+                "512 GB/s):\n",
+                static_cast<unsigned long long>(bits));
+    table.print();
+    return 0;
+}

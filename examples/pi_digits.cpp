@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Example: compute digits of pi with the Chudnovsky algorithm
+ * (Algorithm 1 of the paper) and compare the CPU baseline against the
+ * simulated Cambricon-P backend.
+ *
+ * Usage: pi_digits [digits]      (default 1000)
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "apps/pi/chudnovsky.hpp"
+#include "mpapca/runtime.hpp"
+
+int
+main(int argc, char** argv)
+{
+    const std::uint64_t digits =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1000;
+    if (digits < 1 || digits > 2000000) {
+        std::fprintf(stderr, "usage: %s [digits in 1..2000000]\n",
+                     argv[0]);
+        return 1;
+    }
+
+    std::string pi;
+    camp::mpapca::Runtime cpu(camp::mpapca::Backend::Cpu);
+    camp::mpapca::Runtime accel(camp::mpapca::Backend::CambriconP);
+    const auto on_cpu =
+        cpu.run("pi", [&] { pi = camp::apps::pi::compute_pi(digits); });
+    const auto on_accel = accel.run(
+        "pi", [&] { pi = camp::apps::pi::compute_pi(digits); });
+
+    if (digits <= 100) {
+        std::printf("pi = %s\n", pi.c_str());
+    } else {
+        std::printf("pi = %s...%s (%llu digits)\n",
+                    pi.substr(0, 52).c_str(),
+                    pi.substr(pi.size() - 10).c_str(),
+                    static_cast<unsigned long long>(digits));
+    }
+    std::printf("terms: %llu (binary splitting)\n",
+                static_cast<unsigned long long>(
+                    camp::apps::pi::terms_for_digits(digits)));
+    std::printf("CPU backend:        %.4g s\n", on_cpu.seconds);
+    std::printf("Cambricon-P backend: %.4g s  (%.2fx, %.3g J)\n",
+                on_accel.seconds, on_cpu.seconds / on_accel.seconds,
+                on_accel.energy_j);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The paper's `Frac` benchmark [32]: Mandelbrot deep-zoom rendering
+ * with perturbation theory. One reference orbit is iterated at
+ * arbitrary precision (z_{n+1} = z_n^2 + c); every pixel then iterates
+ * only its low-precision delta against the stored orbit:
+ *   delta_{n+1} = 2 z_n delta_n + delta_n^2 + delta_c.
+ * The arbitrary-precision orbit is the APC kernel; the per-pixel work
+ * is ordinary double arithmetic — the structure of [32].
+ */
+#ifndef CAMP_APPS_FRAC_MANDELBROT_HPP
+#define CAMP_APPS_FRAC_MANDELBROT_HPP
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpf/float.hpp"
+
+namespace camp::apps::frac {
+
+/** High-precision complex value for the reference orbit. */
+struct FloatComplex
+{
+    mpf::Float re;
+    mpf::Float im;
+};
+
+/** Parameters of one zoom rendering. */
+struct RenderParams
+{
+    /** Center, as decimal strings (deep-zoom centers exceed double). */
+    std::string center_re = "-0.74364388703715870475";
+    std::string center_im = "0.13182590420531198107";
+    std::uint64_t precision_bits = 256; ///< reference-orbit precision
+    int zoom_log2 = 40;                 ///< view width = 2^-zoom_log2
+    unsigned width = 64;
+    unsigned height = 48;
+    unsigned max_iterations = 2000;
+};
+
+/** Result of a rendering. */
+struct RenderResult
+{
+    std::vector<std::uint32_t> iterations; ///< width * height
+    std::size_t orbit_length = 0;
+    std::uint64_t checksum = 0; ///< FNV over the iteration map
+    double escape_fraction = 0;
+};
+
+/** Parse a decimal string into a Float at the given precision. */
+mpf::Float parse_decimal(const std::string& text,
+                         std::uint64_t precision_bits);
+
+/**
+ * Iterate the reference orbit at c until escape or @p max_iterations;
+ * returns the orbit as doubles for the perturbation stage.
+ */
+std::vector<std::complex<double>>
+reference_orbit(const FloatComplex& c, unsigned max_iterations);
+
+/** Render one frame with perturbation theory. */
+RenderResult render(const RenderParams& params);
+
+/** ASCII-art rendering (for the example binary). */
+std::string to_ascii(const RenderResult& result, unsigned width,
+                     unsigned height);
+
+} // namespace camp::apps::frac
+
+#endif // CAMP_APPS_FRAC_MANDELBROT_HPP

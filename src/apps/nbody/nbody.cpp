@@ -1,0 +1,83 @@
+#include "apps/nbody/nbody.hpp"
+
+#include <cmath>
+
+#include "mpn/natural.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace camp::apps::nbody {
+
+using mpn::Natural;
+
+Float
+coulomb_energy(const std::vector<Charge>& charges, std::uint64_t prec)
+{
+    const std::uint64_t work = prec + 16;
+    Float total = Float::with_prec(work);
+    for (std::size_t i = 0; i < charges.size(); ++i) {
+        for (std::size_t j = i + 1; j < charges.size(); ++j) {
+            const Charge& a = charges[i];
+            const Charge& b = charges[j];
+            // r^2 is exact: positions are dyadic doubles.
+            const Float dx = Float::from_double(a.x - b.x, work);
+            const Float dy = Float::from_double(a.y - b.y, work);
+            const Float dz = Float::from_double(a.z - b.z, work);
+            const Float r2 = dx * dx + dy * dy + dz * dz;
+            CAMP_ASSERT(!r2.is_zero());
+            const Float r = Float::sqrt(r2);
+            const int qq = a.q * b.q;
+            const Float term =
+                Float::from_natural(
+                    Natural(static_cast<std::uint64_t>(
+                        qq < 0 ? -qq : qq)),
+                    work) /
+                r;
+            total = qq < 0 ? total - term : total + term;
+        }
+    }
+    return total.rounded_to(prec);
+}
+
+double
+coulomb_energy_double(const std::vector<Charge>& charges)
+{
+    double total = 0;
+    for (std::size_t i = 0; i < charges.size(); ++i) {
+        for (std::size_t j = i + 1; j < charges.size(); ++j) {
+            const Charge& a = charges[i];
+            const Charge& b = charges[j];
+            const double dx = a.x - b.x, dy = a.y - b.y, dz = a.z - b.z;
+            total += a.q * b.q /
+                     std::sqrt(dx * dx + dy * dy + dz * dz);
+        }
+    }
+    return total;
+}
+
+std::vector<Charge>
+cancellation_lattice(unsigned n_per_axis, std::uint64_t seed)
+{
+    // Alternating +/- charges on a unit lattice (NaCl-like): the total
+    // energy is a small residual of large cancelling partial sums.
+    // Dyadic jitter keeps positions exact in both number systems while
+    // breaking symmetry.
+    Rng rng(seed);
+    std::vector<Charge> charges;
+    for (unsigned x = 0; x < n_per_axis; ++x) {
+        for (unsigned y = 0; y < n_per_axis; ++y) {
+            for (unsigned z = 0; z < n_per_axis; ++z) {
+                const double jitter =
+                    static_cast<double>(rng.below(255)) / 1024.0;
+                charges.push_back(
+                    {static_cast<double>(x),
+                     static_cast<double>(y) + jitter,
+                     static_cast<double>(z),
+                     ((x + y + z) & 1) ? -1 : 1});
+            }
+        }
+    }
+    return charges;
+}
+
+} // namespace camp::apps::nbody

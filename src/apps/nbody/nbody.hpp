@@ -1,0 +1,46 @@
+/**
+ * @file
+ * High-precision Coulomb N-body energy summation — one of the paper's
+ * motivating applications (§I / §II-A: "classical Coulomb N-body
+ * atomic system simulation", where "one tiny disturbance/error can
+ * lead to a highly deviated result"). Pairwise 1/r terms of near-equal
+ * magnitude and opposite sign cancel catastrophically in double
+ * precision; arbitrary-precision accumulation recovers the digits.
+ */
+#ifndef CAMP_APPS_NBODY_NBODY_HPP
+#define CAMP_APPS_NBODY_NBODY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "mpf/float.hpp"
+
+namespace camp::apps::nbody {
+
+using mpf::Float;
+
+/** A point charge at an exact dyadic position. */
+struct Charge
+{
+    double x, y, z;
+    int q; ///< signed unit charges
+};
+
+/** Total Coulomb energy sum_{i<j} q_i q_j / r_ij at precision @p prec. */
+Float coulomb_energy(const std::vector<Charge>& charges,
+                     std::uint64_t prec);
+
+/** Same sum in plain double arithmetic (the failing baseline). */
+double coulomb_energy_double(const std::vector<Charge>& charges);
+
+/**
+ * A crafted near-neutral lattice configuration whose energy terms
+ * cancel to ~@p cancel_bits bits: the double baseline keeps only
+ * ~(53 - cancel_bits) significant bits.
+ */
+std::vector<Charge> cancellation_lattice(unsigned n_per_axis,
+                                         std::uint64_t seed);
+
+} // namespace camp::apps::nbody
+
+#endif // CAMP_APPS_NBODY_NBODY_HPP

@@ -1,0 +1,89 @@
+#include "apps/pi/chudnovsky.hpp"
+
+#include "mpn/natural.hpp"
+#include "profile/profiler.hpp"
+#include "support/assert.hpp"
+
+namespace camp::apps::pi {
+
+using mpn::Natural;
+using mpz::Integer;
+
+std::uint64_t
+terms_for_digits(std::uint64_t digits)
+{
+    // Each term contributes log10(640320^3 / (24*6*2*6)) ~ 14.1816
+    // digits.
+    return static_cast<std::uint64_t>(
+               static_cast<double>(digits) / 14.181647462725477) +
+           2;
+}
+
+SplitTriple
+binary_split(std::uint64_t a, std::uint64_t b)
+{
+    CAMP_ASSERT(a < b);
+    if (b - a == 1) {
+        SplitTriple leaf;
+        if (a == 0) {
+            leaf.p = Integer(1);
+            leaf.q = Integer(1);
+        } else {
+            // P(a-1, a) = (6a-5)(2a-1)(6a-1)  [paper Algorithm 1's R]
+            leaf.p = Integer(static_cast<std::int64_t>(6 * a - 5)) *
+                     Integer(static_cast<std::int64_t>(2 * a - 1)) *
+                     Integer(static_cast<std::int64_t>(6 * a - 1));
+            // Q(a-1, a) = 10939058860032000 a^3 (= 640320^3 / 24 * a^3)
+            leaf.q = Integer(Natural(10939058860032000ULL)) *
+                     Integer::pow(Integer(static_cast<std::int64_t>(a)),
+                                  3);
+        }
+        // T contribution: P * (13591409 + 545140134 a) * (-1)^a.
+        leaf.t = leaf.p *
+                 (Integer(13591409) +
+                  Integer(545140134) *
+                      Integer(static_cast<std::int64_t>(a)));
+        if (a & 1)
+            leaf.t = -leaf.t;
+        return leaf;
+    }
+    const std::uint64_t m = a + (b - a) / 2;
+    const SplitTriple left = binary_split(a, m);
+    const SplitTriple right = binary_split(m, b);
+    SplitTriple merged;
+    merged.p = left.p * right.p;
+    merged.q = left.q * right.q;
+    merged.t = left.t * right.q + left.p * right.t;
+    return merged;
+}
+
+std::string
+compute_pi(std::uint64_t digits)
+{
+    CAMP_ASSERT(digits >= 1);
+    const std::uint64_t terms = terms_for_digits(digits);
+    const SplitTriple split = binary_split(0, terms);
+
+    // pi = 426880 * sqrt(10005) * Q / T. Work on integers scaled by
+    // 10^(digits + guard).
+    const std::uint64_t guard = 10;
+    const Natural scale = Natural::pow10(digits + guard);
+    const Natural sqrt_arg = Natural(10005) * scale * scale;
+    const Natural root = Natural::isqrt(sqrt_arg); // sqrt(10005)*10^(d+g)
+    CAMP_ASSERT(!split.t.is_negative() && !split.q.is_negative());
+    const Natural numerator =
+        Natural(426880) * root * split.q.abs();
+    const Natural pi_scaled =
+        numerator / split.t.abs() / Natural::pow10(guard);
+
+    std::string digits_str;
+    {
+        // String conversion is host-side auxiliary work (Fig. 2).
+        profile::CategoryScope aux(profile::Category::Auxiliary);
+        digits_str = pi_scaled.to_decimal();
+    }
+    CAMP_ASSERT(digits_str.size() == digits + 1); // leading "3"
+    return "3." + digits_str.substr(1);
+}
+
+} // namespace camp::apps::pi

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The paper's `Pi` benchmark [13]: computing digits of pi with the
+ * Chudnovsky series and binary splitting (Algorithm 1). The series
+ *   1/pi = 12 sum_k (-1)^k (6k)! (13591409 + 545140134 k)
+ *              / ((3k)! (k!)^3 640320^(3k + 3/2))
+ * is split recursively into integer triples (P, Q, T); the final value
+ * needs one large square root and one large division, exactly the
+ * low-level operator mix Figure 2 profiles.
+ */
+#ifndef CAMP_APPS_PI_CHUDNOVSKY_HPP
+#define CAMP_APPS_PI_CHUDNOVSKY_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "mpz/integer.hpp"
+
+namespace camp::apps::pi {
+
+/** Binary-splitting triple over a term range [a, b). */
+struct SplitTriple
+{
+    mpz::Integer p;
+    mpz::Integer q;
+    mpz::Integer t;
+};
+
+/** Binary splitting of the Chudnovsky series over [a, b) terms. */
+SplitTriple binary_split(std::uint64_t a, std::uint64_t b);
+
+/**
+ * pi to @p digits decimal digits (truncated), returned as the string
+ * "3.<digits>". Runs entirely on Integer arithmetic: the square root
+ * and division are performed on scaled integers.
+ */
+std::string compute_pi(std::uint64_t digits);
+
+/** Number of series terms needed for @p digits digits (~14.18/term). */
+std::uint64_t terms_for_digits(std::uint64_t digits);
+
+} // namespace camp::apps::pi
+
+#endif // CAMP_APPS_PI_CHUDNOVSKY_HPP

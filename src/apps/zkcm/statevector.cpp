@@ -1,0 +1,114 @@
+#include "apps/zkcm/statevector.hpp"
+
+#include "support/assert.hpp"
+
+namespace camp::apps::zkcm {
+
+StateVector::StateVector(unsigned qubits, std::uint64_t prec)
+    : qubits_(qubits), prec_(prec),
+      amps_(std::size_t{1} << qubits, Complex::zero(prec))
+{
+    CAMP_ASSERT(qubits >= 1 && qubits <= 24);
+}
+
+StateVector
+StateVector::basis(unsigned qubits, std::size_t index,
+                   std::uint64_t prec)
+{
+    StateVector state(qubits, prec);
+    CAMP_ASSERT(index < state.dim());
+    state.amps_[index] = Complex::one(prec);
+    return state;
+}
+
+void
+StateVector::apply_single(const CMatrix& u, unsigned target)
+{
+    CAMP_ASSERT(u.rows() == 2 && u.cols() == 2 && target < qubits_);
+    const std::size_t stride = std::size_t{1}
+                               << (qubits_ - 1 - target);
+    for (std::size_t base = 0; base < amps_.size(); ++base) {
+        if (base & stride)
+            continue; // handled with its partner
+        const std::size_t hi = base | stride;
+        const Complex a0 = amps_[base];
+        const Complex a1 = amps_[hi];
+        amps_[base] = u.at(0, 0) * a0 + u.at(0, 1) * a1;
+        amps_[hi] = u.at(1, 0) * a0 + u.at(1, 1) * a1;
+    }
+}
+
+void
+StateVector::apply_controlled(const CMatrix& u, unsigned control,
+                              unsigned target)
+{
+    CAMP_ASSERT(control != target && control < qubits_ &&
+                target < qubits_);
+    const std::size_t cmask = std::size_t{1}
+                              << (qubits_ - 1 - control);
+    const std::size_t stride = std::size_t{1}
+                               << (qubits_ - 1 - target);
+    for (std::size_t base = 0; base < amps_.size(); ++base) {
+        if ((base & stride) || !(base & cmask))
+            continue;
+        const std::size_t hi = base | stride;
+        const Complex a0 = amps_[base];
+        const Complex a1 = amps_[hi];
+        amps_[base] = u.at(0, 0) * a0 + u.at(0, 1) * a1;
+        amps_[hi] = u.at(1, 0) * a0 + u.at(1, 1) * a1;
+    }
+}
+
+void
+StateVector::swap_qubits(unsigned a, unsigned b)
+{
+    if (a == b)
+        return;
+    const std::size_t ma = std::size_t{1} << (qubits_ - 1 - a);
+    const std::size_t mb = std::size_t{1} << (qubits_ - 1 - b);
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        const bool bit_a = i & ma;
+        const bool bit_b = i & mb;
+        if (bit_a && !bit_b) {
+            const std::size_t j = (i & ~ma) | mb;
+            std::swap(amps_[i], amps_[j]);
+        }
+    }
+}
+
+Float
+StateVector::norm2() const
+{
+    Float total = Float::with_prec(prec_);
+    for (const Complex& amp : amps_)
+        total += amp.norm2();
+    return total;
+}
+
+double
+StateVector::max_abs2_diff(const StateVector& a, const StateVector& b)
+{
+    CAMP_ASSERT(a.dim() == b.dim());
+    double max_err = 0;
+    for (std::size_t i = 0; i < a.dim(); ++i) {
+        const Complex d = a.amps_[i] - b.amps_[i];
+        max_err = std::max(max_err, d.norm2().to_double());
+    }
+    return max_err;
+}
+
+void
+apply_qft(StateVector& state)
+{
+    const unsigned n = state.qubits();
+    const std::uint64_t prec = state.prec();
+    const CMatrix h = hadamard(prec);
+    for (unsigned q = 0; q < n; ++q) {
+        state.apply_single(h, q);
+        for (unsigned next = q + 1; next < n; ++next)
+            state.apply_controlled(phase_gate(prec, next - q + 1), next,
+                                   q);
+    }
+}
+
+} // namespace camp::apps::zkcm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * State-vector quantum simulation over multiprecision complex
+ * amplitudes — the second zkcm workload shape [49]: instead of
+ * materializing 2^n x 2^n gate matrices, gates act locally on a
+ * 2^n-amplitude state vector, which is how multiprecision quantum
+ * simulators run larger registers.
+ *
+ * Qubit 0 is the most significant bit of the basis index, matching
+ * the matrix expansion in zkcm.hpp.
+ */
+#ifndef CAMP_APPS_ZKCM_STATEVECTOR_HPP
+#define CAMP_APPS_ZKCM_STATEVECTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/zkcm/zkcm.hpp"
+
+namespace camp::apps::zkcm {
+
+/** 2^n-amplitude register at a given precision. */
+class StateVector
+{
+  public:
+    StateVector(unsigned qubits, std::uint64_t prec);
+
+    /** Computational basis state |index>. */
+    static StateVector basis(unsigned qubits, std::size_t index,
+                             std::uint64_t prec);
+
+    unsigned qubits() const { return qubits_; }
+    std::size_t dim() const { return amps_.size(); }
+    std::uint64_t prec() const { return prec_; }
+
+    const Complex& amplitude(std::size_t i) const { return amps_[i]; }
+    Complex& amplitude(std::size_t i) { return amps_[i]; }
+
+    /** Apply a 2x2 unitary to @p target. */
+    void apply_single(const CMatrix& u, unsigned target);
+
+    /** Apply a controlled 2x2 unitary (control must be |1>). */
+    void apply_controlled(const CMatrix& u, unsigned control,
+                          unsigned target);
+
+    /** Swap two qubits. */
+    void swap_qubits(unsigned a, unsigned b);
+
+    /** sum |amp|^2 (1 for normalized states). */
+    Float norm2() const;
+
+    /** max |this_i - other_i|^2 as double. */
+    static double max_abs2_diff(const StateVector& a,
+                                const StateVector& b);
+
+  private:
+    unsigned qubits_;
+    std::uint64_t prec_;
+    std::vector<Complex> amps_;
+};
+
+/** In-place QFT on the register (Hadamard + controlled phases + final
+ * qubit reversal), same unitary as qft_circuit(). */
+void apply_qft(StateVector& state);
+
+} // namespace camp::apps::zkcm
+
+#endif // CAMP_APPS_ZKCM_STATEVECTOR_HPP

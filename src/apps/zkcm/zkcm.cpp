@@ -1,0 +1,272 @@
+#include "apps/zkcm/zkcm.hpp"
+
+#include <stdexcept>
+
+#include "mpf/elementary.hpp"
+#include "mpn/natural.hpp"
+#include "support/assert.hpp"
+
+namespace camp::apps::zkcm {
+
+using mpn::Natural;
+
+Complex
+Complex::zero(std::uint64_t prec)
+{
+    return {Float::with_prec(prec), Float::with_prec(prec)};
+}
+
+Complex
+Complex::one(std::uint64_t prec)
+{
+    return {Float::from_natural(Natural(1), prec),
+            Float::with_prec(prec)};
+}
+
+Complex
+operator+(const Complex& a, const Complex& b)
+{
+    return {a.re + b.re, a.im + b.im};
+}
+
+Complex
+operator-(const Complex& a, const Complex& b)
+{
+    return {a.re - b.re, a.im - b.im};
+}
+
+Complex
+operator*(const Complex& a, const Complex& b)
+{
+    return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+}
+
+Complex
+Complex::conj() const
+{
+    return {re, -im};
+}
+
+Float
+Complex::norm2() const
+{
+    return re * re + im * im;
+}
+
+CMatrix::CMatrix(std::size_t rows, std::size_t cols, std::uint64_t prec)
+    : rows_(rows), cols_(cols), prec_(prec),
+      data_(rows * cols, Complex::zero(prec))
+{
+}
+
+CMatrix
+CMatrix::identity(std::size_t n, std::uint64_t prec)
+{
+    CMatrix m(n, n, prec);
+    for (std::size_t i = 0; i < n; ++i)
+        m.at(i, i) = Complex::one(prec);
+    return m;
+}
+
+Complex&
+CMatrix::at(std::size_t r, std::size_t c)
+{
+    CAMP_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+}
+
+const Complex&
+CMatrix::at(std::size_t r, std::size_t c) const
+{
+    CAMP_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+}
+
+CMatrix
+operator*(const CMatrix& a, const CMatrix& b)
+{
+    if (a.cols() != b.rows())
+        throw std::invalid_argument("CMatrix: dimension mismatch");
+    CMatrix r(a.rows(), b.cols(), std::max(a.prec(), b.prec()));
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < b.cols(); ++j) {
+            Complex acc = Complex::zero(r.prec());
+            for (std::size_t k = 0; k < a.cols(); ++k)
+                acc = acc + a.at(i, k) * b.at(k, j);
+            r.at(i, j) = acc;
+        }
+    }
+    return r;
+}
+
+CMatrix
+operator+(const CMatrix& a, const CMatrix& b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        throw std::invalid_argument("CMatrix: dimension mismatch");
+    CMatrix r(a.rows(), a.cols(), std::max(a.prec(), b.prec()));
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            r.at(i, j) = a.at(i, j) + b.at(i, j);
+    return r;
+}
+
+CMatrix
+CMatrix::dagger() const
+{
+    CMatrix r(cols_, rows_, prec_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            r.at(j, i) = at(i, j).conj();
+    return r;
+}
+
+CMatrix
+CMatrix::kron(const CMatrix& a, const CMatrix& b)
+{
+    CMatrix r(a.rows() * b.rows(), a.cols() * b.cols(),
+              std::max(a.prec(), b.prec()));
+    for (std::size_t ar = 0; ar < a.rows(); ++ar)
+        for (std::size_t ac = 0; ac < a.cols(); ++ac)
+            for (std::size_t br = 0; br < b.rows(); ++br)
+                for (std::size_t bc = 0; bc < b.cols(); ++bc)
+                    r.at(ar * b.rows() + br, ac * b.cols() + bc) =
+                        a.at(ar, ac) * b.at(br, bc);
+    return r;
+}
+
+double
+CMatrix::max_abs2_diff(const CMatrix& a, const CMatrix& b)
+{
+    CAMP_ASSERT(a.rows() == b.rows() && a.cols() == b.cols());
+    double max_err = 0;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+            const Complex d = a.at(i, j) - b.at(i, j);
+            max_err = std::max(max_err, d.norm2().to_double());
+        }
+    }
+    return max_err;
+}
+
+CMatrix
+hadamard(std::uint64_t prec)
+{
+    // 1/sqrt(2) at full precision.
+    const Float inv_sqrt2 =
+        Float::from_natural(Natural(1), prec) /
+        Float::sqrt(Float::from_natural(Natural(2), prec));
+    CMatrix h(2, 2, prec);
+    h.at(0, 0).re = inv_sqrt2;
+    h.at(0, 1).re = inv_sqrt2;
+    h.at(1, 0).re = inv_sqrt2;
+    h.at(1, 1).re = -inv_sqrt2;
+    return h;
+}
+
+CMatrix
+pauli_x(std::uint64_t prec)
+{
+    CMatrix x(2, 2, prec);
+    x.at(0, 1) = Complex::one(prec);
+    x.at(1, 0) = Complex::one(prec);
+    return x;
+}
+
+CMatrix
+phase_gate(std::uint64_t prec, unsigned k)
+{
+    // R_k = diag(1, e^{2 pi i / 2^k}), computed from multiprecision
+    // sin/cos — the MPFR-layer transcendental path of Figure 1.
+    const Float pi = mpf::pi_float(prec);
+    const Float two_pi_over =
+        (pi + pi).ldexp(-static_cast<std::int64_t>(k));
+    CMatrix r(2, 2, prec);
+    r.at(0, 0) = Complex::one(prec);
+    r.at(1, 1) = {mpf::cos(two_pi_over, prec),
+                  mpf::sin(two_pi_over, prec)};
+    return r;
+}
+
+CMatrix
+cnot(std::uint64_t prec)
+{
+    CMatrix c(4, 4, prec);
+    c.at(0, 0) = Complex::one(prec);
+    c.at(1, 1) = Complex::one(prec);
+    c.at(2, 3) = Complex::one(prec);
+    c.at(3, 2) = Complex::one(prec);
+    return c;
+}
+
+namespace {
+
+/** Controlled version of a 2x2 unitary between two adjacent-expanded
+ * qubits of an n-qubit register (control c, target t). */
+CMatrix
+controlled_expand(const CMatrix& u, unsigned qubits, unsigned control,
+                  unsigned target, std::uint64_t prec)
+{
+    const std::size_t dim = std::size_t{1} << qubits;
+    CMatrix m(dim, dim, prec);
+    for (std::size_t basis = 0; basis < dim; ++basis) {
+        const bool ctrl_set = (basis >> (qubits - 1 - control)) & 1;
+        const std::size_t tbit = (basis >> (qubits - 1 - target)) & 1;
+        if (!ctrl_set) {
+            m.at(basis, basis) = Complex::one(prec);
+            continue;
+        }
+        // Apply u on the target bit.
+        for (std::size_t out_bit = 0; out_bit < 2; ++out_bit) {
+            const Complex amp = u.at(out_bit, tbit);
+            const std::size_t out_basis =
+                (basis & ~(std::size_t{1} << (qubits - 1 - target))) |
+                (out_bit << (qubits - 1 - target));
+            m.at(out_basis, basis) = m.at(out_basis, basis) + amp;
+        }
+    }
+    return m;
+}
+
+/** Expand a 2x2 gate on one qubit to the full register. */
+CMatrix
+expand_single(const CMatrix& u, unsigned qubits, unsigned position,
+              std::uint64_t prec)
+{
+    CMatrix m = position == 0 ? u : CMatrix::identity(2, prec);
+    for (unsigned qubit = 1; qubit < qubits; ++qubit) {
+        const CMatrix& next = qubit == position
+                                  ? u
+                                  : CMatrix::identity(2, prec);
+        m = CMatrix::kron(m, next);
+    }
+    return m;
+}
+
+} // namespace
+
+CMatrix
+qft_circuit(unsigned qubits, std::uint64_t prec)
+{
+    CAMP_ASSERT(qubits >= 1 && qubits <= 8);
+    const std::size_t dim = std::size_t{1} << qubits;
+    CMatrix u = CMatrix::identity(dim, prec);
+    for (unsigned q = 0; q < qubits; ++q) {
+        u = expand_single(hadamard(prec), qubits, q, prec) * u;
+        for (unsigned next = q + 1; next < qubits; ++next) {
+            const CMatrix rk = phase_gate(prec, next - q + 1);
+            u = controlled_expand(rk, qubits, next, q, prec) * u;
+        }
+    }
+    return u;
+}
+
+double
+unitarity_error(const CMatrix& u)
+{
+    const CMatrix product = u * u.dagger();
+    return CMatrix::max_abs2_diff(
+        product, CMatrix::identity(u.rows(), u.prec()));
+}
+
+} // namespace camp::apps::zkcm

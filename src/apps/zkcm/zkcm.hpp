@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The paper's `zkcm` benchmark [49]: multiprecision complex matrix
+ * computation with applications in quantum information. This module
+ * provides arbitrary-precision complex matrices (the core of the ZKCM
+ * library) and a quantum-circuit simulation built on them: gate
+ * matrices are expanded over n qubits via Kronecker products and
+ * multiplied at full precision, so the dominant cost is multiprecision
+ * complex matrix multiplication.
+ */
+#ifndef CAMP_APPS_ZKCM_ZKCM_HPP
+#define CAMP_APPS_ZKCM_ZKCM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "mpf/float.hpp"
+
+namespace camp::apps::zkcm {
+
+using mpf::Float;
+
+/** Arbitrary-precision complex number. */
+struct Complex
+{
+    Float re;
+    Float im;
+
+    static Complex zero(std::uint64_t prec);
+    static Complex one(std::uint64_t prec);
+
+    friend Complex operator+(const Complex& a, const Complex& b);
+    friend Complex operator-(const Complex& a, const Complex& b);
+    friend Complex operator*(const Complex& a, const Complex& b);
+
+    /** Complex conjugate. */
+    Complex conj() const;
+
+    /** |z|^2 as Float. */
+    Float norm2() const;
+};
+
+/** Dense multiprecision complex matrix (row major). */
+class CMatrix
+{
+  public:
+    CMatrix(std::size_t rows, std::size_t cols, std::uint64_t prec);
+
+    static CMatrix identity(std::size_t n, std::uint64_t prec);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::uint64_t prec() const { return prec_; }
+
+    Complex& at(std::size_t r, std::size_t c);
+    const Complex& at(std::size_t r, std::size_t c) const;
+
+    friend CMatrix operator*(const CMatrix& a, const CMatrix& b);
+    friend CMatrix operator+(const CMatrix& a, const CMatrix& b);
+
+    /** Conjugate transpose. */
+    CMatrix dagger() const;
+
+    /** Kronecker product. */
+    static CMatrix kron(const CMatrix& a, const CMatrix& b);
+
+    /** max_ij |a_ij - b_ij|^2 as a double (deviation metric). */
+    static double max_abs2_diff(const CMatrix& a, const CMatrix& b);
+
+  private:
+    std::size_t rows_, cols_;
+    std::uint64_t prec_;
+    std::vector<Complex> data_;
+};
+
+/** Standard gates at precision @p prec. */
+CMatrix hadamard(std::uint64_t prec);
+CMatrix pauli_x(std::uint64_t prec);
+CMatrix phase_gate(std::uint64_t prec, unsigned k); ///< R_k: diag(1, e^{2pi i/2^k})
+CMatrix cnot(std::uint64_t prec);
+
+/**
+ * Build the n-qubit quantum Fourier transform matrix by multiplying
+ * expanded gate layers at precision @p prec — the multiprecision
+ * matrix-product workload of zkcm. Returns the resulting unitary.
+ */
+CMatrix qft_circuit(unsigned qubits, std::uint64_t prec);
+
+/** Unitarity deviation: max |(U U† - I)_ij|^2. */
+double unitarity_error(const CMatrix& u);
+
+} // namespace camp::apps::zkcm
+
+#endif // CAMP_APPS_ZKCM_ZKCM_HPP

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Multi-level set-associative cache hierarchy simulator with LRU
+ * replacement and per-level traffic counters — the substrate behind the
+ * paper's Figure 3 bandwidth-utilization and roofline analysis.
+ */
+#ifndef CAMP_CACHESIM_CACHE_HPP
+#define CAMP_CACHESIM_CACHE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace camp::cachesim {
+
+/** Static description of one cache level. */
+struct LevelConfig
+{
+    std::string name;
+    std::uint64_t size_bytes;
+    unsigned associativity;
+    unsigned line_bytes;
+    double bandwidth_gbps; ///< capability toward the core side (Fig 3a)
+};
+
+/** One set-associative LRU cache level. */
+class CacheLevel
+{
+  public:
+    explicit CacheLevel(const LevelConfig& config);
+
+    /** Look up @p addr; allocates on miss. Returns hit. */
+    bool access(std::uint64_t addr);
+
+    const LevelConfig& config() const { return config_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    void reset_counters();
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = ~0ull;
+        std::uint64_t lru = 0; ///< last-use stamp
+        bool valid = false;
+    };
+
+    LevelConfig config_;
+    std::size_t num_sets_;
+    unsigned line_shift_;
+    std::vector<Way> ways_; ///< num_sets * associativity
+    std::uint64_t stamp_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/**
+ * Cache hierarchy: registers + L1/L2/L3 + DRAM. Traffic accounting
+ * (bytes moved across each boundary) follows the standard inclusive
+ * fill model: every access touches RF; L1 misses pull a line from L2,
+ * and so on down to DRAM.
+ */
+class Hierarchy
+{
+  public:
+    /** AMD-Zen3-like single-core hierarchy (paper Figure 3a). */
+    static Hierarchy zen3_like();
+
+    explicit Hierarchy(std::vector<LevelConfig> levels,
+                       double rf_bandwidth_gbps,
+                       double dram_bandwidth_gbps);
+
+    /** One scalar access of @p bytes at @p addr. */
+    void access(std::uint64_t addr, unsigned bytes);
+
+    /** Bytes moved at each boundary: index 0 = RF<->core, then each
+     * cache level's fill traffic, last = DRAM. */
+    std::vector<double> traffic_bytes() const;
+
+    /** Boundary names aligned with traffic_bytes(). */
+    std::vector<std::string> boundary_names() const;
+
+    /** Bandwidth capability per boundary (GB/s). */
+    std::vector<double> boundary_bandwidth_gbps() const;
+
+    std::uint64_t accesses() const { return accesses_; }
+
+    void reset();
+
+  private:
+    std::vector<CacheLevel> levels_;
+    double rf_bandwidth_gbps_;
+    double dram_bandwidth_gbps_;
+    double rf_bytes_ = 0;
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace camp::cachesim
+
+#endif // CAMP_CACHESIM_CACHE_HPP

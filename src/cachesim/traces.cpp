@@ -1,0 +1,145 @@
+#include "cachesim/traces.hpp"
+
+#include "support/bits.hpp"
+#include "support/rng.hpp"
+
+namespace camp::cachesim {
+
+namespace {
+
+/** Bump allocator mirroring temporary-buffer allocation in mpn code. */
+class Arena
+{
+  public:
+    explicit Arena(std::uint64_t base) : top_(base) {}
+
+    std::uint64_t
+    alloc(std::size_t limbs)
+    {
+        const std::uint64_t p = top_;
+        top_ += limbs * 8;
+        return p;
+    }
+
+    std::uint64_t mark() const { return top_; }
+    void release(std::uint64_t mark) { top_ = mark; }
+
+  private:
+    std::uint64_t top_;
+};
+
+struct MulTracer
+{
+    Hierarchy& h;
+    Arena arena;
+    double ops = 0;
+
+    static constexpr std::size_t kKaratsubaThreshold = 24;
+
+    void
+    touch(std::uint64_t addr)
+    {
+        h.access(addr, 8);
+    }
+
+    /** Schoolbook: bn passes of mul_1/addmul_1 over an limbs. */
+    void
+    schoolbook(std::uint64_t a, std::size_t an, std::uint64_t b,
+               std::size_t bn, std::uint64_t r)
+    {
+        for (std::size_t j = 0; j < bn; ++j) {
+            touch(b + 8 * j);
+            for (std::size_t i = 0; i < an; ++i) {
+                touch(a + 8 * i);
+                touch(r + 8 * (i + j)); // read-modify-write accumulator
+                ops += 1;               // one 64x64 MAC
+            }
+        }
+    }
+
+    /** Karatsuba recursion with scratch in the arena. */
+    void
+    karatsuba(std::uint64_t a, std::uint64_t b, std::size_t n,
+              std::uint64_t r)
+    {
+        if (n <= kKaratsubaThreshold) {
+            schoolbook(a, n, b, n, r);
+            return;
+        }
+        const std::size_t m = n / 2;
+        const std::uint64_t saved = arena.mark();
+        const std::uint64_t sa = arena.alloc(n - m + 1);
+        const std::uint64_t sb = arena.alloc(n - m + 1);
+        const std::uint64_t t = arena.alloc(2 * (n - m + 1));
+        // Evaluation adds: sa = a0 + a1, sb = b0 + b1.
+        for (std::size_t i = 0; i < n - m; ++i) {
+            touch(a + 8 * i);
+            touch(a + 8 * (m + i));
+            touch(sa + 8 * i);
+            touch(b + 8 * i);
+            touch(b + 8 * (m + i));
+            touch(sb + 8 * i);
+            ops += 0.25; // adds are cheap next to MACs
+        }
+        karatsuba(a, b, m, r);
+        karatsuba(a + 8 * m, b + 8 * m, n - m, r + 16 * m);
+        karatsuba(sa, sb, n - m + 1, t);
+        // Interpolation passes: t -= z0, t -= z2, r += t << m.
+        for (std::size_t i = 0; i < 2 * (n - m + 1); ++i) {
+            touch(t + 8 * i);
+            touch(r + 8 * (m + i));
+            ops += 0.25;
+        }
+        arena.release(saved);
+    }
+};
+
+} // namespace
+
+TraceResult
+trace_apc_mul(Hierarchy& hierarchy, std::size_t limbs)
+{
+    // Operand/result placement mimics heap layout: disjoint regions.
+    const std::uint64_t a = 0x10000000;
+    const std::uint64_t b = a + limbs * 8 + 4096;
+    const std::uint64_t r = b + limbs * 8 + 4096;
+    MulTracer tracer{hierarchy, Arena(r + 2 * limbs * 8 + 4096)};
+    tracer.karatsuba(a, b, limbs, r);
+    return {tracer.ops, "mac64"};
+}
+
+TraceResult
+trace_matmul(Hierarchy& hierarchy, std::size_t n)
+{
+    const std::uint64_t A = 0x20000000;
+    const std::uint64_t B = A + n * n * 4 + 4096;
+    const std::uint64_t C = B + n * n * 4 + 4096;
+    double ops = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            for (std::size_t k = 0; k < n; ++k) {
+                hierarchy.access(A + 4 * (i * n + k), 4);
+                hierarchy.access(B + 4 * (k * n + j), 4);
+                ops += 1; // fmadd
+            }
+            hierarchy.access(C + 4 * (i * n + j), 4);
+        }
+    }
+    return {ops, "fmadd32"};
+}
+
+TraceResult
+trace_random_access(Hierarchy& hierarchy, std::size_t n,
+                    std::uint64_t seed)
+{
+    Rng rng(seed);
+    const std::uint64_t base = 0x40000000;
+    const std::uint64_t count =
+        static_cast<std::uint64_t>(n) *
+        static_cast<std::uint64_t>(ceil_log2(n));
+    for (std::uint64_t i = 0; i < count; ++i)
+        hierarchy.access(base + 8 * rng.below(n), 8);
+    return {static_cast<double>(count), "load64"};
+}
+
+} // namespace camp::cachesim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Memory-trace generators for the three Figure 3 workloads: APC
+ * multiplication (fine-grained limb decomposition), dense matrix
+ * multiplication, and random access. Each generator drives a Hierarchy
+ * and reports the arithmetic-operation count so bandwidth utilization
+ * and operational intensity can be derived.
+ */
+#ifndef CAMP_CACHESIM_TRACES_HPP
+#define CAMP_CACHESIM_TRACES_HPP
+
+#include <cstdint>
+
+#include "cachesim/cache.hpp"
+
+namespace camp::cachesim {
+
+/** Result of replaying one workload trace. */
+struct TraceResult
+{
+    double ops = 0;          ///< arithmetic operations performed
+    const char* op_unit = ""; ///< e.g. "imul64", "fmadd32"
+};
+
+/**
+ * GMP-style multiplication of two n-limb operands: Karatsuba recursion
+ * down to schoolbook base cases, with scratch buffers bump-allocated the
+ * way the real library allocates temporaries. Every limb touched is one
+ * 8-byte access.
+ */
+TraceResult trace_apc_mul(Hierarchy& hierarchy, std::size_t limbs);
+
+/** Naive single-precision n x n matrix multiplication (row-major). */
+TraceResult trace_matmul(Hierarchy& hierarchy, std::size_t n);
+
+/** n*log2(n) uniform accesses over an n-element 8-byte array. */
+TraceResult trace_random_access(Hierarchy& hierarchy, std::size_t n,
+                                std::uint64_t seed = 42);
+
+} // namespace camp::cachesim
+
+#endif // CAMP_CACHESIM_TRACES_HPP

@@ -1,0 +1,187 @@
+#include "mpapca/cost_model.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace camp::mpapca {
+
+CostModel::CostModel(const sim::SimConfig& config,
+                     const MpapcaTuning& tuning)
+    : config_(config), tuning_(tuning), analytic_(config_)
+{
+    energy_ = sim::cambricon_p_energy(config_);
+}
+
+Cost
+CostModel::stats_cost(const sim::CoreStats& stats) const
+{
+    return {static_cast<double>(stats.cycles),
+            energy_.energy(stats, config_)};
+}
+
+const char*
+CostModel::mul_algorithm(std::uint64_t bits) const
+{
+    if (bits <= config_.monolithic_cap_bits)
+        return "monolithic";
+    mul_balanced(bits); // fills the selection memo
+    return algo_memo_[bits];
+}
+
+Cost
+CostModel::mul_monolithic(std::uint64_t bits_a,
+                          std::uint64_t bits_b) const
+{
+    return stats_cost(analytic_.multiply_stats(bits_a, bits_b));
+}
+
+Cost
+CostModel::add(std::uint64_t bits) const
+{
+    return stats_cost(analytic_.linear_stats(bits));
+}
+
+Cost
+CostModel::shift(std::uint64_t bits) const
+{
+    return stats_cost(analytic_.shift_stats(bits));
+}
+
+Cost
+CostModel::mul_balanced(std::uint64_t bits) const
+{
+    if (bits == 0)
+        return {};
+    if (bits <= config_.monolithic_cap_bits)
+        return mul_monolithic(bits, bits);
+    const auto memo = mul_memo_.find(bits);
+    if (memo != mul_memo_.end())
+        return memo->second;
+
+    // Runtime algorithm selection (paper SV-C: "MPApca selects at
+    // runtime which fast multiply algorithm is used"): evaluate every
+    // eligible decomposition and keep the cheapest. The tuning gates
+    // only bound *eligibility* (higher-order Toom needs headroom above
+    // the base case; SSA needs enough pieces to amortize transforms).
+    Cost best;
+    const char* best_name = "toom2";
+    bool have = false;
+    auto consider = [&](const Cost& cost, const char* name) {
+        if (!have || cost.cycles < best.cycles) {
+            best = cost;
+            best_name = name;
+            have = true;
+        }
+    };
+
+    static const struct { unsigned k; const char* name; } kToom[] = {
+        {2, "toom2"}, {3, "toom3"}, {4, "toom4"}, {6, "toom6"}};
+    for (const auto& [k, name] : kToom) {
+        // Toom-k: 2k-1 pointwise products of ~bits/k plus O(k) linear
+        // evaluation/interpolation passes over the operands.
+        const std::uint64_t piece = (bits + k - 1) / k + 64;
+        Cost cost = static_cast<double>(2 * k - 1) * mul_balanced(piece);
+        cost += static_cast<double>(4 * k) * add(piece);
+        cost += static_cast<double>(6 * k) * add(2 * piece);
+        consider(cost, name);
+    }
+    if (bits >= tuning_.ssa_min) {
+        // SSA: L = 2^g pieces, ring width K ~ 2*bits/L; 3 transforms of
+        // L log L butterflies (each an add + shift of K bits) plus L
+        // recursive pointwise products.
+        const unsigned g =
+            std::max(4, ceil_log2(bits / config_.monolithic_cap_bits) +
+                            2);
+        const std::uint64_t L = std::uint64_t{1} << g;
+        const std::uint64_t K =
+            std::max<std::uint64_t>(2 * bits / L + g + 1, 64);
+        const double butterflies = 3.0 * static_cast<double>(L) * g;
+        Cost cost = butterflies * (add(K) + shift(K));
+        cost += static_cast<double>(L) * mul_balanced(K);
+        cost += 2.0 * add(2 * bits); // decompose + recompose passes
+        consider(cost, "ssa");
+    }
+    mul_memo_.emplace(bits, best);
+    algo_memo_[bits] = best_name;
+    return best;
+}
+
+Cost
+CostModel::mul(std::uint64_t bits_a, std::uint64_t bits_b) const
+{
+    if (bits_a == 0 || bits_b == 0)
+        return {};
+    std::uint64_t hi = std::max(bits_a, bits_b);
+    std::uint64_t lo = std::min(bits_a, bits_b);
+    if (hi <= config_.monolithic_cap_bits)
+        return mul_monolithic(bits_a, bits_b);
+    if (hi >= 2 * lo) {
+        // Block decomposition: ceil(hi/lo) balanced products.
+        const double blocks =
+            static_cast<double>((hi + lo - 1) / lo);
+        return blocks * mul(lo, lo) + 2.0 * add(hi + lo);
+    }
+    return mul_balanced(hi);
+}
+
+Cost
+CostModel::div(std::uint64_t bits_a, std::uint64_t bits_b) const
+{
+    if (bits_a == 0 || bits_b == 0 || bits_a < bits_b)
+        return add(bits_b); // comparison/copy only
+    const std::uint64_t qbits = bits_a - bits_b + 1;
+    const std::uint64_t n = std::max(bits_b, qbits);
+    const auto memo = div_memo_.find(n);
+    if (memo != div_memo_.end())
+        return memo->second;
+    Cost cost;
+    if (n <= config_.monolithic_cap_bits) {
+        // Hardware-assisted schoolbook: quotient-limb passes of
+        // submul, each a monolithic multiply-accumulate row.
+        cost = mul_monolithic(std::min(bits_b,
+                                       config_.monolithic_cap_bits),
+                              std::min(qbits,
+                                       config_.monolithic_cap_bits)) +
+               2.0 * add(bits_a);
+    } else {
+        // Burnikel–Ziegler recursion: D(n) = 2 D(n/2) + 2 M(n/2) + O(n).
+        const Cost half_div =
+            div(n / 2 + n / 4, n / 2); // 3h-by-2h step shape
+        const Cost half_mul = mul(n / 2, n / 2);
+        cost = 2.0 * half_div + 2.0 * half_mul + 3.0 * add(n);
+    }
+    div_memo_[n] = cost;
+    return cost;
+}
+
+Cost
+CostModel::sqrt(std::uint64_t bits) const
+{
+    if (bits <= 128)
+        return add(128);
+    const auto memo = sqrt_memo_.find(bits);
+    if (memo != sqrt_memo_.end())
+        return memo->second;
+    sqrt_memo_.emplace(bits, Cost{});
+    // Zimmermann: S(n) = S(n/2) + D(n/2) + M(n/4)^2-ish + O(n).
+    const Cost cost = sqrt(bits / 2) + div(bits / 2 + bits / 4,
+                                           bits / 2) +
+                      mul(bits / 2, bits / 2) + 2.0 * add(bits);
+    sqrt_memo_[bits] = cost;
+    return cost;
+}
+
+Cost
+CostModel::gcd(std::uint64_t bits) const
+{
+    if (bits == 0)
+        return {};
+    // Binary GCD: ~1.4 * bits subtract/shift iterations, each O(bits)
+    // linear work on shrinking operands (halved on average).
+    const double iterations = 1.4 * static_cast<double>(bits);
+    return iterations * 0.5 * (add(bits / 2 + 1) + shift(bits / 2 + 1));
+}
+
+} // namespace camp::mpapca

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * MPApca cost model: cycle and energy cost of multiple-precision
+ * operators executed on Cambricon-P (paper §V-C). Operations that fit
+ * the monolithic capability map straight onto the hardware (via the
+ * analytic model, validated against the functional Core); larger
+ * operations follow MPApca's software decomposition — Toom-{2,3,4,6}
+ * and SSA with thresholds retuned for the 35904-bit base case — and
+ * their cost is the recursive sum of hardware sub-operations.
+ */
+#ifndef CAMP_MPAPCA_COST_MODEL_HPP
+#define CAMP_MPAPCA_COST_MODEL_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/analytic_model.hpp"
+#include "sim/tech_model.hpp"
+
+namespace camp::mpapca {
+
+/** Simulated cost of one operation. */
+struct Cost
+{
+    double cycles = 0;
+    double energy_j = 0;
+
+    Cost&
+    operator+=(const Cost& other)
+    {
+        cycles += other.cycles;
+        energy_j += other.energy_j;
+        return *this;
+    }
+    friend Cost
+    operator+(Cost a, const Cost& b)
+    {
+        a += b;
+        return a;
+    }
+    friend Cost
+    operator*(double k, Cost c)
+    {
+        c.cycles *= k;
+        c.energy_j *= k;
+        return c;
+    }
+};
+
+/** MPApca multiplication tuning (operand bits). */
+struct MpapcaTuning
+{
+    // The hardware covers GMP's schoolbook through Toom-6H ranges
+    // monolithically (paper §VII-B), so fast algorithms are "delayed
+    // accordingly": above the 35904-bit base case MPApca picks the
+    // cheapest of Toom-{2,3,4,6} and SSA by modelled cost. SSA only
+    // becomes eligible once enough pieces amortize the transforms.
+    std::uint64_t ssa_min = 8 * 35904;
+};
+
+/** Memoized recursive cost estimator. */
+class CostModel
+{
+  public:
+    explicit CostModel(
+        const sim::SimConfig& config = sim::default_config(),
+        const MpapcaTuning& tuning = MpapcaTuning());
+
+    const sim::SimConfig& config() const { return config_; }
+    const MpapcaTuning& tuning() const { return tuning_; }
+
+    /** Name of the algorithm mul() would use at this size. */
+    const char* mul_algorithm(std::uint64_t bits) const;
+
+    Cost mul(std::uint64_t bits_a, std::uint64_t bits_b) const;
+    Cost add(std::uint64_t bits) const;
+    Cost shift(std::uint64_t bits) const;
+    Cost div(std::uint64_t bits_a, std::uint64_t bits_b) const;
+    Cost sqrt(std::uint64_t bits) const;
+    Cost gcd(std::uint64_t bits) const;
+
+    /** Seconds for a cycle count at the configured clock. */
+    double
+    seconds(double cycles) const
+    {
+        return cycles / (config_.freq_ghz * 1e9);
+    }
+
+  private:
+    Cost mul_monolithic(std::uint64_t bits_a, std::uint64_t bits_b) const;
+    Cost mul_balanced(std::uint64_t bits) const;
+    Cost stats_cost(const sim::CoreStats& stats) const;
+
+    sim::SimConfig config_;
+    MpapcaTuning tuning_;
+    sim::AnalyticModel analytic_;
+    sim::EnergyModel energy_;
+    mutable std::map<std::uint64_t, Cost> mul_memo_;
+    mutable std::map<std::uint64_t, const char*> algo_memo_;
+    mutable std::map<std::uint64_t, Cost> div_memo_;
+    mutable std::map<std::uint64_t, Cost> sqrt_memo_;
+};
+
+} // namespace camp::mpapca
+
+#endif // CAMP_MPAPCA_COST_MODEL_HPP

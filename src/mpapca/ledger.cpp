@@ -1,0 +1,111 @@
+#include "mpapca/ledger.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "support/table.hpp"
+
+namespace camp::mpapca {
+
+void
+Ledger::on_enter(mpn::OpKind kind, std::uint64_t bits_a,
+                 std::uint64_t bits_b)
+{
+    if (depth_++ > 0)
+        return; // nested op: covered by the outer operator's formula
+    Cost cost;
+    switch (kind) {
+    case mpn::OpKind::Mul:
+    case mpn::OpKind::Sqr:
+        cost = model_.mul(bits_a, bits_b);
+        break;
+    case mpn::OpKind::Add:
+    case mpn::OpKind::Sub:
+        cost = model_.add(std::max(bits_a, bits_b));
+        break;
+    case mpn::OpKind::Shift:
+        cost = model_.shift(bits_a);
+        break;
+    case mpn::OpKind::Div:
+        cost = model_.div(bits_a, bits_b);
+        break;
+    case mpn::OpKind::Sqrt:
+        cost = model_.sqrt(bits_a);
+        break;
+    case mpn::OpKind::Gcd:
+        cost = model_.gcd(std::max(bits_a, bits_b));
+        break;
+    case mpn::OpKind::Other:
+        break;
+    }
+    LedgerEntry& entry = entries_[static_cast<int>(kind)];
+    entry.count += 1;
+    entry.cost += cost;
+}
+
+void
+Ledger::on_exit(mpn::OpKind)
+{
+    CAMP_ASSERT(depth_ > 0);
+    --depth_;
+}
+
+void
+Ledger::reset()
+{
+    entries_.fill(LedgerEntry{});
+    depth_ = 0;
+}
+
+double
+Ledger::total_cycles() const
+{
+    double total = 0;
+    for (const auto& entry : entries_)
+        total += entry.cost.cycles;
+    return total;
+}
+
+double
+Ledger::total_seconds() const
+{
+    return model_.seconds(total_cycles());
+}
+
+double
+Ledger::total_energy_j() const
+{
+    double total = 0;
+    for (const auto& entry : entries_)
+        total += entry.cost.energy_j;
+    return total;
+}
+
+const LedgerEntry&
+Ledger::entry(mpn::OpKind kind) const
+{
+    return entries_[static_cast<int>(kind)];
+}
+
+std::string
+Ledger::table(const std::string& label) const
+{
+    Table table({"op", "count", "sim cycles", "sim energy (J)"});
+    for (int k = 0; k < static_cast<int>(entries_.size()); ++k) {
+        const LedgerEntry& entry = entries_[k];
+        if (entry.count == 0)
+            continue;
+        table.add_row({mpn::op_kind_name(static_cast<mpn::OpKind>(k)),
+                       std::to_string(entry.count),
+                       Table::fmt(entry.cost.cycles),
+                       Table::fmt(entry.cost.energy_j)});
+    }
+    std::ostringstream out;
+    out << "== simulated cost ledger: " << label << " ==\n"
+        << table.to_string()
+        << "total: " << Table::fmt(total_seconds()) << " s, "
+        << Table::fmt(total_energy_j()) << " J (simulated)\n";
+    return out.str();
+}
+
+} // namespace camp::mpapca

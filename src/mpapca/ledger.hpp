@@ -1,0 +1,76 @@
+/**
+ * @file
+ * MPApca execution ledger: observes Natural-level operations through
+ * the mpn op-hook and accumulates their *simulated* Cambricon-P cost
+ * (cycles and energy) from the cost model. Only top-level operations
+ * are charged — nested Natural calls inside an already-charged operator
+ * (e.g. the shifts inside gcd) are covered by that operator's composed
+ * cost formula.
+ */
+#ifndef CAMP_MPAPCA_LEDGER_HPP
+#define CAMP_MPAPCA_LEDGER_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "mpapca/cost_model.hpp"
+#include "mpn/ophook.hpp"
+
+namespace camp::mpapca {
+
+/** Per-kind simulated totals. */
+struct LedgerEntry
+{
+    std::uint64_t count = 0;
+    Cost cost;
+};
+
+/** Accumulates simulated hardware cost per operation kind. */
+class Ledger : public mpn::OpHook
+{
+  public:
+    explicit Ledger(const CostModel& model) : model_(model) {}
+
+    void on_enter(mpn::OpKind kind, std::uint64_t bits_a,
+                  std::uint64_t bits_b) override;
+    void on_exit(mpn::OpKind kind) override;
+
+    void reset();
+
+    /** Total simulated cycles / seconds / energy. */
+    double total_cycles() const;
+    double total_seconds() const;
+    double total_energy_j() const;
+
+    const LedgerEntry& entry(mpn::OpKind kind) const;
+
+    /** Render a per-kind cost table. */
+    std::string table(const std::string& label) const;
+
+  private:
+    const CostModel& model_;
+    std::array<LedgerEntry, 9> entries_{};
+    int depth_ = 0;
+};
+
+/** RAII: attach a ledger to the op-hook list. */
+class LedgerSession
+{
+  public:
+    explicit LedgerSession(Ledger& ledger) : ledger_(ledger)
+    {
+        ledger_.reset();
+        mpn::add_op_hook(&ledger_);
+    }
+    ~LedgerSession() { mpn::remove_op_hook(&ledger_); }
+    LedgerSession(const LedgerSession&) = delete;
+    LedgerSession& operator=(const LedgerSession&) = delete;
+
+  private:
+    Ledger& ledger_;
+};
+
+} // namespace camp::mpapca
+
+#endif // CAMP_MPAPCA_LEDGER_HPP

@@ -1,0 +1,147 @@
+#include "mpapca/runtime.hpp"
+
+#include "profile/profiler.hpp"
+#include "sim/comparators.hpp"
+#include "support/assert.hpp"
+
+namespace camp::mpapca {
+
+using mpn::Natural;
+
+Runtime::Runtime(Backend backend, const sim::SimConfig& config)
+    : backend_(backend),
+      config_(config),
+      model_(config_),
+      ledger_(model_),
+      core_(config_, sim::Fidelity::Fast, /*validate=*/false)
+{
+}
+
+AppReport
+Runtime::run(const std::string& label, const std::function<void()>& app)
+{
+    AppReport report;
+    report.backend = backend_;
+    profile::ProfileSession profile_session;
+    auto& profiler = profile::Profiler::instance();
+
+    const double cpu_power = sim::skylake_cpu().power_w;
+
+    if (backend_ == Backend::Cpu) {
+        app();
+        report.kernel_seconds =
+            profiler.seconds(profile::Category::KernelMul) +
+            profiler.seconds(profile::Category::KernelAdd) +
+            profiler.seconds(profile::Category::KernelShift) +
+            profiler.seconds(profile::Category::LowLevelOther);
+        report.host_seconds =
+            profiler.total_seconds() - report.kernel_seconds;
+        report.seconds = profiler.total_seconds();
+        report.energy_j = report.seconds * cpu_power;
+    } else {
+        LedgerSession ledger_session(ledger_);
+        app();
+        // Kernel + low-level operators execute on Cambricon-P (their
+        // simulated time replaces the measured CPU time); the host
+        // keeps the high-level and auxiliary shares (paper §V-C).
+        report.kernel_seconds = ledger_.total_seconds();
+        report.host_seconds =
+            profiler.seconds(profile::Category::HighLevel) +
+            profiler.seconds(profile::Category::Auxiliary);
+        report.seconds = report.kernel_seconds + report.host_seconds;
+        report.energy_j =
+            ledger_.total_energy_j() + report.host_seconds * cpu_power;
+    }
+    report.breakdown = profiler.breakdown_table(label);
+    return report;
+}
+
+Natural
+Runtime::mul_functional(const Natural& a, const Natural& b)
+{
+    if (a.is_zero() || b.is_zero())
+        return Natural();
+    const std::uint64_t cap = config_.monolithic_cap_bits;
+    if (a.bits() <= cap && b.bits() <= cap) {
+        ++base_products_;
+        return core_.multiply(a, b).product;
+    }
+    // Order so a is the wider operand.
+    if (a.bits() < b.bits())
+        return mul_functional(b, a);
+    if (b.bits() <= cap / 2 && a.bits() > cap) {
+        // Block decomposition: multiply cap-sized chunks of a by b.
+        Natural result;
+        const std::uint64_t chunk_bits = cap;
+        const Natural mask = (Natural(1) << chunk_bits) - Natural(1);
+        Natural rest = a;
+        std::uint64_t offset = 0;
+        while (!rest.is_zero()) {
+            const Natural chunk = rest & mask;
+            result += mul_functional(chunk, b) << offset;
+            rest >>= chunk_bits;
+            offset += chunk_bits;
+        }
+        return result;
+    }
+    if (a.bits() > 6 * cap && 3 * b.bits() > 2 * a.bits())
+        return mul_toom3_functional(a, b);
+    // Karatsuba split at half the wider operand.
+    const std::uint64_t half = a.bits() / 2;
+    const Natural mask = (Natural(1) << half) - Natural(1);
+    const Natural a0 = a & mask, a1 = a >> half;
+    const Natural b0 = b & mask, b1 = b >> half;
+    const Natural z0 = mul_functional(a0, b0);
+    const Natural z2 = mul_functional(a1, b1);
+    const Natural z1 =
+        mul_functional(a0 + a1, b0 + b1) - z0 - z2;
+    return (z2 << (2 * half)) + (z1 << half) + z0;
+}
+
+Natural
+Runtime::mul_toom3_functional(const Natural& a, const Natural& b)
+{
+    // Toom-3 over the nonnegative points {0, 1, 2, 3, inf} (the same
+    // construction as mpn::mul_toom, lifted to Natural so that every
+    // pointwise product routes back through the simulated hardware).
+    const std::uint64_t part = (a.bits() + 2) / 3;
+    const Natural mask = (Natural(1) << part) - Natural(1);
+    const Natural a0 = a & mask, a1 = (a >> part) & mask,
+                  a2 = a >> (2 * part);
+    const Natural b0 = b & mask, b1 = (b >> part) & mask,
+                  b2 = b >> (2 * part);
+    auto eval = [](const Natural& c0, const Natural& c1,
+                   const Natural& c2, std::uint64_t x) {
+        return (c2 * Natural(x * x)) + (c1 * Natural(x)) + c0;
+    };
+    const Natural v0 = mul_functional(a0, b0);
+    const Natural v1 = mul_functional(eval(a0, a1, a2, 1),
+                                      eval(b0, b1, b2, 1));
+    const Natural v2 = mul_functional(eval(a0, a1, a2, 2),
+                                      eval(b0, b1, b2, 2));
+    const Natural v3 = mul_functional(eval(a0, a1, a2, 3),
+                                      eval(b0, b1, b2, 3));
+    const Natural vinf = mul_functional(a2, b2);
+
+    // Interpolation (all intermediates provably nonnegative):
+    // t_i = v_i - c0 - i^4 c4; A = t2 - 2 t1; B = t3 - 3 t1;
+    // c3 = (B - 3A)/6; c2 = (A - 6 c3)/2; c1 = t1 - c2 - c3.
+    const Natural t1 = v1 - v0 - vinf;
+    const Natural t2 = v2 - v0 - (vinf << 4);
+    const Natural t3 = v3 - v0 - Natural(81) * vinf;
+    const Natural A = t2 - (t1 << 1);
+    const Natural B = t3 - Natural(3) * t1;
+    auto divexact_small = [](const Natural& n, std::uint64_t d) {
+        auto [q, r] = Natural::divrem(n, Natural(d));
+        CAMP_ASSERT(r.is_zero());
+        return q;
+    };
+    const Natural c3 = divexact_small(B - Natural(3) * A, 6);
+    const Natural c2 = divexact_small(A - Natural(6) * c3, 2);
+    const Natural c1 = t1 - c2 - c3;
+
+    return v0 + (c1 << part) + (c2 << (2 * part)) +
+           (c3 << (3 * part)) + (vinf << (4 * part));
+}
+
+} // namespace camp::mpapca

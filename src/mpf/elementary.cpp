@@ -1,0 +1,121 @@
+#include "mpf/elementary.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "support/assert.hpp"
+
+namespace camp::mpf {
+
+Float
+atan_reciprocal(std::uint64_t m, std::uint64_t prec)
+{
+    if (m < 2)
+        throw std::invalid_argument("atan_reciprocal: need m >= 2");
+    // atan(1/m) = sum_k (-1)^k / ((2k+1) m^(2k+1)); each term gains
+    // log2(m^2) bits, alternating so truncation error < first dropped
+    // term.
+    const std::uint64_t work = prec + 16;
+    const Float one = Float::from_natural(Natural(1), work);
+    const Float m2 =
+        Float::from_natural(Natural(m) * Natural(m), work);
+    Float term = one / Float::from_natural(Natural(m), work);
+    Float sum = Float::with_prec(work);
+    std::uint64_t k = 0;
+    while (!term.is_zero() &&
+           term.magnitude_exp() > -static_cast<std::int64_t>(work)) {
+        const Float contribution =
+            term / Float::from_natural(Natural(2 * k + 1), work);
+        sum = (k & 1) ? sum - contribution : sum + contribution;
+        term = term / m2;
+        ++k;
+    }
+    return sum.rounded_to(prec);
+}
+
+Float
+pi_float(std::uint64_t prec)
+{
+    static std::map<std::uint64_t, Float> cache;
+    const auto hit = cache.find(prec);
+    if (hit != cache.end())
+        return hit->second;
+    // Machin: pi = 16 atan(1/5) - 4 atan(1/239).
+    const std::uint64_t work = prec + 8;
+    const Float pi = (Float::from_natural(Natural(16), work) *
+                          atan_reciprocal(5, work) -
+                      Float::from_natural(Natural(4), work) *
+                          atan_reciprocal(239, work))
+                         .rounded_to(prec);
+    cache.emplace(prec, pi);
+    return pi;
+}
+
+namespace {
+
+/** Shared Taylor loop: sum x^i/i! over even (cos) or odd (sin) i with
+ * alternating signs. */
+Float
+sincos_series(const Float& x, std::uint64_t prec, bool odd)
+{
+    const std::uint64_t work = prec + 16;
+    CAMP_ASSERT_MSG(x.is_zero() || x.magnitude_exp() < 4,
+                    "sin/cos argument out of the supported range");
+    Float term = odd ? x.rounded_to(work)
+                     : Float::from_natural(Natural(1), work);
+    const Float x2 = (x * x).rounded_to(work);
+    Float sum = Float::with_prec(work);
+    std::uint64_t i = odd ? 1 : 0;
+    bool negate = false;
+    while (!term.is_zero() &&
+           term.magnitude_exp() > -static_cast<std::int64_t>(work)) {
+        sum = negate ? sum - term : sum + term;
+        negate = !negate;
+        // term *= x^2 / ((i+1)(i+2)).
+        term = term * x2 /
+               Float::from_natural(Natural((i + 1) * (i + 2)), work);
+        i += 2;
+    }
+    return sum.rounded_to(prec);
+}
+
+} // namespace
+
+Float
+sin(const Float& x, std::uint64_t prec)
+{
+    return sincos_series(x, prec, /*odd=*/true);
+}
+
+Float
+cos(const Float& x, std::uint64_t prec)
+{
+    return sincos_series(x, prec, /*odd=*/false);
+}
+
+Float
+exp(const Float& x, std::uint64_t prec)
+{
+    CAMP_ASSERT_MSG(x.is_zero() || x.magnitude_exp() < 7,
+                    "exp argument out of the supported range");
+    const std::uint64_t work = prec + 32;
+    // Halve the argument h times so the series converges quickly, then
+    // square the result back: exp(x) = exp(x/2^h)^(2^h).
+    const int halvings = 8;
+    const Float small = x.rounded_to(work).ldexp(-halvings);
+    Float term = Float::from_natural(Natural(1), work);
+    Float sum = Float::with_prec(work);
+    std::uint64_t i = 0;
+    while (!term.is_zero() &&
+           (term.magnitude_exp() >
+            -static_cast<std::int64_t>(work))) {
+        sum += term;
+        ++i;
+        term = term * small / Float::from_natural(Natural(i), work);
+    }
+    for (int h = 0; h < halvings; ++h)
+        sum = sum * sum;
+    return sum.rounded_to(prec);
+}
+
+} // namespace camp::mpf

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Elementary transcendental functions over Float — the MPFR-layer
+ * functionality of the paper's software stack (Figure 1: "high-level
+ * functions with error analysis, e.g. transcendental", decomposed to
+ * low-level operators via iterative methods).
+ *
+ * pi uses Machin's formula with Taylor-expanded arctangents of small
+ * reciprocals; sin/cos use Taylor series after range checks. All
+ * results carry a few guard bits and are truncated to the requested
+ * precision; absolute error is below 2^-(prec-2) for |x| <= 2 pi.
+ */
+#ifndef CAMP_MPF_ELEMENTARY_HPP
+#define CAMP_MPF_ELEMENTARY_HPP
+
+#include <cstdint>
+
+#include "mpf/float.hpp"
+
+namespace camp::mpf {
+
+/** pi at @p prec mantissa bits (cached per precision). */
+Float pi_float(std::uint64_t prec);
+
+/** arctan(1/m) for integer m >= 2 by Taylor series. */
+Float atan_reciprocal(std::uint64_t m, std::uint64_t prec);
+
+/** sin(x) for |x| <= 2 pi + 1. */
+Float sin(const Float& x, std::uint64_t prec);
+
+/** cos(x) for |x| <= 2 pi + 1. */
+Float cos(const Float& x, std::uint64_t prec);
+
+/** exp(x) for |x| <= 64 by argument-halved Taylor series. */
+Float exp(const Float& x, std::uint64_t prec);
+
+} // namespace camp::mpf
+
+#endif // CAMP_MPF_ELEMENTARY_HPP

@@ -1,0 +1,295 @@
+#include "mpf/float.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/assert.hpp"
+
+namespace camp::mpf {
+
+void
+Float::normalize()
+{
+    if (mant_.is_zero()) {
+        negative_ = false;
+        exp_ = 0;
+        return;
+    }
+    const std::uint64_t bits = mant_.bits();
+    if (bits > prec_) {
+        const std::uint64_t drop = bits - prec_;
+        mant_ >>= drop;
+        exp_ += static_cast<std::int64_t>(drop);
+    }
+    // Strip trailing zero limbs cheaply (keeps mantissas compact across
+    // long add chains).
+    std::uint64_t tz = 0;
+    while (mant_.limb(tz / 64) == 0)
+        tz += 64;
+    if (tz > 0) {
+        mant_ >>= tz;
+        exp_ += static_cast<std::int64_t>(tz);
+    }
+}
+
+Float
+Float::with_prec(std::uint64_t prec)
+{
+    Float f;
+    f.prec_ = prec == 0 ? 1 : prec;
+    return f;
+}
+
+Float
+Float::from_parts(Natural mant, std::int64_t exp, bool negative,
+                  std::uint64_t prec)
+{
+    Float f = with_prec(prec);
+    f.mant_ = std::move(mant);
+    f.exp_ = exp;
+    f.negative_ = negative && !f.mant_.is_zero();
+    f.normalize();
+    return f;
+}
+
+Float
+Float::from_natural(const Natural& v, std::uint64_t prec)
+{
+    return from_parts(v, 0, false, std::max(prec, v.bits()));
+}
+
+Float
+Float::from_integer(const Integer& v, std::uint64_t prec)
+{
+    return from_parts(v.abs(), 0, v.is_negative(),
+                      std::max(prec, v.bits()));
+}
+
+Float
+Float::from_double(double v, std::uint64_t prec)
+{
+    if (v == 0.0)
+        return with_prec(prec);
+    const bool neg = v < 0;
+    int e = 0;
+    const double m = std::frexp(neg ? -v : v, &e); // m in [0.5, 1)
+    const auto mant =
+        static_cast<std::uint64_t>(std::ldexp(m, 53)); // 53-bit integer
+    return from_parts(Natural(mant), e - 53, neg, prec);
+}
+
+Float
+Float::rounded_to(std::uint64_t prec) const
+{
+    return from_parts(mant_, exp_, negative_, prec);
+}
+
+Float
+operator-(const Float& a)
+{
+    Float r = a;
+    if (!r.is_zero())
+        r.negative_ = !r.negative_;
+    return r;
+}
+
+Float
+Float::abs(const Float& a)
+{
+    Float r = a;
+    r.negative_ = false;
+    return r;
+}
+
+Float
+Float::ldexp(std::int64_t k) const
+{
+    Float r = *this;
+    if (!r.is_zero())
+        r.exp_ += k;
+    return r;
+}
+
+Float
+operator+(const Float& a, const Float& b)
+{
+    const std::uint64_t prec = std::max(a.prec_, b.prec_);
+    if (a.is_zero())
+        return b.rounded_to(prec);
+    if (b.is_zero())
+        return a.rounded_to(prec);
+
+    // Order by magnitude of the top bit so `hi` dominates.
+    const Float& hi = a.magnitude_exp() >= b.magnitude_exp() ? a : b;
+    const Float& lo = a.magnitude_exp() >= b.magnitude_exp() ? b : a;
+
+    // If lo is entirely below hi's precision window, it cannot affect
+    // the truncated result (same-sign case) and affects it by at most
+    // one ulp otherwise; GMP-style truncation drops it.
+    const std::int64_t gap = hi.magnitude_exp() - lo.magnitude_exp();
+    if (gap > static_cast<std::int64_t>(prec) + 2)
+        return hi.rounded_to(prec);
+
+    // Align both mantissas to the smaller exponent.
+    const std::int64_t ea = hi.exp_, eb = lo.exp_;
+    const std::int64_t shared = std::min(ea, eb);
+    const Natural ma = hi.mant_ << static_cast<std::uint64_t>(ea - shared);
+    const Natural mb = lo.mant_ << static_cast<std::uint64_t>(eb - shared);
+    if (hi.negative_ == lo.negative_)
+        return Float::from_parts(ma + mb, shared, hi.negative_, prec);
+    if (ma >= mb)
+        return Float::from_parts(ma - mb, shared, hi.negative_, prec);
+    return Float::from_parts(mb - ma, shared, lo.negative_, prec);
+}
+
+Float
+operator-(const Float& a, const Float& b)
+{
+    return a + (-b);
+}
+
+Float
+operator*(const Float& a, const Float& b)
+{
+    const std::uint64_t prec = std::max(a.prec_, b.prec_);
+    if (a.is_zero() || b.is_zero())
+        return Float::with_prec(prec);
+    return Float::from_parts(a.mant_ * b.mant_, a.exp_ + b.exp_,
+                             a.negative_ != b.negative_, prec);
+}
+
+Float
+operator/(const Float& a, const Float& b)
+{
+    const std::uint64_t prec = std::max(a.prec_, b.prec_);
+    if (b.is_zero())
+        throw std::invalid_argument("Float division by zero");
+    if (a.is_zero())
+        return Float::with_prec(prec);
+    // Scale the dividend so the quotient carries prec + 2 bits.
+    const std::int64_t scale =
+        static_cast<std::int64_t>(prec) + 2 +
+        static_cast<std::int64_t>(b.mant_.bits()) -
+        static_cast<std::int64_t>(a.mant_.bits());
+    const std::uint64_t up = scale > 0 ? static_cast<std::uint64_t>(scale)
+                                       : 0;
+    const Natural q = (a.mant_ << up) / b.mant_;
+    return Float::from_parts(q, a.exp_ - b.exp_ -
+                                    static_cast<std::int64_t>(up),
+                             a.negative_ != b.negative_, prec);
+}
+
+Float
+Float::sqrt(const Float& a)
+{
+    if (a.negative_)
+        throw std::invalid_argument("Float::sqrt of negative value");
+    if (a.is_zero())
+        return with_prec(a.prec_);
+    // Scale mantissa to ~2*(prec+2) bits with an even total exponent.
+    std::int64_t e = a.exp_;
+    Natural m = a.mant_;
+    std::int64_t up = 2 * (static_cast<std::int64_t>(a.prec_) + 2) -
+                      static_cast<std::int64_t>(m.bits());
+    if (up < 0)
+        up = 0;
+    if ((e - up) % 2 != 0)
+        ++up;
+    m <<= static_cast<std::uint64_t>(up);
+    e -= up;
+    const Natural s = Natural::isqrt(m);
+    return from_parts(s, e / 2, false, a.prec_);
+}
+
+bool
+operator==(const Float& a, const Float& b)
+{
+    // Mantissas are normalized (no trailing zero limbs beyond limb
+    // granularity), so compare via subtraction to be safe.
+    return (a <=> b) == std::strong_ordering::equal;
+}
+
+std::strong_ordering
+operator<=>(const Float& a, const Float& b)
+{
+    if (a.is_zero() && b.is_zero())
+        return std::strong_ordering::equal;
+    if (a.is_zero())
+        return b.negative_ ? std::strong_ordering::greater
+                           : std::strong_ordering::less;
+    if (b.is_zero())
+        return a.negative_ ? std::strong_ordering::less
+                           : std::strong_ordering::greater;
+    if (a.negative_ != b.negative_)
+        return a.negative_ ? std::strong_ordering::less
+                           : std::strong_ordering::greater;
+    const int sign = a.negative_ ? -1 : 1;
+    if (a.magnitude_exp() != b.magnitude_exp()) {
+        const bool a_bigger = a.magnitude_exp() > b.magnitude_exp();
+        return (a_bigger ? sign : -sign) > 0
+                   ? std::strong_ordering::greater
+                   : std::strong_ordering::less;
+    }
+    // Same leading-bit position: align and compare mantissas.
+    const std::int64_t shared = std::min(a.exp_, b.exp_);
+    const Natural ma = a.mant_ << static_cast<std::uint64_t>(a.exp_ -
+                                                             shared);
+    const Natural mb = b.mant_ << static_cast<std::uint64_t>(b.exp_ -
+                                                             shared);
+    const auto mag = ma <=> mb;
+    if (mag == std::strong_ordering::equal)
+        return std::strong_ordering::equal;
+    const bool a_bigger = mag == std::strong_ordering::greater;
+    return (a_bigger ? sign : -sign) > 0 ? std::strong_ordering::greater
+                                         : std::strong_ordering::less;
+}
+
+double
+Float::to_double() const
+{
+    if (is_zero())
+        return 0.0;
+    // Use the top <= 64 mantissa bits.
+    const std::uint64_t bits = mant_.bits();
+    const std::uint64_t keep = bits > 64 ? 64 : bits;
+    const Natural top = mant_ >> (bits - keep);
+    const double m = top.to_double();
+    const double v = std::ldexp(
+        m, static_cast<int>(exp_ + static_cast<std::int64_t>(bits - keep)));
+    return negative_ ? -v : v;
+}
+
+Integer
+Float::to_integer() const
+{
+    if (is_zero())
+        return Integer();
+    if (exp_ >= 0)
+        return Integer(mant_ << static_cast<std::uint64_t>(exp_),
+                       negative_);
+    const std::uint64_t down = static_cast<std::uint64_t>(-exp_);
+    return Integer(mant_ >> down, negative_);
+}
+
+std::string
+Float::to_decimal(std::uint64_t digits) const
+{
+    // scaled = round-toward-zero of |value| * 10^digits.
+    Natural scaled;
+    if (exp_ >= 0) {
+        scaled = (mant_ << static_cast<std::uint64_t>(exp_)) *
+                 Natural::pow10(digits);
+    } else {
+        scaled = mant_ * Natural::pow10(digits) >>
+                 static_cast<std::uint64_t>(-exp_);
+    }
+    std::string s = scaled.to_decimal();
+    if (s.size() <= digits)
+        s.insert(0, digits + 1 - s.size(), '0');
+    s.insert(s.size() - digits, ".");
+    if (negative_)
+        s.insert(0, "-");
+    return s;
+}
+
+} // namespace camp::mpf

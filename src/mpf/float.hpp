@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Float: arbitrary-precision binary floating point over Natural — the
+ * GMP-MPF-equivalent layer (Figure 1). Value = (-1)^sign * mant * 2^exp
+ * with a per-value working precision; arithmetic truncates toward zero
+ * at `prec` mantissa bits (GMP MPF semantics, not MPFR correct
+ * rounding — the paper's stack treats MPF "with little overhead").
+ */
+#ifndef CAMP_MPF_FLOAT_HPP
+#define CAMP_MPF_FLOAT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "mpn/natural.hpp"
+#include "mpz/integer.hpp"
+
+namespace camp::mpf {
+
+using mpn::Natural;
+using mpz::Integer;
+
+/** Arbitrary-precision binary float with explicit working precision. */
+class Float
+{
+  public:
+    /** Zero at default precision (64 bits). */
+    Float() = default;
+
+    /** Zero at @p prec mantissa bits. */
+    static Float with_prec(std::uint64_t prec);
+
+    /** From an integer, keeping full precision (at least @p prec). */
+    static Float from_integer(const Integer& v, std::uint64_t prec);
+    static Float from_natural(const Natural& v, std::uint64_t prec);
+
+    /** From a double (exact; doubles are dyadic). */
+    static Float from_double(double v, std::uint64_t prec);
+
+    /** mant * 2^exp directly. */
+    static Float from_parts(Natural mant, std::int64_t exp, bool negative,
+                            std::uint64_t prec);
+
+    bool is_zero() const { return mant_.is_zero(); }
+    bool is_negative() const { return negative_; }
+    std::uint64_t prec() const { return prec_; }
+    const Natural& mantissa() const { return mant_; }
+    std::int64_t exponent() const { return exp_; }
+
+    /** Exponent of the leading bit: value in [2^e, 2^(e+1)). */
+    std::int64_t
+    magnitude_exp() const
+    {
+        return exp_ + static_cast<std::int64_t>(mant_.bits()) - 1;
+    }
+
+    /** Copy re-truncated to @p prec bits. */
+    Float rounded_to(std::uint64_t prec) const;
+
+    friend Float operator-(const Float& a);
+    friend Float operator+(const Float& a, const Float& b);
+    friend Float operator-(const Float& a, const Float& b);
+    friend Float operator*(const Float& a, const Float& b);
+    friend Float operator/(const Float& a, const Float& b);
+
+    Float& operator+=(const Float& b) { return *this = *this + b; }
+    Float& operator-=(const Float& b) { return *this = *this - b; }
+    Float& operator*=(const Float& b) { return *this = *this * b; }
+
+    /** sqrt(a); throws std::invalid_argument for negative input. */
+    static Float sqrt(const Float& a);
+
+    /** |a|. */
+    static Float abs(const Float& a);
+
+    /** Multiply by 2^k (exact). */
+    Float ldexp(std::int64_t k) const;
+
+    friend bool operator==(const Float& a, const Float& b);
+    friend std::strong_ordering operator<=>(const Float& a,
+                                            const Float& b);
+
+    double to_double() const;
+
+    /** Truncated integer part (toward zero) as Integer. */
+    Integer to_integer() const;
+
+    /** Decimal string with @p digits fractional digits (truncated). */
+    std::string to_decimal(std::uint64_t digits) const;
+
+  private:
+    void normalize();
+
+    bool negative_ = false;
+    Natural mant_;
+    std::int64_t exp_ = 0;
+    std::uint64_t prec_ = 64;
+};
+
+} // namespace camp::mpf
+
+#endif // CAMP_MPF_FLOAT_HPP

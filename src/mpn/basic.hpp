@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Basic O(n) natural-number kernels: copy, compare, add, subtract, shift,
+ * and bitwise logic (Table I "Addition/Subtraction/Negation/Comparison"
+ * class operators).
+ */
+#ifndef CAMP_MPN_BASIC_HPP
+#define CAMP_MPN_BASIC_HPP
+
+#include <cstddef>
+
+#include "mpn/limb.hpp"
+
+namespace camp::mpn {
+
+/** Set rp[0..n) to zero. */
+void zero(Limb* rp, std::size_t n);
+
+/** Copy ap[0..n) to rp[0..n); regions may not partially overlap. */
+void copy(Limb* rp, const Limb* ap, std::size_t n);
+
+/** Strip high zero limbs: largest m <= n with ap[m-1] != 0 (0 if all 0). */
+std::size_t normalized_size(const Limb* ap, std::size_t n);
+
+/** Compare equal-size operands: -1, 0, or 1 as a <=> b. */
+int cmp_n(const Limb* ap, const Limb* bp, std::size_t n);
+
+/** Compare normalized operands of possibly different sizes. */
+int cmp(const Limb* ap, std::size_t an, const Limb* bp, std::size_t bn);
+
+/** rp = ap + bp over n limbs; returns carry (0/1). In-place allowed. */
+Limb add_n(Limb* rp, const Limb* ap, const Limb* bp, std::size_t n);
+
+/** rp = ap + b (single limb); returns carry. In-place allowed. */
+Limb add_1(Limb* rp, const Limb* ap, std::size_t n, Limb b);
+
+/** rp = ap + bp with an >= bn; returns carry. In-place allowed. */
+Limb add(Limb* rp, const Limb* ap, std::size_t an,
+         const Limb* bp, std::size_t bn);
+
+/** rp = ap - bp over n limbs; returns borrow (0/1). In-place allowed. */
+Limb sub_n(Limb* rp, const Limb* ap, const Limb* bp, std::size_t n);
+
+/** rp = ap - b (single limb); returns borrow. In-place allowed. */
+Limb sub_1(Limb* rp, const Limb* ap, std::size_t n, Limb b);
+
+/** rp = ap - bp with an >= bn; returns borrow. In-place allowed. */
+Limb sub(Limb* rp, const Limb* ap, std::size_t an,
+         const Limb* bp, std::size_t bn);
+
+/**
+ * rp = ap << cnt for 0 < cnt < kLimbBits over n limbs; returns the bits
+ * shifted out of the top. Operates high-to-low, so rp may equal ap or
+ * point cnt-limbs above it.
+ */
+Limb lshift(Limb* rp, const Limb* ap, std::size_t n, unsigned cnt);
+
+/**
+ * rp = ap >> cnt for 0 < cnt < kLimbBits over n limbs; returns the bits
+ * shifted out of the bottom (in the *high* bits of the returned limb).
+ * Operates low-to-high, so rp may equal ap or point below it.
+ */
+Limb rshift(Limb* rp, const Limb* ap, std::size_t n, unsigned cnt);
+
+/** rp = ap & bp / ap | bp / ap ^ bp over n limbs. In-place allowed. */
+void and_n(Limb* rp, const Limb* ap, const Limb* bp, std::size_t n);
+void or_n(Limb* rp, const Limb* ap, const Limb* bp, std::size_t n);
+void xor_n(Limb* rp, const Limb* ap, const Limb* bp, std::size_t n);
+
+/** Number of significant bits of a normalized n-limb value (0 for 0). */
+std::uint64_t bit_size(const Limb* ap, std::size_t n);
+
+/** Value of bit @p idx (0 = LSB); idx may exceed n*64 (returns 0). */
+bool get_bit(const Limb* ap, std::size_t n, std::uint64_t idx);
+
+} // namespace camp::mpn
+
+#endif // CAMP_MPN_BASIC_HPP

@@ -1,0 +1,187 @@
+#include "mpn/extra.hpp"
+
+#include <vector>
+
+#include "mpn/basic.hpp"
+#include "mpn/mul.hpp"
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace camp::mpn {
+
+namespace {
+
+/** Truncated schoolbook: rp[0..n) = low n limbs of a * b. */
+void
+mullo_basecase(Limb* rp, const Limb* ap, const Limb* bp, std::size_t n)
+{
+    zero(rp, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        if (bp[j] == 0)
+            continue;
+        addmul_1(rp + j, ap, n - j, bp[j]);
+    }
+}
+
+} // namespace
+
+void
+mullo_n(Limb* rp, const Limb* ap, const Limb* bp, std::size_t n)
+{
+    CAMP_ASSERT(n >= 1);
+    if (n <= 2 * mul_tuning().karatsuba) {
+        mullo_basecase(rp, ap, bp, n);
+        return;
+    }
+    // a = a1 B^h + a0, b = b1 B^h + b0 with h = ceil(n/2):
+    // low_n(a b) = a0*b0 + B^h * (low_{n-h}(a0 b1) + low_{n-h}(a1 b0)).
+    const std::size_t h = (n + 1) / 2;
+    const std::size_t rest = n - h;
+    std::vector<Limb> full(2 * h), low(rest);
+    mul(full.data(), ap, h, bp, h); // a0 * b0, 2h >= n limbs
+    copy(rp, full.data(), n);
+    mullo_n(low.data(), ap, bp + h, rest); // a0_low * b1
+    Limb carry = add_n(rp + h, rp + h, low.data(), rest);
+    CAMP_ASSERT(h + rest == n);
+    (void)carry; // bits beyond B^n are discarded by definition
+    mullo_n(low.data(), ap + h, bp, rest); // a1 * b0_low
+    carry = add_n(rp + h, rp + h, low.data(), rest);
+    (void)carry;
+}
+
+void
+divexact(Limb* qp, const Limb* ap, std::size_t an, const Limb* dp,
+         std::size_t dn)
+{
+    CAMP_ASSERT(an >= dn && dn >= 1 && dp[dn - 1] != 0);
+    const std::size_t qn = an - dn + 1;
+
+    // Strip common trailing zero bits so the low divisor limb is odd.
+    std::size_t limb_shift = 0;
+    while (dp[limb_shift] == 0)
+        ++limb_shift;
+    const unsigned bit_shift =
+        static_cast<unsigned>(std::countr_zero(dp[limb_shift]));
+    std::vector<Limb> d2(dn - limb_shift), a2(an - limb_shift);
+    if (bit_shift == 0) {
+        copy(d2.data(), dp + limb_shift, d2.size());
+        copy(a2.data(), ap + limb_shift, a2.size());
+    } else {
+        rshift(d2.data(), dp + limb_shift, d2.size(), bit_shift);
+        const Limb out =
+            rshift(a2.data(), ap + limb_shift, a2.size(), bit_shift);
+        CAMP_ASSERT_MSG(out == 0 && (limb_shift == 0 ||
+                                     normalized_size(ap, limb_shift) ==
+                                         0),
+                        "divexact: dividend lacks divisor's 2-adic part");
+    }
+    const std::size_t dn2 = normalized_size(d2.data(), d2.size());
+    CAMP_ASSERT(dn2 >= 1 && (d2[0] & 1));
+
+    // dinv = d[0]^-1 mod B by Newton.
+    Limb dinv = d2[0];
+    for (int i = 0; i < 5; ++i)
+        dinv *= 2 - d2[0] * dinv;
+    CAMP_ASSERT(dinv * d2[0] == 1);
+
+    // LSB-first exact division: peel one quotient limb at a time.
+    std::vector<Limb> work(a2.begin(), a2.end());
+    for (std::size_t i = 0; i < qn; ++i) {
+        const Limb q = work[i] * dinv;
+        qp[i] = q;
+        if (q == 0)
+            continue;
+        const std::size_t span =
+            std::min(dn2, work.size() - i);
+        const Limb borrow = submul_1(work.data() + i, d2.data(), span, q);
+        if (i + span < work.size()) {
+            const Limb b2 = sub_1(work.data() + i + span,
+                                  work.data() + i + span,
+                                  work.size() - i - span, borrow);
+            CAMP_ASSERT(b2 == 0);
+        }
+        CAMP_ASSERT(work[i] == 0);
+    }
+    CAMP_ASSERT_MSG(normalized_size(work.data() + qn,
+                                    work.size() - qn) == 0,
+                    "divexact: division was not exact");
+}
+
+Natural
+gcd_lehmer(Natural a, Natural b)
+{
+    if (a < b)
+        std::swap(a, b);
+    // Lehmer loop: while operands are large, batch ~60 quotient bits
+    // using the two leading limbs, then apply the cofactor matrix.
+    while (b.size() > 1) {
+        // Leading 128 bits of a and the same-aligned bits of b.
+        const std::uint64_t shift = a.bits() >= 128 ? a.bits() - 128 : 0;
+        const Natural as = a >> shift;
+        const Natural bs = b >> shift;
+        u128 ah = (static_cast<u128>(as.limb(1)) << 64) | as.limb(0);
+        u128 bh = (static_cast<u128>(bs.limb(1)) << 64) | bs.limb(0);
+
+        // Extended Euclid on (ah, bh) with cofactors
+        // a' = u0 ah - v0 bh (>=0), b' = -u1 ah + v1 bh (>=0).
+        std::uint64_t u0 = 1, v0 = 0, u1 = 0, v1 = 1;
+        bool progressed = false;
+        while (bh != 0) {
+            const u128 q128 = ah / bh;
+            if (q128 > kLimbMax / 2)
+                break;
+            const std::uint64_t q = static_cast<std::uint64_t>(q128);
+            // Overflow guard on the cofactors.
+            if (u1 > (kLimbMax - u0) / (q ? q : 1) ||
+                v1 > (kLimbMax - v0) / (q ? q : 1))
+                break;
+            const u128 r = ah - q128 * bh;
+            // Lehmer validity: the true quotient of the full numbers
+            // matches while remainders stay well inside the window.
+            if (r < static_cast<u128>(u1) + u0 ||
+                bh - r < static_cast<u128>(v1) + v0)
+                break;
+            ah = bh;
+            bh = r;
+            const std::uint64_t nu = u0 + q * u1;
+            const std::uint64_t nv = v0 + q * v1;
+            u0 = u1;
+            v0 = v1;
+            u1 = nu;
+            v1 = nv;
+            progressed = true;
+        }
+        if (!progressed) {
+            // Fallback: one full Euclid step.
+            Natural r = a % b;
+            a = std::move(b);
+            b = std::move(r);
+            continue;
+        }
+        // Apply the matrix to the full operands:
+        // (a, b) <- (u0 a - v0 b, v1 b - u1 a), both nonnegative by the
+        // alternating-sign structure of continued-fraction cofactors.
+        const Natural ua = a * Natural(u0);
+        const Natural vb = b * Natural(v0);
+        const Natural ub = b * Natural(v1);
+        const Natural va = a * Natural(u1);
+        Natural na = ua >= vb ? ua - vb : vb - ua;
+        Natural nb = ub >= va ? ub - va : va - ub;
+        if (na < nb)
+            std::swap(na, nb);
+        if (nb >= b) {
+            // Approximation failed to shrink the pair; take one exact
+            // Euclid step instead (keeps termination unconditional).
+            Natural r = a % b;
+            a = std::move(b);
+            b = std::move(r);
+            continue;
+        }
+        a = std::move(na);
+        b = std::move(nb);
+    }
+    // Small tail: binary gcd via the existing routine.
+    return Natural::gcd(a, b);
+}
+
+} // namespace camp::mpn

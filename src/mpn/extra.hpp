@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Optimization-oriented low-level operators. The paper's footnote 1
+ * lists GMP operators its MPApca prototype lacks (AddMul, MulLo,
+ * DivExact); this module provides them for the CPU substrate, plus
+ * Lehmer's GCD which accelerates the rational layer.
+ */
+#ifndef CAMP_MPN_EXTRA_HPP
+#define CAMP_MPN_EXTRA_HPP
+
+#include <cstddef>
+
+#include "mpn/limb.hpp"
+#include "mpn/natural.hpp"
+
+namespace camp::mpn {
+
+/**
+ * rp[0..n) = low n limbs of a * b (both n limbs). Karatsuba-style
+ * recursion: one full half product + two recursive low products.
+ * rp must not alias the inputs.
+ */
+void mullo_n(Limb* rp, const Limb* ap, const Limb* bp, std::size_t n);
+
+/**
+ * Exact division: qp[0..an-dn+1) = ap / dp given that the division is
+ * exact (remainder zero). Jebelean's LSB-first algorithm: no quotient
+ * estimation, one modular inverse of the low divisor limb. Aborts (via
+ * CAMP_ASSERT) if the division turns out inexact.
+ * Requires an >= dn >= 1 and normalized dp.
+ */
+void divexact(Limb* qp, const Limb* ap, std::size_t an, const Limb* dp,
+              std::size_t dn);
+
+/**
+ * Greatest common divisor via Lehmer's algorithm (double-limb leading
+ * quotient batching with a cofactor matrix, Euclid fallback steps).
+ * Asymptotically the same as Euclid but with O(1) big-number passes
+ * per 64 quotient bits.
+ */
+Natural gcd_lehmer(Natural a, Natural b);
+
+} // namespace camp::mpn
+
+#endif // CAMP_MPN_EXTRA_HPP

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Limb type and conventions for the natural-number kernel layer.
+ *
+ * The mpn layer mirrors GMP's MPN conventions (the substrate the paper's
+ * software stack is built on, Figure 1):
+ *  - A natural number is an array of limbs, least significant first.
+ *  - Sizes are in limbs. A value of size n has rp[n-1] possibly zero only
+ *    where a function documents it; "normalized" means the top limb is
+ *    nonzero (or the size is 0 for the value 0).
+ *  - Result areas must not partially overlap sources unless a function
+ *    documents in-place support.
+ */
+#ifndef CAMP_MPN_LIMB_HPP
+#define CAMP_MPN_LIMB_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/bits.hpp"
+
+namespace camp::mpn {
+
+/** Machine limb: 64-bit, matching the host word the CPU baseline uses. */
+using Limb = std::uint64_t;
+
+/** Bits per limb. */
+inline constexpr int kLimbBits = 64;
+
+/** All-ones limb. */
+inline constexpr Limb kLimbMax = ~static_cast<Limb>(0);
+
+/** Number of limbs needed to hold @p bits bits. */
+constexpr std::size_t
+limbs_for_bits(std::uint64_t bits)
+{
+    return static_cast<std::size_t>((bits + kLimbBits - 1) / kLimbBits);
+}
+
+} // namespace camp::mpn
+
+#endif // CAMP_MPN_LIMB_HPP

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Algorithm dispatch for mul(): schoolbook / Karatsuba / Toom-3/4/6 /
+ * SSA by operand size, with block decomposition for heavily unbalanced
+ * operands — the same threshold-driven policy structure GMP and the
+ * paper's MPApca library use (§V-C).
+ */
+#include <vector>
+
+#include "mpn/basic.hpp"
+#include "mpn/mul.hpp"
+#include "support/assert.hpp"
+
+namespace camp::mpn {
+
+MulTuning&
+mul_tuning()
+{
+    static MulTuning tuning;
+    return tuning;
+}
+
+const char*
+mul_algorithm_name(std::size_t n, const MulTuning& t)
+{
+    if (n < t.karatsuba)
+        return "schoolbook";
+    if (n < t.toom3)
+        return "karatsuba";
+    if (n < t.toom4)
+        return "toom3";
+    if (n < t.toom6)
+        return "toom4";
+    if (n < t.ssa)
+        return "toom6";
+    return "ssa";
+}
+
+namespace {
+
+/**
+ * Balanced-ish product: an >= bn > an/2 after normalization; picks the
+ * best algorithm whose split-block requirement b covers.
+ */
+void
+mul_balanced(Limb* rp, const Limb* ap, std::size_t an,
+             const Limb* bp, std::size_t bn)
+{
+    const MulTuning& t = mul_tuning();
+    if (bn < t.karatsuba) {
+        mul_basecase(rp, ap, an, bp, bn);
+        return;
+    }
+    // Toom-k requires bn > (k-1) * ceil(an / k).
+    auto toom_ok = [&](unsigned k) {
+        const std::size_t m = (an + k - 1) / k;
+        return bn > (k - 1) * m;
+    };
+    if (bn >= t.ssa) {
+        mul_ssa(rp, ap, an, bp, bn);
+    } else if (bn >= t.toom6 && toom_ok(6)) {
+        mul_toom(rp, ap, an, bp, bn, 6);
+    } else if (bn >= t.toom4 && toom_ok(4)) {
+        mul_toom(rp, ap, an, bp, bn, 4);
+    } else if (bn >= t.toom3 && toom_ok(3)) {
+        mul_toom(rp, ap, an, bp, bn, 3);
+    } else {
+        mul_karatsuba(rp, ap, an, bp, bn);
+    }
+}
+
+} // namespace
+
+void
+mul(Limb* rp, const Limb* ap, std::size_t an, const Limb* bp, std::size_t bn)
+{
+    CAMP_ASSERT(an >= bn && bn >= 1);
+    const std::size_t rn = an + bn;
+    // Internal callers pass unnormalized slices; renormalize here and
+    // keep the contract that the full rn limbs of rp are written.
+    std::size_t na = normalized_size(ap, an);
+    std::size_t nb = normalized_size(bp, bn);
+    if (na < nb) {
+        std::swap(ap, bp);
+        std::swap(na, nb);
+    }
+    if (nb == 0) {
+        zero(rp, rn);
+        return;
+    }
+    zero(rp + na + nb, rn - na - nb);
+    an = na;
+    bn = nb;
+
+    if (bn == 1) {
+        rp[an] = mul_1(rp, ap, an, bp[0]);
+        return;
+    }
+    if (2 * bn > an) {
+        mul_balanced(rp, ap, an, bp, bn);
+        return;
+    }
+
+    // Heavily unbalanced: process a in bn-limb blocks, accumulating
+    // shifted balanced products (GMP's mul_basecase-free block walk).
+    std::vector<Limb> tmp(2 * bn);
+    std::size_t done = 0; // limbs of a consumed
+    while (done < an) {
+        const std::size_t chunk = std::min(bn, an - done);
+        Limb* dst = rp + done;
+        if (chunk >= bn) {
+            if (done == 0) {
+                mul_balanced(dst, ap, chunk, bp, bn);
+            } else {
+                mul_balanced(tmp.data(), ap + done, chunk, bp, bn);
+                // dst[0..bn) already holds low halves of previous sums;
+                // add the low half, then copy/add the high half.
+                Limb carry = add_n(dst, dst, tmp.data(), bn);
+                carry = add_1(dst + bn, tmp.data() + bn, bn, carry);
+                CAMP_ASSERT(carry == 0);
+            }
+        } else {
+            // Final short chunk.
+            if (bn >= chunk)
+                mul(tmp.data(), bp, bn, ap + done, chunk);
+            else
+                mul(tmp.data(), ap + done, chunk, bp, bn);
+            if (done == 0) {
+                copy(dst, tmp.data(), chunk + bn);
+            } else {
+                Limb carry = add_n(dst, dst, tmp.data(), bn);
+                carry = add_1(dst + bn, tmp.data() + bn, chunk, carry);
+                CAMP_ASSERT(carry == 0);
+            }
+        }
+        done += chunk;
+    }
+}
+
+void
+sqr(Limb* rp, const Limb* ap, std::size_t n)
+{
+    CAMP_ASSERT(n >= 1);
+    const std::size_t nn = normalized_size(ap, n);
+    if (nn == 0) {
+        zero(rp, 2 * n);
+        return;
+    }
+    zero(rp + 2 * nn, 2 * (n - nn));
+    if (nn < mul_tuning().karatsuba) {
+        sqr_basecase(rp, ap, nn);
+        return;
+    }
+    mul(rp, ap, nn, ap, nn);
+}
+
+} // namespace camp::mpn

@@ -1,0 +1,74 @@
+#include <vector>
+
+#include "mpn/basic.hpp"
+#include "mpn/mul.hpp"
+#include "support/assert.hpp"
+
+namespace camp::mpn {
+
+namespace {
+
+/** rp = ap + bp (an >= bn), appending the carry; returns result size. */
+std::size_t
+add_ext(Limb* rp, const Limb* ap, std::size_t an,
+        const Limb* bp, std::size_t bn)
+{
+    const Limb carry = add(rp, ap, an, bp, bn);
+    if (carry) {
+        rp[an] = carry;
+        return an + 1;
+    }
+    return an;
+}
+
+} // namespace
+
+void
+mul_karatsuba(Limb* rp, const Limb* ap, std::size_t an,
+              const Limb* bp, std::size_t bn)
+{
+    CAMP_ASSERT(an >= bn && 2 * bn > an && bn >= 2);
+    const std::size_t m = an >> 1;
+    // a = a1*B^m + a0, b = b1*B^m + b0;
+    // a*b = z2*B^2m + z1*B^m + z0 with z1 = (a0+a1)(b0+b1) - z0 - z2.
+    const Limb* a0 = ap;
+    const Limb* a1 = ap + m;
+    const Limb* b0 = bp;
+    const Limb* b1 = bp + m;
+    const std::size_t a1n = an - m;
+    const std::size_t b1n = bn - m;
+
+    // z0 and z2 go straight into their final positions in rp.
+    mul(rp, a0, m, b0, m);                       // rp[0 .. 2m)
+    mul(rp + 2 * m, a1, a1n, b1, b1n);           // rp[2m .. an+bn)
+
+    std::vector<Limb> sa(a1n + 1), sb(m + 2);
+    const std::size_t san = add_ext(sa.data(), a1, a1n, a0, m);
+    std::size_t sbn;
+    if (b1n >= m)
+        sbn = add_ext(sb.data(), b1, b1n, b0, m);
+    else
+        sbn = add_ext(sb.data(), b0, m, b1, b1n);
+
+    std::vector<Limb> t(san + sbn);
+    if (san >= sbn)
+        mul(t.data(), sa.data(), san, sb.data(), sbn);
+    else
+        mul(t.data(), sb.data(), sbn, sa.data(), san);
+    std::size_t tn = normalized_size(t.data(), t.size());
+
+    // t -= z0; t -= z2 (both are <= t mathematically).
+    const std::size_t z0n = normalized_size(rp, 2 * m);
+    const std::size_t z2n = normalized_size(rp + 2 * m, an + bn - 2 * m);
+    Limb borrow = sub(t.data(), t.data(), tn, rp, z0n);
+    CAMP_ASSERT(borrow == 0);
+    borrow = sub(t.data(), t.data(), tn, rp + 2 * m, z2n);
+    CAMP_ASSERT(borrow == 0);
+    tn = normalized_size(t.data(), tn);
+
+    // rp += t * B^m.
+    const Limb carry = add(rp + m, rp + m, an + bn - m, t.data(), tn);
+    CAMP_ASSERT(carry == 0);
+}
+
+} // namespace camp::mpn

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Schönhage–Strassen multiplication (SSA).
+ *
+ * The product is computed as a length-L = 2^k cyclic convolution of
+ * M-bit pieces over the Fermat ring Z/(2^K + 1), where 2 is a principal
+ * 2K-th root of unity so all twiddle factors are bit shifts. Pieces are
+ * zero-padded so that the linear convolution fits inside length L (no
+ * wraparound), which keeps every coefficient a natural number. Pointwise
+ * products go back through mul(), so huge operands recurse into SSA
+ * again — the O(n log n log log n) structure of Table I.
+ */
+#include <vector>
+
+#include "mpn/basic.hpp"
+#include "mpn/mul.hpp"
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace camp::mpn {
+
+namespace {
+
+/**
+ * Arithmetic in Z/(2^K + 1) with K = kw * 64. Residues are kw + 1 limbs,
+ * kept fully reduced in [0, 2^K] (the top limb is 1 only for the value
+ * 2^K itself).
+ */
+class FermatRing
+{
+  public:
+    explicit FermatRing(std::size_t kw) : kw_(kw) {}
+
+    std::size_t kw() const { return kw_; }
+    std::size_t limbs() const { return kw_ + 1; }
+    std::uint64_t bits() const { return kw_ * 64; }
+
+    /** Reduce a residue in [0, 2^(K+1)) to [0, 2^K]. */
+    void
+    reduce_once(Limb* r) const
+    {
+        // Value >= 2^K + 1 iff top limb > 1, or top limb == 1 with a
+        // nonzero low part.
+        if (r[kw_] > 1 || (r[kw_] == 1 && !all_zero(r, kw_))) {
+            const Limb borrow = sub_1(r, r, kw_, 1);
+            CAMP_ASSERT(r[kw_] >= borrow + 1);
+            r[kw_] -= borrow + 1;
+        }
+    }
+
+    /** r = a + b mod (2^K + 1); r may alias a or b. */
+    void
+    add_mod(Limb* r, const Limb* a, const Limb* b) const
+    {
+        const Limb carry = add_n(r, a, b, kw_ + 1);
+        CAMP_ASSERT(carry == 0); // both operands <= 2^K < 2^(64(kw+1)-1)
+        reduce_once(r);
+    }
+
+    /** r = a - b mod (2^K + 1); r may alias a or b. */
+    void
+    sub_mod(Limb* r, const Limb* a, const Limb* b) const
+    {
+        const Limb borrow = sub_n(r, a, b, kw_ + 1);
+        if (borrow) {
+            // Add 2^K + 1 back; the difference was > -(2^K + 1), so the
+            // result lands in [0, 2^K].
+            const Limb carry = add_1(r, r, kw_, 1);
+            r[kw_] += carry + 1;
+        }
+        reduce_once(r);
+    }
+
+    /** r = -a mod (2^K + 1). */
+    void
+    neg_mod(Limb* r, const Limb* a) const
+    {
+        if (all_zero(a, kw_ + 1)) {
+            zero(r, kw_ + 1);
+            return;
+        }
+        // (2^K + 1) - a.
+        std::vector<Limb> mod(kw_ + 1, 0);
+        mod[0] = 1;
+        mod[kw_] = 1;
+        const Limb borrow = sub_n(r, mod.data(), a, kw_ + 1);
+        CAMP_ASSERT(borrow == 0);
+    }
+
+    /**
+     * r = a * 2^e mod (2^K + 1) for 0 <= e < 2K; r must not alias a.
+     * Uses 2^K == -1: a * 2^e = low(a << e) - high(a << e).
+     */
+    void
+    shl_mod(Limb* r, const Limb* a, std::uint64_t e) const
+    {
+        const std::uint64_t K = bits();
+        CAMP_ASSERT(e < 2 * K);
+        bool negate = false;
+        if (e >= K) {
+            e -= K;
+            negate = true;
+        }
+        if (e == 0) {
+            copy(r, a, kw_ + 1);
+        } else {
+            // a <= 2^K: split a = high * 2^(K-e) + low, then
+            // a * 2^e = low * 2^e - high (mod 2^K + 1).
+            std::vector<Limb> lo(kw_ + 1, 0), hi(kw_ + 1, 0);
+            split_shift(a, e, lo.data(), hi.data());
+            sub_mod(r, lo.data(), hi.data());
+        }
+        if (negate) {
+            std::vector<Limb> t(r, r + kw_ + 1);
+            neg_mod(r, t.data());
+        }
+    }
+
+    /** Reduce a plain tn-limb product into a residue; r != t. */
+    void
+    reduce_full(Limb* r, const Limb* t, std::size_t tn) const
+    {
+        // t = sum chunks_i * 2^(K i) == sum (-1)^i chunks_i.
+        zero(r, kw_ + 1);
+        std::vector<Limb> chunk(kw_ + 1);
+        bool subtract = false;
+        for (std::size_t off = 0; off < tn; off += kw_) {
+            const std::size_t len = std::min(kw_, tn - off);
+            copy(chunk.data(), t + off, len);
+            zero(chunk.data() + len, kw_ + 1 - len);
+            if (subtract)
+                sub_mod(r, r, chunk.data());
+            else
+                add_mod(r, r, chunk.data());
+            subtract = !subtract;
+        }
+    }
+
+  private:
+    static bool
+    all_zero(const Limb* p, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            if (p[i] != 0)
+                return false;
+        return true;
+    }
+
+    /**
+     * lo = (a mod 2^(K-e)) << e (kw+1 limbs), hi = a >> (K-e), for
+     * 0 < e < K and a <= 2^K.
+     */
+    void
+    split_shift(const Limb* a, std::uint64_t e, Limb* lo, Limb* hi) const
+    {
+        const std::uint64_t K = bits();
+        const std::uint64_t split = K - e; // bits kept in low part
+        const std::size_t sl = static_cast<std::size_t>(split / 64);
+        const unsigned sb = static_cast<unsigned>(split % 64);
+        // hi = a >> split over kw+1 limbs.
+        {
+            const std::size_t n = kw_ + 1 - sl;
+            if (sb == 0)
+                copy(hi, a + sl, n);
+            else
+                rshift(hi, a + sl, n, sb);
+        }
+        // lo = (a mod 2^split) << e; result occupies bits [e, K).
+        std::vector<Limb> low(kw_ + 1, 0);
+        copy(low.data(), a, sl);
+        if (sb != 0)
+            low[sl] = a[sl] & ((static_cast<Limb>(1) << sb) - 1);
+        const std::size_t el = static_cast<std::size_t>(e / 64);
+        const unsigned eb = static_cast<unsigned>(e % 64);
+        if (eb == 0) {
+            copy(lo + el, low.data(), kw_ + 1 - el);
+        } else {
+            const Limb out = lshift(lo + el, low.data(), kw_ + 1 - el, eb);
+            CAMP_ASSERT(out == 0);
+        }
+    }
+
+    std::size_t kw_;
+};
+
+/** In-place iterative FFT of length L over the ring; stride via vectors. */
+class FermatFft
+{
+  public:
+    FermatFft(const FermatRing& ring, unsigned log2_len)
+        : ring_(ring), k_(log2_len), len_(std::size_t{1} << log2_len)
+    {
+        CAMP_ASSERT(2 * ring_.bits() % len_ == 0);
+        root_exp_ = 2 * ring_.bits() / len_; // omega = 2^root_exp_
+    }
+
+    /** data = FFT(data); inverse applies omega^-1 and the 1/L scale. */
+    void
+    transform(std::vector<Limb>& data, bool inverse) const
+    {
+        const std::size_t rl = ring_.limbs();
+        CAMP_ASSERT(data.size() == len_ * rl);
+        bit_reverse(data);
+        std::vector<Limb> t(rl);
+        const std::uint64_t period = 2 * ring_.bits();
+        for (unsigned s = 1; s <= k_; ++s) {
+            const std::size_t half = std::size_t{1} << (s - 1);
+            const std::uint64_t step =
+                root_exp_ << (k_ - s); // omega^(L / 2^s)
+            for (std::size_t start = 0; start < len_;
+                 start += 2 * half) {
+                std::uint64_t e = 0;
+                for (std::size_t j = 0; j < half; ++j) {
+                    Limb* u = data.data() + (start + j) * rl;
+                    Limb* v = data.data() + (start + j + half) * rl;
+                    const std::uint64_t twiddle =
+                        inverse && e != 0 ? period - e : e;
+                    ring_.shl_mod(t.data(), v, twiddle);
+                    ring_.sub_mod(v, u, t.data());
+                    ring_.add_mod(u, u, t.data());
+                    e += step;
+                    if (e >= period)
+                        e -= period;
+                }
+            }
+        }
+        if (inverse) {
+            // Multiply by 1/L = 2^(2K - k).
+            for (std::size_t i = 0; i < len_; ++i) {
+                Limb* p = data.data() + i * rl;
+                copy(t.data(), p, rl);
+                ring_.shl_mod(p, t.data(), period - k_);
+            }
+        }
+    }
+
+  private:
+    void
+    bit_reverse(std::vector<Limb>& data) const
+    {
+        const std::size_t rl = ring_.limbs();
+        std::vector<Limb> t(rl);
+        for (std::size_t i = 0, j = 0; i < len_; ++i) {
+            if (i < j) {
+                Limb* a = data.data() + i * rl;
+                Limb* b = data.data() + j * rl;
+                copy(t.data(), a, rl);
+                copy(a, b, rl);
+                copy(b, t.data(), rl);
+            }
+            std::size_t bit = len_ >> 1;
+            while (j & bit) {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+        }
+    }
+
+    const FermatRing& ring_;
+    unsigned k_;
+    std::size_t len_;
+    std::uint64_t root_exp_;
+};
+
+} // namespace
+
+void
+mul_ssa(Limb* rp, const Limb* ap, std::size_t an,
+        const Limb* bp, std::size_t bn)
+{
+    CAMP_ASSERT(an >= bn && bn >= 1);
+    const std::uint64_t bits_a = bit_size(ap, an);
+    const std::uint64_t bits_b = bit_size(bp, bn);
+    if (bits_a == 0 || bits_b == 0) {
+        zero(rp, an + bn);
+        return;
+    }
+    const std::uint64_t total = bits_a + bits_b;
+
+    // Transform length L = 2^k ~ sqrt(total / 64): balances piece size
+    // against transform size so pointwise products stay superlinear-free.
+    unsigned k = static_cast<unsigned>(ceil_log2(total) / 2);
+    k = k > 4 ? k - 2 : 2;
+    if (k > 20)
+        k = 20;
+    const std::size_t L = std::size_t{1} << k;
+
+    // Piece size M (multiple of 64 so splitting is limb-aligned), chosen
+    // so pieces_a + pieces_b - 1 <= L: the negacyclic convolution equals
+    // the linear convolution (no wraparound, all coefficients >= 0).
+    const std::uint64_t M = ceil_div(total, L - 1) <= 64
+                                ? 64
+                                : ceil_div(ceil_div(total, L - 1), 64) * 64;
+    const std::size_t pieces_a =
+        static_cast<std::size_t>(ceil_div(bits_a, M));
+    const std::size_t pieces_b =
+        static_cast<std::size_t>(ceil_div(bits_b, M));
+    CAMP_ASSERT(pieces_a + pieces_b - 1 <= L);
+
+    // Ring width K >= 2M + k + 1 (coefficient magnitude bound), rounded
+    // up so both L | K (for the 2K-th root) and 64 | K (limb alignment).
+    const std::uint64_t align = std::max<std::uint64_t>(L, 64);
+    const std::uint64_t K = ceil_div(2 * M + k + 1, align) * align;
+    const FermatRing ring(static_cast<std::size_t>(K / 64));
+    const std::size_t rl = ring.limbs();
+    const std::size_t mw = static_cast<std::size_t>(M / 64);
+
+    // Decompose into residues (limb-aligned M-bit pieces, zero padded).
+    auto decompose = [&](const Limb* p, std::size_t n) {
+        std::vector<Limb> data(L * rl, 0);
+        for (std::size_t i = 0; i * mw < n; ++i) {
+            const std::size_t off = i * mw;
+            const std::size_t len = std::min(mw, n - off);
+            copy(data.data() + i * rl, p + off, len);
+        }
+        return data;
+    };
+    std::vector<Limb> da = decompose(ap, an);
+    std::vector<Limb> db = decompose(bp, bn);
+
+    const FermatFft fft(ring, k);
+    fft.transform(da, false);
+    fft.transform(db, false);
+
+    // Pointwise products, recursing through the mul() dispatcher.
+    std::vector<Limb> prod(2 * rl);
+    for (std::size_t i = 0; i < L; ++i) {
+        Limb* pa = da.data() + i * rl;
+        const Limb* pb = db.data() + i * rl;
+        const std::size_t na = normalized_size(pa, rl);
+        const std::size_t nb = normalized_size(pb, rl);
+        if (na == 0 || nb == 0) {
+            zero(pa, rl);
+            continue;
+        }
+        if (na >= nb)
+            mul(prod.data(), pa, na, pb, nb);
+        else
+            mul(prod.data(), pb, nb, pa, na);
+        ring.reduce_full(pa, prod.data(), na + nb);
+    }
+
+    fft.transform(da, true);
+
+    // Carry recomposition: r = sum coeff_i * 2^(M i). Coefficients are
+    // plain naturals < 2^(2M + k) by the no-wraparound construction.
+    zero(rp, an + bn);
+    for (std::size_t i = 0; i < pieces_a + pieces_b - 1; ++i) {
+        const Limb* c = da.data() + i * rl;
+        const std::size_t cn = normalized_size(c, rl);
+        if (cn == 0)
+            continue;
+        const std::size_t off = i * mw;
+        CAMP_ASSERT(off + cn <= an + bn ||
+                    normalized_size(c, cn) * 64 + off * 64 <=
+                        (an + bn) * 64);
+        const std::size_t room = an + bn - off;
+        CAMP_ASSERT(cn <= room);
+        const Limb carry = add(rp + off, rp + off, room, c, cn);
+        CAMP_ASSERT(carry == 0);
+    }
+    // Residues beyond the last meaningful coefficient must be zero.
+    for (std::size_t i = pieces_a + pieces_b - 1; i < L; ++i) {
+        CAMP_ASSERT(normalized_size(da.data() + i * rl, rl) == 0);
+    }
+}
+
+} // namespace camp::mpn

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Generic Toom-k multiplication (k = 3, 4, 6) over the nonnegative
+ * evaluation points {0, 1, ..., 2k-3, inf}.
+ *
+ * Interpolation uses integer forward differences: for a polynomial with
+ * nonnegative integer coefficients, all forward differences at
+ * nonnegative integer points are nonnegative, the falling-factorial
+ * coefficients are Delta^j w(0) / j! (exact division), and the monomial
+ * coefficients follow by the signed Stirling-number change of basis.
+ * This keeps every intermediate a natural number, so the whole algorithm
+ * runs on unsigned kernels with provably exact small divisions.
+ */
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mpn/basic.hpp"
+#include "mpn/mul.hpp"
+#include "support/assert.hpp"
+
+namespace camp::mpn {
+
+namespace {
+
+/** rp = ap / d for an exact small division; asserts exactness. */
+void
+divexact_small(Limb* rp, const Limb* ap, std::size_t n, Limb d)
+{
+    Limb rem = 0;
+    for (std::size_t i = n; i-- > 0;) {
+        const u128 cur = (static_cast<u128>(rem) << 64) | ap[i];
+        rp[i] = static_cast<Limb>(cur / d);
+        rem = static_cast<Limb>(cur % d);
+    }
+    CAMP_ASSERT_MSG(rem == 0, "toom interpolation division not exact");
+}
+
+/** Signed Stirling numbers of the first kind s(j, i) for j, i <= 10. */
+std::array<std::array<std::int64_t, 11>, 11>
+stirling_first_kind()
+{
+    std::array<std::array<std::int64_t, 11>, 11> s{};
+    s[0][0] = 1;
+    for (int j = 1; j <= 10; ++j) {
+        for (int i = 0; i <= j; ++i) {
+            // x^(j) = x^(j-1) * (x - (j-1))
+            std::int64_t v = i > 0 ? s[j - 1][i - 1] : 0;
+            v -= static_cast<std::int64_t>(j - 1) * s[j - 1][i];
+            s[j][i] = v;
+        }
+    }
+    return s;
+}
+
+/** A value with an explicit limb count inside a fixed-stride arena. */
+struct Value
+{
+    Limb* p = nullptr;
+    std::size_t n = 0; ///< normalized size
+};
+
+} // namespace
+
+void
+mul_toom(Limb* rp, const Limb* ap, std::size_t an,
+         const Limb* bp, std::size_t bn, unsigned k)
+{
+    CAMP_ASSERT(k == 3 || k == 4 || k == 6);
+    const std::size_t m = (an + k - 1) / k; // block size in limbs
+    CAMP_ASSERT(an >= bn && bn > (k - 1) * m);
+    const unsigned d = 2 * k - 2;        // degree of the product polynomial
+    const unsigned npoints = d;          // finite points 0 .. 2k-3
+
+    // Split operands into k blocks of m limbs (top block may be short).
+    auto block = [m, k](const Limb* p, std::size_t n, unsigned i) {
+        const std::size_t off = static_cast<std::size_t>(i) * m;
+        const std::size_t len = i + 1 == k ? n - off : m;
+        return std::pair<const Limb*, std::size_t>(p + off, len);
+    };
+
+    // Evaluate a(p) and b(p) by Horner; scalar points are tiny so each
+    // evaluation fits in m + 1 limbs (see DESIGN.md bounds).
+    const std::size_t en = m + 2;
+    std::vector<Limb> evals_a(npoints * en), evals_b(npoints * en);
+    auto evaluate = [&](Limb* out, const Limb* p, std::size_t n,
+                        Limb point) -> std::size_t {
+        auto [tp, tn0] = block(p, n, k - 1);
+        std::size_t vn = normalized_size(tp, tn0);
+        copy(out, tp, vn);
+        for (int i = static_cast<int>(k) - 2; i >= 0; --i) {
+            Limb carry = mul_1(out, out, vn, point);
+            if (carry)
+                out[vn++] = carry;
+            auto [bpp, bnn] = block(p, n, static_cast<unsigned>(i));
+            const std::size_t bln = normalized_size(bpp, bnn);
+            if (vn >= bln) {
+                carry = add(out, out, vn, bpp, bln);
+            } else {
+                carry = add(out, bpp, bln, out, vn);
+                vn = bln;
+            }
+            if (carry)
+                out[vn++] = carry;
+            CAMP_ASSERT(vn <= en);
+        }
+        return vn;
+    };
+
+    // Pointwise products v_p = a(p) * b(p); v_0 = a0 * b0 shortcut.
+    const std::size_t vn_cap = 2 * en;
+    std::vector<Limb> vbuf(npoints * vn_cap);
+    std::vector<Value> v(npoints);
+    std::vector<Limb> ea(en), eb(en);
+    for (unsigned p = 0; p < npoints; ++p) {
+        std::size_t ean, ebn;
+        if (p == 0) {
+            ean = normalized_size(ap, m);
+            copy(ea.data(), ap, ean);
+            ebn = normalized_size(bp, m);
+            copy(eb.data(), bp, ebn);
+        } else {
+            ean = evaluate(ea.data(), ap, an, p);
+            ebn = evaluate(eb.data(), bp, bn, p);
+        }
+        Limb* out = vbuf.data() + p * vn_cap;
+        std::size_t outn = ean + ebn;
+        if (ean == 0 || ebn == 0) {
+            outn = 0;
+        } else if (ean >= ebn) {
+            mul(out, ea.data(), ean, eb.data(), ebn);
+        } else {
+            mul(out, eb.data(), ebn, ea.data(), ean);
+        }
+        v[p] = {out, normalized_size(out, outn)};
+    }
+
+    // v_inf = a_{k-1} * b_{k-1} is the leading coefficient c_d; place it
+    // in its final position right away.
+    auto [atp, atn0] = block(ap, an, k - 1);
+    auto [btp, btn0] = block(bp, bn, k - 1);
+    const std::size_t atn = normalized_size(atp, atn0);
+    const std::size_t btn = normalized_size(btp, btn0);
+    const std::size_t rn = an + bn;
+    zero(rp, rn);
+    std::size_t ctopn = 0;
+    std::vector<Limb> ctop(atn + btn + 1);
+    if (atn != 0 && btn != 0) {
+        if (atn >= btn)
+            mul(ctop.data(), atp, atn, btp, btn);
+        else
+            mul(ctop.data(), btp, btn, atp, atn);
+        ctopn = normalized_size(ctop.data(), atn + btn);
+    }
+
+    // w_p = v_p - c_d * p^d  (exact leading-term removal).
+    for (unsigned p = 1; p < npoints; ++p) {
+        Limb pd = 1;
+        for (unsigned e = 0; e < d; ++e)
+            pd *= p;
+        if (ctopn == 0)
+            continue;
+        CAMP_ASSERT(v[p].n >= ctopn);
+        const Limb borrow = submul_1(v[p].p, ctop.data(), ctopn, pd);
+        Limb* high = v[p].p + ctopn;
+        const std::size_t highn = v[p].n - ctopn;
+        const Limb b2 = borrow ? sub_1(high, high, highn, borrow) : 0;
+        CAMP_ASSERT(b2 == 0);
+        v[p].n = normalized_size(v[p].p, v[p].n);
+    }
+
+    // Forward differences in place: after pass j, v[t] = Delta^j w(t - j)
+    // for t >= j; all differences of a nonneg-coefficient polynomial at
+    // nonneg points are nonneg, so plain unsigned subtraction suffices.
+    for (unsigned j = 1; j < npoints; ++j) {
+        for (unsigned t = npoints - 1; t >= j; --t) {
+            CAMP_ASSERT(cmp(v[t].p, v[t].n, v[t - 1].p, v[t - 1].n) >= 0);
+            const Limb borrow =
+                sub(v[t].p, v[t].p, v[t].n, v[t - 1].p, v[t - 1].n);
+            CAMP_ASSERT(borrow == 0);
+            v[t].n = normalized_size(v[t].p, v[t].n);
+        }
+    }
+
+    // Falling-factorial coefficients b_j = Delta^j w(0) / j!.
+    Limb factorial = 1;
+    for (unsigned j = 2; j < npoints; ++j) {
+        factorial *= j;
+        divexact_small(v[j].p, v[j].p, v[j].n, factorial);
+        v[j].n = normalized_size(v[j].p, v[j].n);
+    }
+
+    // Monomial coefficients c_i = sum_j b_j * s(j, i), then recompose
+    // r = sum_i c_i * B^(i*m). c_i >= 0 even though s(j, i) alternates.
+    static const auto stirling = stirling_first_kind();
+    std::vector<Limb> cpos(vn_cap + 1), cneg(vn_cap + 1);
+    for (unsigned i = 0; i < npoints; ++i) {
+        std::size_t pn = 0, nn = 0;
+        zero(cpos.data(), cpos.size());
+        zero(cneg.data(), cneg.size());
+        for (unsigned j = i; j < npoints; ++j) {
+            const std::int64_t s = stirling[j][i];
+            if (s == 0 || v[j].n == 0)
+                continue;
+            Limb* acc = s > 0 ? cpos.data() : cneg.data();
+            std::size_t& accn = s > 0 ? pn : nn;
+            const Limb scalar = static_cast<Limb>(s > 0 ? s : -s);
+            if (accn < v[j].n) {
+                zero(acc + accn, v[j].n - accn);
+                accn = v[j].n;
+            }
+            Limb carry = addmul_1(acc, v[j].p, v[j].n, scalar);
+            if (v[j].n < accn)
+                carry = add_1(acc + v[j].n, acc + v[j].n, accn - v[j].n,
+                              carry);
+            if (carry) {
+                CAMP_ASSERT(accn < cpos.size());
+                acc[accn++] = carry;
+            }
+        }
+        if (nn > 0) {
+            CAMP_ASSERT(pn >= nn &&
+                        cmp(cpos.data(), pn, cneg.data(), nn) >= 0);
+            const Limb borrow = sub(cpos.data(), cpos.data(), pn,
+                                    cneg.data(), nn);
+            CAMP_ASSERT(borrow == 0);
+        }
+        pn = normalized_size(cpos.data(), pn);
+        if (pn == 0)
+            continue;
+        const std::size_t off = static_cast<std::size_t>(i) * m;
+        CAMP_ASSERT(off + pn <= rn);
+        const Limb carry = add(rp + off, rp + off, rn - off,
+                               cpos.data(), pn);
+        CAMP_ASSERT(carry == 0);
+    }
+    if (ctopn != 0) {
+        const std::size_t off = static_cast<std::size_t>(d) * m;
+        CAMP_ASSERT(off + ctopn <= rn);
+        const Limb carry = add(rp + off, rp + off, rn - off,
+                               ctop.data(), ctopn);
+        CAMP_ASSERT(carry == 0);
+    }
+}
+
+} // namespace camp::mpn

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Natural: an arbitrary-precision natural number value type over the mpn
+ * kernels — the public face of the GMP-MPN-equivalent layer (Figure 1's
+ * "Library for naturals").
+ */
+#ifndef CAMP_MPN_NATURAL_HPP
+#define CAMP_MPN_NATURAL_HPP
+
+#include <compare>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "mpn/limb.hpp"
+
+namespace camp::mpn {
+
+/**
+ * Arbitrary-precision natural number. The limb vector is always
+ * normalized (no high zero limbs); zero is the empty vector.
+ */
+class Natural
+{
+  public:
+    /** Zero. */
+    Natural() = default;
+
+    /** From a machine word. */
+    Natural(std::uint64_t v) // NOLINT: implicit by design, like GMP
+    {
+        if (v != 0)
+            limbs_.push_back(v);
+    }
+
+    /** From a decimal string; throws std::invalid_argument on bad input. */
+    static Natural from_decimal(std::string_view s);
+
+    /** From a hexadecimal string (no 0x prefix). */
+    static Natural from_hex(std::string_view s);
+
+    /** From a little-endian limb vector (normalizes). */
+    static Natural from_limbs(std::vector<Limb> limbs);
+
+    /** Uniformly random value with exactly @p bits significant bits. */
+    template <typename RngT>
+    static Natural
+    random_bits(RngT& rng, std::uint64_t bits)
+    {
+        if (bits == 0)
+            return Natural();
+        std::vector<Limb> v(limbs_for_bits(bits));
+        for (auto& limb : v)
+            limb = rng.next();
+        const unsigned top = static_cast<unsigned>((bits - 1) % 64);
+        v.back() &= top == 63 ? kLimbMax
+                              : ((static_cast<Limb>(1) << (top + 1)) - 1);
+        v.back() |= static_cast<Limb>(1) << top;
+        return from_limbs(std::move(v));
+    }
+
+    bool is_zero() const { return limbs_.empty(); }
+    bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+
+    /** Size in limbs (0 for zero). */
+    std::size_t size() const { return limbs_.size(); }
+
+    /** Number of significant bits (0 for zero). */
+    std::uint64_t bits() const;
+
+    /** Limb i (0 beyond the top). */
+    Limb
+    limb(std::size_t i) const
+    {
+        return i < limbs_.size() ? limbs_[i] : 0;
+    }
+
+    /** Bit i (0 = LSB; 0 beyond the top). */
+    bool bit(std::uint64_t i) const;
+
+    const Limb* data() const { return limbs_.data(); }
+    const std::vector<Limb>& limbs() const { return limbs_; }
+
+    /** Low 64 bits of the value. */
+    std::uint64_t
+    to_uint64() const
+    {
+        return limbs_.empty() ? 0 : limbs_[0];
+    }
+
+    /** Value as double (may overflow to inf). */
+    double to_double() const;
+
+    std::string to_decimal() const;
+    std::string to_hex() const;
+
+    friend Natural operator+(const Natural& a, const Natural& b);
+    /** Natural subtraction; throws std::invalid_argument if a < b. */
+    friend Natural operator-(const Natural& a, const Natural& b);
+    friend Natural operator*(const Natural& a, const Natural& b);
+    friend Natural operator/(const Natural& a, const Natural& b);
+    friend Natural operator%(const Natural& a, const Natural& b);
+    friend Natural operator<<(const Natural& a, std::uint64_t cnt);
+    friend Natural operator>>(const Natural& a, std::uint64_t cnt);
+    friend Natural operator&(const Natural& a, const Natural& b);
+    friend Natural operator|(const Natural& a, const Natural& b);
+    friend Natural operator^(const Natural& a, const Natural& b);
+
+    Natural& operator+=(const Natural& b) { return *this = *this + b; }
+    Natural& operator-=(const Natural& b) { return *this = *this - b; }
+    Natural& operator*=(const Natural& b) { return *this = *this * b; }
+    Natural& operator<<=(std::uint64_t c) { return *this = *this << c; }
+    Natural& operator>>=(std::uint64_t c) { return *this = *this >> c; }
+
+    friend bool
+    operator==(const Natural& a, const Natural& b)
+    {
+        return a.limbs_ == b.limbs_;
+    }
+    friend std::strong_ordering operator<=>(const Natural& a,
+                                            const Natural& b);
+
+    /** Quotient and remainder in one division; throws on b == 0. */
+    static std::pair<Natural, Natural> divrem(const Natural& a,
+                                              const Natural& b);
+
+    /** floor(sqrt(a)) and the remainder a - s^2. */
+    static std::pair<Natural, Natural> sqrtrem(const Natural& a);
+
+    /** floor(sqrt(a)). */
+    static Natural isqrt(const Natural& a);
+
+    /** a^e by binary exponentiation. */
+    static Natural pow(const Natural& a, std::uint64_t e);
+
+    /** 10^e (cached internally for string conversion). */
+    static Natural pow10(std::uint64_t e);
+
+    /** Number of set bits. */
+    std::uint64_t popcount() const;
+
+    /** Index of the lowest set bit (0 = LSB); undefined semantics for
+     * zero are avoided by returning bits() (i.e. one past the top). */
+    std::uint64_t scan1() const;
+
+    /** Number of trailing zero bits (== scan1 for nonzero values). */
+    std::uint64_t trailing_zeros() const;
+
+    /** Little-endian byte serialization (empty for zero). */
+    std::vector<std::uint8_t> to_bytes() const;
+
+    /** Parse little-endian bytes. */
+    static Natural from_bytes(const std::uint8_t* data,
+                              std::size_t size);
+
+    /** Greatest common divisor (binary GCD). */
+    static Natural gcd(Natural a, Natural b);
+
+  private:
+    void normalize();
+
+    std::vector<Limb> limbs_;
+};
+
+} // namespace camp::mpn
+
+#endif // CAMP_MPN_NATURAL_HPP

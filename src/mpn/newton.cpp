@@ -1,0 +1,87 @@
+#include "mpn/newton.hpp"
+
+#include <stdexcept>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace camp::mpn {
+
+Natural
+newton_reciprocal(const Natural& d, std::uint64_t extra)
+{
+    if (d.is_zero())
+        throw std::invalid_argument("newton_reciprocal: zero divisor");
+    const std::uint64_t bits = d.bits();
+    const std::uint64_t m = bits + extra;
+
+    // Small targets: direct division is cheaper than iterating.
+    if (extra < 64 || bits <= 64) {
+        return ((Natural(1) << m) / d);
+    }
+
+    // 63-good-bit seed from the top 64 divisor bits (rounded up so the
+    // seed under-approximates and the first iterations stay stable).
+    const std::uint64_t dtop =
+        (d >> (bits - 64)).to_uint64();
+    const u128 seed128 =
+        ((static_cast<u128>(1) << 127)) / (static_cast<u128>(dtop) + 1);
+    // seed128 ~ 2^(63 + bits) / d; rescale to 2^m / d.
+    Natural x = Natural(static_cast<std::uint64_t>(seed128 >> 64)) << 64 |
+                Natural(static_cast<std::uint64_t>(seed128));
+    CAMP_ASSERT(m >= bits + 63);
+    x = x << (m - bits - 63);
+
+    // Quadratic convergence: ~log2(m / 60) + 2 iterations suffice.
+    const int iterations = ceil_log2(m / 60 + 2) + 2;
+    for (int i = 0; i < iterations; ++i) {
+        const Natural dxx = d * (x * x);
+        const Natural two_x = x << 1;
+        const Natural sub = dxx >> m;
+        // x' = 2x - d x^2 / 2^m; clamp defensively (cannot underflow
+        // once x underestimates, but the seed rounding is coarse).
+        x = two_x > sub ? two_x - sub : Natural(1);
+    }
+
+    // Exact correction to the floor: 0 <= 2^m - d*x < d.
+    const Natural pow = Natural(1) << m;
+    Natural dx = d * x;
+    int guard = 0;
+    while (dx > pow) {
+        // Overshoot: step down proportionally, then by ones.
+        const Natural excess = (dx - pow) / d + Natural(1);
+        x -= excess;
+        dx = d * x;
+        CAMP_ASSERT(++guard < 8);
+    }
+    guard = 0;
+    while (pow - dx >= d) {
+        const Natural deficit = (pow - dx) / d;
+        x += deficit;
+        dx = d * x;
+        CAMP_ASSERT(++guard < 8);
+    }
+    return x;
+}
+
+std::pair<Natural, Natural>
+divrem_newton(const Natural& a, const Natural& d)
+{
+    if (d.is_zero())
+        throw std::invalid_argument("divrem_newton: division by zero");
+    if (a < d)
+        return {Natural(), a};
+    const std::uint64_t extra = a.bits() - d.bits() + 3;
+    const Natural x = newton_reciprocal(d, extra);
+    Natural q = (a * x) >> (d.bits() + extra);
+    Natural r = a - q * d; // x is a floor, so q never overestimates
+    int guard = 0;
+    while (r >= d) {
+        q += Natural(1);
+        r -= d;
+        CAMP_ASSERT(++guard < 8);
+    }
+    return {std::move(q), std::move(r)};
+}
+
+} // namespace camp::mpn

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Newton–Raphson reciprocal and division (paper §II-A lists
+ * Newton-Raphson among the iterative methods the APC stack decomposes
+ * high-level functions with). The reciprocal iteration
+ *     x' = 2x - d*x^2 / 2^m
+ * converges quadratically from a 64-bit seed; the quotient follows by
+ * one multiplication and a bounded correction. This implementation
+ * iterates at full precision (O(M(n) log n)) with an exact final
+ * correction — the alternative fast-division route next to
+ * Burnikel–Ziegler in div.cpp.
+ */
+#ifndef CAMP_MPN_NEWTON_HPP
+#define CAMP_MPN_NEWTON_HPP
+
+#include <cstdint>
+#include <utility>
+
+#include "mpn/natural.hpp"
+
+namespace camp::mpn {
+
+/**
+ * Exact scaled reciprocal: floor(2^(bits(d) + extra) / d) for d > 0.
+ * Newton iteration plus a final exact correction.
+ */
+Natural newton_reciprocal(const Natural& d, std::uint64_t extra);
+
+/** Division with remainder via the Newton reciprocal; same contract as
+ * Natural::divrem. */
+std::pair<Natural, Natural> divrem_newton(const Natural& a,
+                                          const Natural& d);
+
+} // namespace camp::mpn
+
+#endif // CAMP_MPN_NEWTON_HPP

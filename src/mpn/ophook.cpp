@@ -1,0 +1,78 @@
+#include "mpn/ophook.hpp"
+
+#include <array>
+#include <cstddef>
+
+#include "support/assert.hpp"
+
+namespace camp::mpn {
+
+namespace {
+
+std::array<OpHook*, 4> g_hooks{};
+std::size_t g_hook_count = 0;
+
+} // namespace
+
+const char*
+op_kind_name(OpKind kind)
+{
+    switch (kind) {
+    case OpKind::Mul: return "Mul";
+    case OpKind::Sqr: return "Sqr";
+    case OpKind::Add: return "Add";
+    case OpKind::Sub: return "Sub";
+    case OpKind::Shift: return "Shift";
+    case OpKind::Div: return "Div";
+    case OpKind::Sqrt: return "Sqrt";
+    case OpKind::Gcd: return "Gcd";
+    case OpKind::Other: return "Other";
+    }
+    return "?";
+}
+
+void
+add_op_hook(OpHook* hook)
+{
+    CAMP_ASSERT(g_hook_count < g_hooks.size());
+    g_hooks[g_hook_count++] = hook;
+}
+
+void
+remove_op_hook(OpHook* hook)
+{
+    for (std::size_t i = 0; i < g_hook_count; ++i) {
+        if (g_hooks[i] == hook) {
+            for (std::size_t j = i + 1; j < g_hook_count; ++j)
+                g_hooks[j - 1] = g_hooks[j];
+            --g_hook_count;
+            return;
+        }
+    }
+    CAMP_ASSERT_MSG(false, "remove_op_hook: hook not registered");
+}
+
+bool
+op_hooks_active()
+{
+    return g_hook_count != 0;
+}
+
+OpScope::OpScope(OpKind kind, std::uint64_t bits_a, std::uint64_t bits_b)
+    : kind_(kind), active_(g_hook_count != 0)
+{
+    if (!active_)
+        return;
+    for (std::size_t i = 0; i < g_hook_count; ++i)
+        g_hooks[i]->on_enter(kind, bits_a, bits_b);
+}
+
+OpScope::~OpScope()
+{
+    if (!active_)
+        return;
+    for (std::size_t i = g_hook_count; i-- > 0;)
+        g_hooks[i]->on_exit(kind_);
+}
+
+} // namespace camp::mpn

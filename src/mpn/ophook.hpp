@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Operation observation hooks. Natural's operators announce kernel
+ * operations (Multiply, Add, Shift, ... — the paper's Figure 2 operator
+ * classes) to registered hooks, which the profiler (Fig. 2 breakdown)
+ * and the MPApca cost ledger (Fig. 13 simulated time/energy) implement.
+ * With no hooks registered the overhead is one branch per operation.
+ */
+#ifndef CAMP_MPN_OPHOOK_HPP
+#define CAMP_MPN_OPHOOK_HPP
+
+#include <cstdint>
+
+namespace camp::mpn {
+
+/** Kernel / low-level operator kinds at the Natural API boundary. */
+enum class OpKind
+{
+    Mul,
+    Sqr,
+    Add,
+    Sub,
+    Shift,
+    Div,
+    Sqrt,
+    Gcd,
+    Other,
+};
+
+/** Human-readable name for an OpKind. */
+const char* op_kind_name(OpKind kind);
+
+/** Observer interface for Natural-level operations. */
+class OpHook
+{
+  public:
+    virtual ~OpHook() = default;
+
+    /** Called before the operation; bits are operand bit sizes. */
+    virtual void on_enter(OpKind kind, std::uint64_t bits_a,
+                          std::uint64_t bits_b) = 0;
+
+    /** Called after the operation completes. */
+    virtual void on_exit(OpKind kind) = 0;
+};
+
+/** Register / unregister a hook (max 4; not thread safe by design —
+ * instrumented runs are single threaded like the paper's baseline). */
+void add_op_hook(OpHook* hook);
+void remove_op_hook(OpHook* hook);
+
+/** True if any hook is registered (fast path check). */
+bool op_hooks_active();
+
+/** RAII scope announcing one operation to all hooks. */
+class OpScope
+{
+  public:
+    OpScope(OpKind kind, std::uint64_t bits_a, std::uint64_t bits_b);
+    ~OpScope();
+
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+
+  private:
+    OpKind kind_;
+    bool active_;
+};
+
+} // namespace camp::mpn
+
+#endif // CAMP_MPN_OPHOOK_HPP

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Integer square root with remainder via Zimmermann's Karatsuba square
+ * root [61] — the algorithm the paper cites for GMP's sqrt of naturals.
+ */
+#ifndef CAMP_MPN_SQRT_HPP
+#define CAMP_MPN_SQRT_HPP
+
+#include <cstddef>
+
+#include "mpn/limb.hpp"
+
+namespace camp::mpn {
+
+/**
+ * Compute s = floor(sqrt(a)) and r = a - s^2.
+ *
+ * @param sp  ceil(an / 2) limbs
+ * @param rp  an limbs (zero padded); may be null if the remainder is
+ *            not wanted
+ * @param ap  an limbs, an >= 1
+ * @return    normalized size of the remainder
+ */
+std::size_t sqrtrem(Limb* sp, Limb* rp, const Limb* ap, std::size_t an);
+
+} // namespace camp::mpn
+
+#endif // CAMP_MPN_SQRT_HPP

@@ -1,0 +1,93 @@
+#include "mpq/rational.hpp"
+
+#include <stdexcept>
+
+#include "mpn/extra.hpp"
+#include "support/assert.hpp"
+
+namespace camp::mpq {
+
+Rational::Rational(Integer num, Natural den)
+    : num_(std::move(num)), den_(std::move(den))
+{
+    if (den_.is_zero())
+        throw std::invalid_argument("Rational: zero denominator");
+    canonicalize();
+}
+
+void
+Rational::canonicalize()
+{
+    if (num_.is_zero()) {
+        den_ = Natural(1);
+        return;
+    }
+    // Lehmer's algorithm: canonicalization gcds run on full-size
+    // numerators/denominators where binary gcd's O(n^2) bit steps bite.
+    const Natural g = mpn::gcd_lehmer(num_.abs(), den_);
+    if (g != Natural(1)) {
+        num_ = Integer(num_.abs() / g, num_.is_negative());
+        den_ = den_ / g;
+    }
+}
+
+Rational
+operator+(const Rational& a, const Rational& b)
+{
+    return {a.num_ * Integer(b.den_) + b.num_ * Integer(a.den_),
+            a.den_ * b.den_};
+}
+
+Rational
+operator-(const Rational& a, const Rational& b)
+{
+    return a + (-b);
+}
+
+Rational
+operator*(const Rational& a, const Rational& b)
+{
+    return {a.num_ * b.num_, a.den_ * b.den_};
+}
+
+Rational
+operator/(const Rational& a, const Rational& b)
+{
+    if (b.is_zero())
+        throw std::invalid_argument("Rational division by zero");
+    const bool neg = a.num_.is_negative() != b.num_.is_negative();
+    return {Integer(a.num_.abs() * b.den_, neg),
+            a.den_ * b.num_.abs()};
+}
+
+std::strong_ordering
+operator<=>(const Rational& a, const Rational& b)
+{
+    // a/c <=> b/d == a*d <=> b*c for positive c, d.
+    return a.num_ * Integer(b.den_) <=> b.num_ * Integer(a.den_);
+}
+
+std::string
+Rational::to_decimal(std::uint64_t digits) const
+{
+    const Natural scaled = num_.abs() * Natural::pow10(digits) / den_;
+    std::string s = scaled.to_decimal();
+    if (s.size() <= digits)
+        s.insert(0, digits + 1 - s.size(), '0');
+    s.insert(s.size() - digits, ".");
+    if (num_.is_negative())
+        s.insert(0, "-");
+    return s;
+}
+
+double
+Rational::to_double() const
+{
+    // Scale to ~64 extra bits of quotient before converting.
+    const std::uint64_t shift = 64;
+    const Natural q = (num_.abs() << shift) / den_;
+    const double v = q.to_double() / 18446744073709551616.0;
+    return num_.is_negative() ? -v : v;
+}
+
+} // namespace camp::mpq

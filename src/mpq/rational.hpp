@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Rational: canonicalized fractions over Integer/Natural — the
+ * GMP-MPQ-equivalent layer used by binary-splitting style algorithms
+ * (Figure 1's "Library for rationals").
+ */
+#ifndef CAMP_MPQ_RATIONAL_HPP
+#define CAMP_MPQ_RATIONAL_HPP
+
+#include <string>
+#include <utility>
+
+#include "mpz/integer.hpp"
+
+namespace camp::mpq {
+
+using mpn::Natural;
+using mpz::Integer;
+
+/** Arbitrary-precision rational number, always in lowest terms. */
+class Rational
+{
+  public:
+    /** Zero. */
+    Rational() : den_(1) {}
+
+    Rational(Integer v) : num_(std::move(v)), den_(1) {} // NOLINT
+    Rational(std::int64_t v) : num_(v), den_(1) {}       // NOLINT
+
+    /** num / den; throws std::invalid_argument on zero denominator. */
+    Rational(Integer num, Natural den);
+
+    const Integer& num() const { return num_; }
+    const Natural& den() const { return den_; }
+    bool is_zero() const { return num_.is_zero(); }
+
+    friend Rational operator-(const Rational& a)
+    {
+        Rational r;
+        r.num_ = -a.num_;
+        r.den_ = a.den_;
+        return r;
+    }
+    friend Rational operator+(const Rational& a, const Rational& b);
+    friend Rational operator-(const Rational& a, const Rational& b);
+    friend Rational operator*(const Rational& a, const Rational& b);
+    friend Rational operator/(const Rational& a, const Rational& b);
+
+    friend bool
+    operator==(const Rational& a, const Rational& b)
+    {
+        return a.num_ == b.num_ && a.den_ == b.den_;
+    }
+    friend std::strong_ordering operator<=>(const Rational& a,
+                                            const Rational& b);
+
+    /** Decimal expansion truncated to @p digits fractional digits. */
+    std::string to_decimal(std::uint64_t digits) const;
+
+    double to_double() const;
+
+  private:
+    void canonicalize();
+
+    Integer num_;
+    Natural den_; ///< > 0
+};
+
+} // namespace camp::mpq
+
+#endif // CAMP_MPQ_RATIONAL_HPP

@@ -1,0 +1,238 @@
+#include "mpz/integer.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "mpn/basic.hpp"
+#include "mpn/mont.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace camp::mpz {
+
+Integer
+Integer::from_decimal(std::string_view s)
+{
+    if (s.empty())
+        throw std::invalid_argument("Integer::from_decimal: empty");
+    bool neg = false;
+    if (s.front() == '-') {
+        neg = true;
+        s.remove_prefix(1);
+    }
+    return {Natural::from_decimal(s), neg};
+}
+
+std::int64_t
+Integer::to_int64() const
+{
+    const auto v = static_cast<std::int64_t>(mag_.to_uint64());
+    return negative_ ? -v : v;
+}
+
+double
+Integer::to_double() const
+{
+    const double v = mag_.to_double();
+    return negative_ ? -v : v;
+}
+
+std::string
+Integer::to_decimal() const
+{
+    return negative_ ? "-" + mag_.to_decimal() : mag_.to_decimal();
+}
+
+Integer
+operator+(const Integer& a, const Integer& b)
+{
+    if (a.negative_ == b.negative_)
+        return {a.mag_ + b.mag_, a.negative_};
+    // Opposite signs: larger magnitude wins.
+    if (a.mag_ >= b.mag_)
+        return {a.mag_ - b.mag_, a.negative_};
+    return {b.mag_ - a.mag_, b.negative_};
+}
+
+Integer
+operator-(const Integer& a, const Integer& b)
+{
+    return a + (-b);
+}
+
+Integer
+operator*(const Integer& a, const Integer& b)
+{
+    return {a.mag_ * b.mag_, a.negative_ != b.negative_};
+}
+
+std::pair<Integer, Integer>
+Integer::divrem(const Integer& a, const Integer& b)
+{
+    auto [q, r] = Natural::divrem(a.mag_, b.mag_);
+    return {Integer(std::move(q), a.negative_ != b.negative_),
+            Integer(std::move(r), a.negative_)};
+}
+
+Integer
+operator/(const Integer& a, const Integer& b)
+{
+    return Integer::divrem(a, b).first;
+}
+
+Integer
+operator%(const Integer& a, const Integer& b)
+{
+    return Integer::divrem(a, b).second;
+}
+
+Integer
+operator<<(const Integer& a, std::uint64_t cnt)
+{
+    return {a.mag_ << cnt, a.negative_};
+}
+
+Integer
+operator>>(const Integer& a, std::uint64_t cnt)
+{
+    return {a.mag_ >> cnt, a.negative_};
+}
+
+std::strong_ordering
+operator<=>(const Integer& a, const Integer& b)
+{
+    if (a.negative_ != b.negative_)
+        return a.negative_ ? std::strong_ordering::less
+                           : std::strong_ordering::greater;
+    const auto mag_order = a.mag_ <=> b.mag_;
+    if (!a.negative_)
+        return mag_order;
+    if (mag_order == std::strong_ordering::less)
+        return std::strong_ordering::greater;
+    if (mag_order == std::strong_ordering::greater)
+        return std::strong_ordering::less;
+    return std::strong_ordering::equal;
+}
+
+Natural
+Integer::mod(const Integer& a, const Natural& m)
+{
+    Natural r = a.mag_ % m;
+    if (a.negative_ && !r.is_zero())
+        r = m - r;
+    return r;
+}
+
+Integer
+Integer::pow(const Integer& a, std::uint64_t e)
+{
+    return {Natural::pow(a.mag_, e), a.negative_ && (e & 1)};
+}
+
+Natural
+Integer::powmod(const Natural& base, const Natural& exp, const Natural& m)
+{
+    if (m.is_zero())
+        throw std::invalid_argument("Integer::powmod: zero modulus");
+    if (m == Natural(1))
+        return Natural();
+    if (exp.is_zero())
+        return Natural(1);
+    const Natural b = base % m;
+    if (m.is_odd()) {
+        // Montgomery left-to-right binary ladder.
+        const mpn::MontCtx ctx(m.data(), m.size());
+        const std::size_t nn = ctx.size();
+        std::vector<mpn::Limb> x(nn, 0), xm(nn), acc(nn), t(nn);
+        mpn::copy(x.data(), b.data(), b.size());
+        ctx.to_mont(xm.data(), x.data());
+        mpn::copy(acc.data(), ctx.one(), nn);
+        for (std::uint64_t i = exp.bits(); i-- > 0;) {
+            ctx.mul(t.data(), acc.data(), acc.data());
+            acc = t;
+            if (exp.bit(i)) {
+                ctx.mul(t.data(), acc.data(), xm.data());
+                acc = t;
+            }
+        }
+        std::vector<mpn::Limb> r(nn);
+        ctx.from_mont(r.data(), acc.data());
+        return Natural::from_limbs(std::move(r));
+    }
+    // Even modulus: plain square-and-mod ladder.
+    Natural acc(1);
+    for (std::uint64_t i = exp.bits(); i-- > 0;) {
+        acc = (acc * acc) % m;
+        if (exp.bit(i))
+            acc = (acc * b) % m;
+    }
+    return acc;
+}
+
+Natural
+Integer::invmod(const Natural& a, const Natural& m)
+{
+    // Extended Euclid on (a mod m, m) with signed Bezout coefficients.
+    if (m.is_zero())
+        throw std::invalid_argument("Integer::invmod: zero modulus");
+    Integer r0(a % m), r1(m);
+    Integer s0(1), s1(0);
+    while (!r1.is_zero()) {
+        auto [q, r] = Integer::divrem(r0, r1);
+        const Integer s2 = s0 - q * s1;
+        r0 = r1;
+        r1 = r;
+        s0 = s1;
+        s1 = s2;
+    }
+    if (r0.abs() != Natural(1))
+        throw std::invalid_argument("Integer::invmod: not invertible");
+    return Integer::mod(s0, m);
+}
+
+bool
+Integer::is_probable_prime(const Natural& n, int rounds,
+                           std::uint64_t seed)
+{
+    if (n < Natural(2))
+        return false;
+    for (std::uint64_t p : {2u, 3u, 5u, 7u, 11u, 13u, 17u, 19u, 23u,
+                            29u, 31u, 37u}) {
+        if (n == Natural(p))
+            return true;
+        if ((n % Natural(p)).is_zero())
+            return false;
+    }
+    // n - 1 = d * 2^s with d odd.
+    const Natural nm1 = n - Natural(1);
+    std::uint64_t s = 0;
+    Natural d = nm1;
+    while (!d.is_odd()) {
+        d >>= 1;
+        ++s;
+    }
+    Rng rng(seed);
+    for (int round = 0; round < rounds; ++round) {
+        // Uniform base in [2, n - 2]; bias from modding is irrelevant
+        // for the error bound.
+        Natural base =
+            Natural::random_bits(rng, n.bits()) % (n - Natural(3));
+        base += Natural(2);
+        Natural x = powmod(base, d, n);
+        if (x == Natural(1) || x == nm1)
+            continue;
+        bool witness = true;
+        for (std::uint64_t i = 1; i < s; ++i) {
+            x = (x * x) % n;
+            if (x == nm1) {
+                witness = false;
+                break;
+            }
+        }
+        if (witness)
+            return false;
+    }
+    return true;
+}
+
+} // namespace camp::mpz

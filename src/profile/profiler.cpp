@@ -1,0 +1,168 @@
+#include "profile/profiler.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+#include "support/table.hpp"
+
+namespace camp::profile {
+
+double
+now_seconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+const char*
+category_name(Category c)
+{
+    switch (c) {
+    case Category::KernelMul: return "Multiply";
+    case Category::KernelAdd: return "Add/Sub";
+    case Category::KernelShift: return "Shift";
+    case Category::LowLevelOther: return "OtherLowLevel";
+    case Category::HighLevel: return "HighLevel";
+    case Category::Auxiliary: return "Auxiliary";
+    }
+    return "?";
+}
+
+Category
+category_of(mpn::OpKind kind)
+{
+    using mpn::OpKind;
+    switch (kind) {
+    case OpKind::Mul:
+    case OpKind::Sqr:
+        return Category::KernelMul;
+    case OpKind::Add:
+    case OpKind::Sub:
+        return Category::KernelAdd;
+    case OpKind::Shift:
+        return Category::KernelShift;
+    default:
+        return Category::LowLevelOther;
+    }
+}
+
+Profiler&
+Profiler::instance()
+{
+    static Profiler profiler;
+    return profiler;
+}
+
+void
+Profiler::reset()
+{
+    seconds_.fill(0);
+    calls_.fill(0);
+    depth_ = 0;
+    last_stamp_ = now_seconds();
+    histogram_.clear();
+}
+
+void
+Profiler::switch_to(int new_depth)
+{
+    // Attribute the elapsed slice to the currently-innermost category
+    // (HighLevel when the stack is empty), then move the stack top.
+    const double now = now_seconds();
+    const Category current =
+        depth_ == 0 ? Category::HighLevel : stack_[depth_ - 1];
+    seconds_[static_cast<int>(current)] += now - last_stamp_;
+    last_stamp_ = now;
+    depth_ = new_depth;
+}
+
+void
+Profiler::push_category(Category c)
+{
+    CAMP_ASSERT(depth_ < kMaxDepth);
+    switch_to(depth_ + 1);
+    stack_[depth_ - 1] = c;
+    calls_[static_cast<int>(c)] += 1;
+}
+
+void
+Profiler::pop_category()
+{
+    CAMP_ASSERT(depth_ > 0);
+    switch_to(depth_ - 1);
+}
+
+void
+Profiler::on_enter(mpn::OpKind kind, std::uint64_t bits_a,
+                   std::uint64_t bits_b)
+{
+    push_category(category_of(kind));
+    const unsigned bucket =
+        bits_a == 0 ? 0 : static_cast<unsigned>(floor_log2(bits_a));
+    OpBucket& b = histogram_[{kind, bucket}];
+    b.count += 1;
+    b.sum_bits_a += static_cast<double>(bits_a);
+    b.sum_bits_b += static_cast<double>(bits_b);
+}
+
+void
+Profiler::on_exit(mpn::OpKind)
+{
+    pop_category();
+}
+
+double
+Profiler::seconds(Category c) const
+{
+    return seconds_[static_cast<int>(c)];
+}
+
+std::uint64_t
+Profiler::calls(Category c) const
+{
+    return calls_[static_cast<int>(c)];
+}
+
+double
+Profiler::total_seconds() const
+{
+    double total = 0;
+    for (const double s : seconds_)
+        total += s;
+    return total;
+}
+
+std::string
+Profiler::breakdown_table(const std::string& label) const
+{
+    Table table({"category", "seconds", "share", "calls"});
+    const double total = total_seconds();
+    for (int i = 0; i < kNumCategories; ++i) {
+        const auto c = static_cast<Category>(i);
+        char share[32];
+        std::snprintf(share, sizeof(share), "%5.1f%%",
+                      total > 0 ? 100.0 * seconds(c) / total : 0.0);
+        table.add_row({category_name(c), Table::fmt(seconds(c)), share,
+                       std::to_string(calls(c))});
+    }
+    std::ostringstream out;
+    out << "== runtime breakdown: " << label << " ==\n"
+        << table.to_string();
+    return out.str();
+}
+
+ProfileSession::ProfileSession()
+{
+    Profiler::instance().reset();
+    mpn::add_op_hook(&Profiler::instance());
+}
+
+ProfileSession::~ProfileSession()
+{
+    mpn::remove_op_hook(&Profiler::instance());
+}
+
+} // namespace camp::profile

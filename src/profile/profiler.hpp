@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Operator profiler reproducing the paper's Figure 2 methodology: wall
+ * time is attributed exclusively to the innermost active category, with
+ * kernel operators (Multiply / Add / Shift) separated from other
+ * low-level operators, high-level processing, and auxiliary work.
+ * It also aggregates an operation histogram (kind x size bucket) that
+ * the batch-oriented GPU cost model replays.
+ */
+#ifndef CAMP_PROFILE_PROFILER_HPP
+#define CAMP_PROFILE_PROFILER_HPP
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "mpn/ophook.hpp"
+
+namespace camp::profile {
+
+/** Figure 2 categories. */
+enum class Category
+{
+    KernelMul,     ///< Multiply (includes squaring)
+    KernelAdd,     ///< Add / Sub
+    KernelShift,   ///< bit shifts
+    LowLevelOther, ///< division, sqrt, gcd, ...
+    HighLevel,     ///< sign/exponent/float management (default bucket)
+    Auxiliary,     ///< memory management, I/O, string conversion
+};
+
+inline constexpr int kNumCategories = 6;
+
+/** Category display name. */
+const char* category_name(Category c);
+
+/** Category a kernel OpKind belongs to. */
+Category category_of(mpn::OpKind kind);
+
+/** Aggregated per-(kind, size-bucket) operation counts. */
+struct OpBucket
+{
+    std::uint64_t count = 0;
+    double sum_bits_a = 0; ///< to recover mean operand size
+    double sum_bits_b = 0;
+};
+
+/**
+ * Exclusive-time profiler. Install on the mpn hook list with
+ * ProfileSession; annotate app phases with CategoryScope.
+ */
+class Profiler : public mpn::OpHook
+{
+  public:
+    static Profiler& instance();
+
+    void reset();
+
+    /** Exclusive seconds attributed to @p c so far. */
+    double seconds(Category c) const;
+
+    /** Total profiled seconds across all categories. */
+    double total_seconds() const;
+
+    /** Calls observed per category. */
+    std::uint64_t calls(Category c) const;
+
+    /** Operation histogram: key = (kind, floor(log2(bits_a))). */
+    const std::map<std::pair<mpn::OpKind, unsigned>, OpBucket>&
+    histogram() const
+    {
+        return histogram_;
+    }
+
+    /** Render the Fig. 2 (right) style breakdown table. */
+    std::string breakdown_table(const std::string& label) const;
+
+    // OpHook interface (kernel ops from Natural).
+    void on_enter(mpn::OpKind kind, std::uint64_t bits_a,
+                  std::uint64_t bits_b) override;
+    void on_exit(mpn::OpKind kind) override;
+
+    /** Push/pop an explicit category (for HighLevel/Auxiliary phases). */
+    void push_category(Category c);
+    void pop_category();
+
+  private:
+    Profiler() = default;
+
+    void switch_to(int stack_top);
+
+    static constexpr int kMaxDepth = 64;
+    std::array<double, kNumCategories> seconds_{};
+    std::array<std::uint64_t, kNumCategories> calls_{};
+    std::array<Category, kMaxDepth> stack_{};
+    int depth_ = 0;
+    double last_stamp_ = 0;
+    std::map<std::pair<mpn::OpKind, unsigned>, OpBucket> histogram_;
+};
+
+/** RAII: register the profiler as an op hook for the current scope. */
+class ProfileSession
+{
+  public:
+    ProfileSession();
+    ~ProfileSession();
+    ProfileSession(const ProfileSession&) = delete;
+    ProfileSession& operator=(const ProfileSession&) = delete;
+};
+
+/** RAII: attribute the enclosed work to an explicit category. */
+class CategoryScope
+{
+  public:
+    explicit CategoryScope(Category c)
+    {
+        Profiler::instance().push_category(c);
+    }
+    ~CategoryScope() { Profiler::instance().pop_category(); }
+    CategoryScope(const CategoryScope&) = delete;
+    CategoryScope& operator=(const CategoryScope&) = delete;
+};
+
+/** Monotonic wall clock in seconds. */
+double now_seconds();
+
+} // namespace camp::profile
+
+#endif // CAMP_PROFILE_PROFILER_HPP

@@ -1,0 +1,132 @@
+#include "sim/analytic_model.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace camp::sim {
+
+AnalyticModel::AnalyticModel(const SimConfig& config) : config_(config) {}
+
+ScheduleCounts
+AnalyticModel::multiply_counts(std::uint64_t nx, std::uint64_t ny) const
+{
+    CAMP_ASSERT(nx >= 1 && ny >= 1);
+    // Mirror CoreController::schedule_multiply without materializing:
+    // position t contributes ceil(pairs(t) / q) tasks, dealt to PE
+    // t % n_pe. pairs(t) ramps 1..min(nx,ny), plateaus, then ramps down.
+    const std::uint64_t q = config_.q;
+    const std::uint64_t positions = nx + ny - 1;
+    ScheduleCounts counts;
+    std::vector<std::uint64_t> per_pe(config_.n_pe, 0);
+    const std::uint64_t lo_n = std::min(nx, ny);
+    for (std::uint64_t t = 0; t < positions; ++t) {
+        const std::uint64_t ramp_up = t + 1;
+        const std::uint64_t ramp_down = positions - t;
+        const std::uint64_t pairs =
+            std::min({ramp_up, ramp_down, lo_n});
+        const std::uint64_t tasks = (pairs + q - 1) / q;
+        counts.tasks += tasks;
+        per_pe[t % config_.n_pe] += tasks;
+    }
+    const std::uint64_t max_pe =
+        *std::max_element(per_pe.begin(), per_pe.end());
+    counts.waves = (max_pe + config_.n_ipu - 1) / config_.n_ipu;
+    return counts;
+}
+
+CoreStats
+AnalyticModel::multiply_stats(std::uint64_t bits_a,
+                              std::uint64_t bits_b) const
+{
+    CAMP_ASSERT(bits_a <= config_.monolithic_cap_bits &&
+                bits_b <= config_.monolithic_cap_bits);
+    CoreStats stats;
+    if (bits_a == 0 || bits_b == 0)
+        return stats;
+    const unsigned L = config_.limb_bits;
+    const std::uint64_t nx = (bits_a + L - 1) / L;
+    const std::uint64_t ny = (bits_b + L - 1) / L;
+    const ScheduleCounts counts = multiply_counts(nx, ny);
+    stats.tasks = counts.tasks;
+    stats.waves = counts.waves;
+    stats.compute_cycles = counts.waves * L;
+
+    // Event counts for the energy model; 15/16 expected nonzero index
+    // columns for dense random operands.
+    stats.ipu.selects = counts.tasks * L;
+    stats.ipu.zero_skips = stats.ipu.selects / 16;
+    stats.ipu.accum_bit_ops =
+        (stats.ipu.selects - stats.ipu.zero_skips) * (L + config_.q);
+    stats.ipu.cycles = stats.compute_cycles;
+    stats.converter.adder_bit_ops =
+        counts.tasks *
+        static_cast<std::uint64_t>(config_.patterns() - config_.q - 1) *
+        (L + config_.q);
+    stats.converter.cycles = stats.compute_cycles;
+    stats.gather.fa_bit_ops = (nx + ny) * L * 3;
+    stats.gather.latency_parallel = L + nx + ny;
+    stats.gather.latency_sequential = (nx + ny) * L;
+
+    // Rounding mirrors the CMA's per-stream accounting.
+    stats.bytes = (bits_a + 7) / 8 + (bits_b + 7) / 8 +
+                  (bits_a + bits_b + 7) / 8;
+    stats.memory_cycles = static_cast<std::uint64_t>(
+        static_cast<double>(stats.bytes) /
+            config_.llc_bytes_per_cycle() +
+        0.999999);
+    stats.cycles = std::max(stats.compute_cycles, stats.memory_cycles);
+    return stats;
+}
+
+std::uint64_t
+AnalyticModel::multiply_cycles(std::uint64_t bits_a,
+                               std::uint64_t bits_b) const
+{
+    return multiply_stats(bits_a, bits_b).cycles;
+}
+
+CoreStats
+AnalyticModel::linear_stats(std::uint64_t bits, unsigned streams) const
+{
+    CoreStats stats;
+    if (bits == 0)
+        return stats;
+    stats.bytes = (static_cast<std::uint64_t>(streams) * bits + 7) / 8;
+    stats.memory_cycles = static_cast<std::uint64_t>(
+        static_cast<double>(stats.bytes) /
+            config_.llc_bytes_per_cycle() +
+        0.999999);
+    // Bit-serial adders across PEs consume q * n_pe bits per cycle.
+    const std::uint64_t adder_bits_per_cycle =
+        static_cast<std::uint64_t>(config_.q) * config_.n_pe;
+    stats.compute_cycles = (bits + adder_bits_per_cycle - 1) /
+                           adder_bits_per_cycle;
+    stats.gather.fa_bit_ops = bits;
+    stats.cycles = std::max(stats.compute_cycles, stats.memory_cycles);
+    return stats;
+}
+
+CoreStats
+AnalyticModel::shift_stats(std::uint64_t bits) const
+{
+    // Standalone shift: stream through, no arithmetic (§V-C: timing
+    // delays/advancements).
+    return linear_stats(bits, 2);
+}
+
+double
+AnalyticModel::peak_mac64_per_s() const
+{
+    // Each IPU retires one q-element L-bit inner product per L cycles;
+    // its MAC64 equivalent is q * L^2 / 64^2 (= 1 for q=4, L=32).
+    const double tasks_per_s =
+        static_cast<double>(config_.total_ipus()) * config_.freq_ghz *
+        1e9 / config_.limb_bits;
+    const double mac64_per_task = static_cast<double>(config_.q) *
+                                  config_.limb_bits * config_.limb_bits /
+                                  (64.0 * 64.0);
+    return tasks_per_s * mac64_per_task;
+}
+
+} // namespace camp::sim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Analytic performance model of Cambricon-P, validated against the
+ * functional Core on small operands (tests/test_sim_core.cpp) and used
+ * by MPApca for large sweeps where functional simulation would be
+ * pointlessly slow. Cycle counts follow the bit-serial schedule: each
+ * wave of IPU tasks streams limb_bits index bits, and the memory agent
+ * bound applies the duty-limited LLC bandwidth (Fig. 12 roofline).
+ */
+#ifndef CAMP_SIM_ANALYTIC_MODEL_HPP
+#define CAMP_SIM_ANALYTIC_MODEL_HPP
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "sim/core.hpp"
+
+namespace camp::sim {
+
+/** Closed-form schedule counts matching CoreController. */
+struct ScheduleCounts
+{
+    std::uint64_t tasks = 0;
+    std::uint64_t waves = 0;
+};
+
+/** Analytic cycle/energy model. */
+class AnalyticModel
+{
+  public:
+    explicit AnalyticModel(const SimConfig& config = default_config());
+
+    const SimConfig& config() const { return config_; }
+
+    /** Task/wave counts for an nx-limb x ny-limb convolution
+     * (hardware L-bit limbs), matching CoreController exactly. */
+    ScheduleCounts multiply_counts(std::uint64_t nx,
+                                   std::uint64_t ny) const;
+
+    /** Synthetic statistics for one monolithic multiplication; both
+     * operands must fit the monolithic capability. */
+    CoreStats multiply_stats(std::uint64_t bits_a,
+                             std::uint64_t bits_b) const;
+
+    /** Cycles of one monolithic multiplication. */
+    std::uint64_t multiply_cycles(std::uint64_t bits_a,
+                                  std::uint64_t bits_b) const;
+
+    /** Statistics for an addition/subtraction of the given widths
+     * (bandwidth bound; carries handled by chained GUs, §V-C). */
+    CoreStats linear_stats(std::uint64_t bits, unsigned streams = 3) const;
+
+    /** Statistics for a standalone bit shift (stream copy; fused shifts
+     * are free timing offsets per §V-C). */
+    CoreStats shift_stats(std::uint64_t bits) const;
+
+    /** Equivalent 64-bit MAC operations of a multiplication (roofline
+     * performance metric). */
+    static double
+    equivalent_mac64(std::uint64_t bits_a, std::uint64_t bits_b)
+    {
+        return (static_cast<double>(bits_a) / 64.0) *
+               (static_cast<double>(bits_b) / 64.0);
+    }
+
+    /** Peak equivalent MAC64/s of the configuration. */
+    double peak_mac64_per_s() const;
+
+  private:
+    SimConfig config_;
+};
+
+} // namespace camp::sim
+
+#endif // CAMP_SIM_ANALYTIC_MODEL_HPP

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Batch-processing mode (paper §V-B3 / §VII-B): because indexes and
+ * patterns can belong to different vectors and GUs combine
+ * configurable IPU groups (Fig. 10), Cambricon-P also executes many
+ * independent small multiplications concurrently — the CGBN/V100
+ * scenario. The abstract's claim is identical batch throughput at
+ * 430x less area and 60.5x less power; bench/batch_throughput
+ * regenerates that comparison.
+ */
+#ifndef CAMP_SIM_BATCH_HPP
+#define CAMP_SIM_BATCH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "mpn/natural.hpp"
+#include "sim/core.hpp"
+
+namespace camp::sim {
+
+/** Result of a batch execution. */
+struct BatchResult
+{
+    std::vector<mpn::Natural> products;
+    std::uint64_t tasks = 0;
+    std::uint64_t waves = 0;
+    std::uint64_t cycles = 0;       ///< max(compute, memory)
+    std::uint64_t bytes = 0;
+    double seconds(const SimConfig& config) const
+    {
+        return static_cast<double>(cycles) / (config.freq_ghz * 1e9);
+    }
+    /** Amortized per-product time (the CGBN reporting convention). */
+    double
+    amortized_seconds(const SimConfig& config) const
+    {
+        return products.empty() ? 0.0
+                                : seconds(config) / products.size();
+    }
+};
+
+/** Batch executor over the same PE/IPU fabric as Core. */
+class BatchEngine
+{
+  public:
+    explicit BatchEngine(const SimConfig& config = default_config(),
+                         bool validate = true);
+
+    /**
+     * Multiply @p pairs of equal-shaped operands concurrently. All IPU
+     * tasks from all products share the fabric; waves are computed as
+     * in the monolithic mode, and each product's partial sums are
+     * gathered by its PE group's GU in the matching combine mode.
+     */
+    BatchResult
+    multiply_batch(const std::vector<std::pair<mpn::Natural,
+                                               mpn::Natural>>& pairs);
+
+  private:
+    SimConfig config_;
+    bool validate_;
+    GatherUnit gather_unit_;
+};
+
+} // namespace camp::sim
+
+#endif // CAMP_SIM_BATCH_HPP

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Bitflow: the bit-serial stream abstraction Cambricon-P datapaths are
+ * built from (one bit per cycle, LSB first). Functional units consume
+ * and produce Bitflows; the stored vector is the cycle-by-cycle trace
+ * of the corresponding wire.
+ */
+#ifndef CAMP_SIM_BITFLOW_HPP
+#define CAMP_SIM_BITFLOW_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bits.hpp"
+
+namespace camp::sim {
+
+/** A bit-serial stream, index = cycle, LSB first. */
+class Bitflow
+{
+  public:
+    Bitflow() = default;
+
+    /** Stream of @p len cycles carrying the low bits of @p value. */
+    static Bitflow
+    from_value(u128 value, std::size_t len)
+    {
+        Bitflow flow;
+        flow.bits_.resize(len);
+        for (std::size_t i = 0; i < len; ++i)
+            flow.bits_[i] =
+                static_cast<std::uint8_t>((value >> i) & 1);
+        return flow;
+    }
+
+    /** Bit at cycle @p t (0 once the stream has drained). */
+    int
+    bit(std::size_t t) const
+    {
+        return t < bits_.size() ? bits_[t] : 0;
+    }
+
+    void
+    push(int bit)
+    {
+        bits_.push_back(static_cast<std::uint8_t>(bit & 1));
+    }
+
+    std::size_t length() const { return bits_.size(); }
+
+    /** Value carried by the stream (must fit 128 bits). */
+    u128
+    value() const
+    {
+        u128 v = 0;
+        for (std::size_t i = bits_.size(); i-- > 0;)
+            v = (v << 1) | bits_[i];
+        return v;
+    }
+
+  private:
+    std::vector<std::uint8_t> bits_;
+};
+
+} // namespace camp::sim
+
+#endif // CAMP_SIM_BITFLOW_HPP

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Analytic comparison models for the Table III / Figure 11 baseline
+ * systems. We have no V100, Ice Lake, or DS/P silicon, so each
+ * comparator is a documented cost model (DESIGN.md §4):
+ *  - area/power/technology figures come straight from Table III;
+ *  - time scaling anchors at the paper's measured 4096x4096-bit point
+ *    and extrapolates with the platform's algorithmic exponent within
+ *    its applicable range.
+ */
+#ifndef CAMP_SIM_COMPARATORS_HPP
+#define CAMP_SIM_COMPARATORS_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace camp::sim {
+
+/** Static description + time model of one comparison platform. */
+struct PlatformModel
+{
+    std::string name;
+    std::string technology;
+    double area_mm2;
+    double power_w;
+    double anchor_time_s;      ///< paper-measured 4096x4096 mult time
+    double scaling_exponent;   ///< time ~ anchor * (bits/4096)^exponent
+    std::uint64_t min_bits;    ///< applicable range (0 = n/a)
+    std::uint64_t max_bits;
+    std::string note;
+
+    /** Modelled time of an N-bit x N-bit multiplication; nullopt when
+     * outside the platform's applicable range. */
+    std::optional<double> mul_time_s(std::uint64_t bits) const;
+};
+
+/** V100 + CGBN (batch processing; times amortized over 100k). */
+const PlatformModel& v100_cgbn();
+
+/** AVX512IFMA (Gueron–Krasnov implementation on Ice Lake). */
+const PlatformModel& avx512ifma();
+
+/** DS/P digit-serial/parallel multiplier, iso-throughput scaling. */
+const PlatformModel& dsp_multiplier();
+
+/** Bit-Tactical, iso-throughput scaling. */
+const PlatformModel& bit_tactical();
+
+/** SkyLake-X CPU core constants (area/power for Table III; the time
+ * column is measured live from our mpn library). */
+const PlatformModel& skylake_cpu();
+
+/** All Table III comparison platforms in paper order. */
+std::vector<const PlatformModel*> table3_platforms();
+
+} // namespace camp::sim
+
+#endif // CAMP_SIM_COMPARATORS_HPP

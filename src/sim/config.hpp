@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Cambricon-P hardware configuration (paper §VII-A): 256 PEs x 32 IPUs,
+ * 32-bit limbs, q = 4 bitflows per IPU, 2 GHz, LLC integration.
+ */
+#ifndef CAMP_SIM_CONFIG_HPP
+#define CAMP_SIM_CONFIG_HPP
+
+#include <cstdint>
+
+namespace camp::sim {
+
+/** Static architecture parameters. */
+struct SimConfig
+{
+    unsigned n_pe = 256;       ///< processing elements
+    unsigned n_ipu = 32;       ///< inner-product units per PE
+    unsigned limb_bits = 32;   ///< L: hardware limb width
+    unsigned q = 4;            ///< bitflows (vector elements) per IPU
+    double freq_ghz = 2.0;     ///< clock frequency
+    double llc_gbps = 512.0;   ///< LLC bandwidth toward Cambricon-P
+    double ma_duty = 0.5;      ///< memory-agent duty cycle (paper §VII-B:
+                               ///< 50% reserved for coherence traffic)
+    /** Largest monolithic multiplication the hardware executes without
+     * software decomposition (paper §VII-B: N = 35904). */
+    std::uint64_t monolithic_cap_bits = 35904;
+
+    unsigned total_ipus() const { return n_pe * n_ipu; }
+
+    /** Patterns per converter: 2^q. */
+    unsigned patterns() const { return 1u << q; }
+
+    /** LLC bytes per cycle available to the accelerator. */
+    double
+    llc_bytes_per_cycle() const
+    {
+        return llc_gbps / freq_ghz * ma_duty;
+    }
+};
+
+/** The paper's synthesized configuration. */
+inline const SimConfig&
+default_config()
+{
+    static const SimConfig config;
+    return config;
+}
+
+} // namespace camp::sim
+
+#endif // CAMP_SIM_CONFIG_HPP

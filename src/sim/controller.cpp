@@ -1,0 +1,46 @@
+#include "sim/controller.hpp"
+
+#include "support/assert.hpp"
+
+namespace camp::sim {
+
+std::vector<IpuWork>
+PeController::split_position(std::uint32_t t, std::uint32_t j_begin,
+                             std::uint32_t j_end, const SimConfig& config)
+{
+    std::vector<IpuWork> works;
+    for (std::uint32_t j = j_begin; j < j_end; j += config.q)
+        works.push_back(
+            {t, j, std::min<std::uint32_t>(j + config.q, j_end)});
+    return works;
+}
+
+Schedule
+CoreController::schedule_multiply(std::size_t nx, std::size_t ny,
+                                  const SimConfig& config)
+{
+    CAMP_ASSERT(nx >= 1 && ny >= 1);
+    Schedule schedule;
+    schedule.per_pe.resize(config.n_pe);
+    const std::size_t positions = nx + ny - 1;
+    for (std::size_t t = 0; t < positions; ++t) {
+        // Valid pairs x_{t-j} * y_j: j in [max(0, t-nx+1), min(ny-1, t)].
+        const std::uint32_t lo = static_cast<std::uint32_t>(
+            t >= nx - 1 ? t - (nx - 1) : 0);
+        const std::uint32_t hi =
+            static_cast<std::uint32_t>(std::min(ny - 1, t));
+        const auto works = PeController::split_position(
+            static_cast<std::uint32_t>(t), lo, hi + 1, config);
+        auto& pe = schedule.per_pe[t % config.n_pe];
+        pe.insert(pe.end(), works.begin(), works.end());
+        schedule.total_tasks += works.size();
+    }
+    std::size_t max_pe_tasks = 0;
+    for (const auto& pe : schedule.per_pe)
+        max_pe_tasks = std::max(max_pe_tasks, pe.size());
+    schedule.waves =
+        (max_pe_tasks + config.n_ipu - 1) / config.n_ipu;
+    return schedule;
+}
+
+} // namespace camp::sim

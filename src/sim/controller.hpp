@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Two-level bitflow control (paper §V-B3): the Core Controller (CC)
+ * decomposes an arbitrary-precision multiplication — viewed as the
+ * polynomial convolution of L-bit limb vectors (Eq. 1) — into per-PE
+ * pieces, and each PE Controller (PEC) decomposes its piece into
+ * q-element inner-product tasks for the IPUs. Both levels produce
+ * inner-product-shaped work: the fractal controlling scheme of [60].
+ */
+#ifndef CAMP_SIM_CONTROLLER_HPP
+#define CAMP_SIM_CONTROLLER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace camp::sim {
+
+/**
+ * One IPU work item: the partial inner product
+ * sum_{j in [j_begin, j_end)} x_{t-j} * y_j for convolution position t,
+ * with j_end - j_begin <= q.
+ */
+struct IpuWork
+{
+    std::uint32_t t;
+    std::uint32_t j_begin;
+    std::uint32_t j_end;
+};
+
+/** Schedule: work items grouped by PE, then by wave inside the PE. */
+struct Schedule
+{
+    std::vector<std::vector<IpuWork>> per_pe; ///< n_pe lists
+    std::uint64_t total_tasks = 0;
+    std::uint64_t waves = 0; ///< ceil(max per-PE tasks / n_ipu)
+};
+
+/** Core Controller: top-level fractal decomposition. */
+class CoreController
+{
+  public:
+    /**
+     * Decompose an nx-limb by ny-limb convolution. Convolution
+     * positions are dealt round-robin across PEs (the monolithic
+     * inner-product mode where PEs are activated in sequence to align
+     * result timing, §V-B3).
+     */
+    static Schedule schedule_multiply(std::size_t nx, std::size_t ny,
+                                      const SimConfig& config);
+};
+
+/** PE Controller: splits one position's pair list into <= q chunks. */
+class PeController
+{
+  public:
+    static std::vector<IpuWork>
+    split_position(std::uint32_t t, std::uint32_t j_begin,
+                   std::uint32_t j_end, const SimConfig& config);
+};
+
+} // namespace camp::sim
+
+#endif // CAMP_SIM_CONTROLLER_HPP

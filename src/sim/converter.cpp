@@ -1,0 +1,74 @@
+#include "sim/converter.hpp"
+
+#include <bit>
+
+#include "support/assert.hpp"
+
+namespace camp::sim {
+
+Converter::Converter(const SimConfig& config) : config_(config)
+{
+    CAMP_ASSERT(config_.q <= 8);
+}
+
+unsigned
+Converter::active_adders() const
+{
+    return config_.patterns() - config_.q - 1;
+}
+
+std::vector<Bitflow>
+Converter::convert(const std::vector<Bitflow>& inputs,
+                   ConverterStats* stats) const
+{
+    const unsigned q = config_.q;
+    const unsigned np = config_.patterns();
+    CAMP_ASSERT(inputs.size() == q);
+
+    std::size_t len = 0;
+    for (const auto& flow : inputs)
+        len = std::max(len, flow.length());
+    const std::size_t out_len = len + q; // drain carries of up to q adds
+
+    // Reuse plan: each non-trivial pattern s is built from one bit-serial
+    // adder combining two previously available streams. Pairs are split
+    // as (lowest set bit, rest); "rest" is either a single input or an
+    // already-generated smaller pattern — the Fig. 9(b) reuse tree.
+    std::vector<Bitflow> out(np);
+    std::vector<unsigned> carry(np, 0);
+    for (auto& flow : out)
+        flow = Bitflow();
+
+    std::uint64_t adder_ops = 0;
+    for (std::size_t t = 0; t < out_len; ++t) {
+        // Pattern 0 is the constant-zero stream; single-bit patterns
+        // are passthroughs of the inputs.
+        out[0].push(0);
+        for (unsigned i = 0; i < q; ++i)
+            out[1u << i].push(inputs[i].bit(t));
+        for (unsigned s = 1; s < np; ++s) {
+            if (std::popcount(s) < 2)
+                continue;
+            const unsigned low = s & (~s + 1); // lowest set bit
+            const unsigned rest = s & ~low;
+            // Serial full adder over the two operand streams.
+            const int a = out[low].bit(t);
+            const int b = out[rest].bit(t);
+            const unsigned sum = static_cast<unsigned>(a) +
+                                 static_cast<unsigned>(b) + carry[s];
+            out[s].push(static_cast<int>(sum & 1));
+            carry[s] = sum >> 1;
+            ++adder_ops;
+        }
+    }
+    for (unsigned s = 0; s < np; ++s)
+        CAMP_ASSERT(carry[s] == 0);
+
+    if (stats) {
+        stats->adder_bit_ops += adder_ops;
+        stats->cycles += out_len;
+    }
+    return out;
+}
+
+} // namespace camp::sim

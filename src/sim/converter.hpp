@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Converter: the patterns-generation stage of BIPS (paper Fig. 9b).
+ * Receives q input bitflows and emits 2^q pattern bitflows, where
+ * pattern s is the subset sum of the inputs selected by the bits of s.
+ * Built from bit-serial adders with reuse (z3 = x0+x1 and z12 = x2+x3
+ * feed z15 = z3+z12), so only 2^q - q - 1 serial adders are active —
+ * exactly the paper's pattern-generation bops bound.
+ */
+#ifndef CAMP_SIM_CONVERTER_HPP
+#define CAMP_SIM_CONVERTER_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/bitflow.hpp"
+#include "sim/config.hpp"
+
+namespace camp::sim {
+
+/** Statistics from one conversion. */
+struct ConverterStats
+{
+    std::uint64_t adder_bit_ops = 0; ///< serial full-adder activations
+    std::uint64_t cycles = 0;        ///< stream length processed
+};
+
+/** Bit-serial subset-sum pattern generator (q = 4). */
+class Converter
+{
+  public:
+    explicit Converter(const SimConfig& config = default_config());
+
+    /**
+     * Convert q input bitflows into 2^q pattern bitflows. Pattern
+     * streams are extended by q extra cycles to drain carries.
+     */
+    std::vector<Bitflow> convert(const std::vector<Bitflow>& inputs,
+                                 ConverterStats* stats = nullptr) const;
+
+    /** Number of active serial adders: 2^q - q - 1. */
+    unsigned active_adders() const;
+
+  private:
+    const SimConfig& config_;
+};
+
+} // namespace camp::sim
+
+#endif // CAMP_SIM_CONVERTER_HPP

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The Cambricon-P core: CC + CMA + N_PE PEs (Converter + IPUs + GU) +
+ * Adder Tree (paper Fig. 9a). Core::multiply executes one monolithic
+ * arbitrary-precision multiplication exactly as the hardware would —
+ * inner-product transformation (Eq. 1), bit-indexed inner products in
+ * the IPUs, carry parallel gathering in the GUs — and returns the
+ * product (cross-checked against the mpn reference) together with
+ * cycle/energy event statistics.
+ */
+#ifndef CAMP_SIM_CORE_HPP
+#define CAMP_SIM_CORE_HPP
+
+#include <cstdint>
+
+#include "mpn/natural.hpp"
+#include "sim/config.hpp"
+#include "sim/controller.hpp"
+#include "sim/converter.hpp"
+#include "sim/gather_unit.hpp"
+#include "sim/ipu.hpp"
+
+namespace camp::sim {
+
+/** Aggregated event counters for one hardware operation. */
+struct CoreStats
+{
+    std::uint64_t tasks = 0;
+    std::uint64_t waves = 0;
+    std::uint64_t compute_cycles = 0;
+    std::uint64_t memory_cycles = 0;
+    std::uint64_t cycles = 0; ///< max(compute, memory)
+    std::uint64_t bytes = 0;
+    ConverterStats converter;
+    IpuStats ipu;
+    GatherStats gather;
+
+    /** Seconds at the configured clock. */
+    double seconds(const SimConfig& config) const
+    {
+        return static_cast<double>(cycles) / (config.freq_ghz * 1e9);
+    }
+};
+
+/** Result of a simulated operation. */
+struct MulResult
+{
+    mpn::Natural product;
+    CoreStats stats;
+};
+
+/** Functional fidelity of the datapath evaluation. */
+enum class Fidelity
+{
+    BitSerial, ///< converter/IPU evaluated bit-serially (slow, exact HW)
+    Fast,      ///< same dataflow, word-level arithmetic (identical values)
+};
+
+/** The Cambricon-P accelerator core. */
+class Core
+{
+  public:
+    explicit Core(const SimConfig& config = default_config(),
+                  Fidelity fidelity = Fidelity::Fast,
+                  bool validate = true);
+
+    /**
+     * Monolithic multiplication. Requires
+     * bits(a) + bits(b) within the monolithic capability; MPApca
+     * decomposes larger operands in software (§V-C).
+     * Throws std::invalid_argument if either operand is zero-capable
+     * sizes are fine; zero operands short-circuit.
+     */
+    MulResult multiply(const mpn::Natural& a, const mpn::Natural& b);
+
+    const SimConfig& config() const { return config_; }
+
+  private:
+    u128 run_work(const IpuWork& work,
+                  const std::vector<std::uint32_t>& x,
+                  const std::vector<std::uint32_t>& y,
+                  CoreStats& stats) const;
+
+    SimConfig config_;
+    Fidelity fidelity_;
+    bool validate_;
+    Ipu ipu_;
+    GatherUnit gather_unit_;
+};
+
+/** Split a Natural into L-bit hardware limbs (LSB first). */
+std::vector<std::uint32_t> to_hw_limbs(const mpn::Natural& n,
+                                       unsigned limb_bits);
+
+} // namespace camp::sim
+
+#endif // CAMP_SIM_CORE_HPP

@@ -1,0 +1,102 @@
+#include "sim/gather_unit.hpp"
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace camp::sim {
+
+GatherUnit::GatherUnit(const SimConfig& config) : config_(config) {}
+
+mpn::Natural
+GatherUnit::gather(const std::vector<u128>& psums,
+                   GatherStats* stats) const
+{
+    const unsigned L = config_.limb_bits;
+    const u128 mask = (static_cast<u128>(1) << L) - 1;
+    const std::size_t n = psums.size();
+    if (n == 0)
+        return mpn::Natural();
+
+    // Each partial sum spans several L-bit chunks; segment s of the
+    // result receives chunk (s - i) of psums[i]. With q = 4 and 32-bit
+    // limbs a partial sum from one convolution position is at most
+    // L + 64-ish bits wide, so only a few diagonals contribute.
+    std::size_t max_chunks = 1;
+    for (const u128 p : psums) {
+        const std::size_t chunks =
+            p == 0 ? 1 : (static_cast<std::size_t>(bit_length(p)) + L -
+                          1) / L;
+        max_chunks = std::max(max_chunks, chunks);
+    }
+    const std::size_t segments = n + max_chunks; // generous tail
+
+    // Stage 1 (parallel across segments): compute each segment's local
+    // sum of aligned chunks for *every possible* incoming carry. The
+    // local sum of k chunks is < k * 2^L, so the outgoing carry is at
+    // most k - 1 + 1: bounded independent of the chain length — the
+    // §IV-A observation generalized to multi-chunk partial sums.
+    std::vector<u128> local(segments, 0);
+    std::uint64_t fa_ops = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        u128 p = psums[i];
+        std::size_t s = i;
+        while (p != 0) {
+            CAMP_ASSERT(s < segments);
+            local[s] += p & mask;
+            fa_ops += L;
+            p >>= L;
+            ++s;
+        }
+    }
+    const u128 max_carry_bound =
+        static_cast<u128>(max_chunks) + 1; // loose per-segment bound
+
+    // Stage 2: carry-select. Every segment publishes value(cin) =
+    // low L bits and cout(cin) for each speculative carry-in; the
+    // selection chain then ripples one select per segment.
+    std::vector<mpn::Limb> out_limbs;
+    u128 carry = 0;
+    std::uint64_t variants = 0;
+    for (std::size_t s = 0; s < segments; ++s) {
+        variants += static_cast<std::uint64_t>(max_carry_bound) + 1;
+        const u128 total = local[s] + carry;
+        const u128 low = total & mask;
+        carry = total >> L;
+        CAMP_ASSERT(carry <= max_carry_bound);
+        // Pack two 32-bit segments per 64-bit output limb.
+        if (s % 2 == 0)
+            out_limbs.push_back(static_cast<mpn::Limb>(low));
+        else
+            out_limbs.back() |= static_cast<mpn::Limb>(low) << 32;
+    }
+    CAMP_ASSERT(carry == 0);
+
+    if (stats) {
+        stats->fa_bit_ops += fa_ops;
+        stats->carry_variants += variants;
+        // Carry parallel: all segments sum concurrently over L bit-serial
+        // cycles, then one select per segment resolves the chain.
+        stats->latency_parallel += L + segments;
+        // Naive gathering: segment s cannot start until s-1 finished.
+        stats->latency_sequential += segments * L;
+    }
+    return mpn::Natural::from_limbs(std::move(out_limbs));
+}
+
+std::vector<mpn::Natural>
+GatherUnit::gather_combined(const std::vector<u128>& psums, unsigned mode,
+                            GatherStats* stats) const
+{
+    CAMP_ASSERT(mode >= 1 && (mode & (mode - 1)) == 0);
+    CAMP_ASSERT(psums.size() % mode == 0);
+    std::vector<mpn::Natural> results;
+    results.reserve(psums.size() / mode);
+    for (std::size_t base = 0; base < psums.size(); base += mode) {
+        const std::vector<u128> group(psums.begin() + base,
+                                      psums.begin() + base + mode);
+        results.push_back(gather(group, stats));
+    }
+    return results;
+}
+
+} // namespace camp::sim

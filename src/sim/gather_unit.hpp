@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Gather Unit: carry parallel computing (paper §IV-A, Fig. 7c, Fig. 10).
+ *
+ * Partial sums arrive as L-bit-aligned overlapping bitflows
+ * (partial_sum_i weighted by 2^(iL)). Gathering splits the accumulation
+ * into independent L-bit segments; each segment's sum is evaluated for
+ * every possible incoming carry *in advance*, then a selection chain
+ * picks the realized value — so all segments compute in parallel and
+ * the dependency chain reduces from N*L serial cycles to L + N.
+ *
+ * The unit also models the FA-disable combining modes of Fig. 10
+ * (every 1/2/4/.../N_IPU flows gathered into one result).
+ */
+#ifndef CAMP_SIM_GATHER_UNIT_HPP
+#define CAMP_SIM_GATHER_UNIT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "mpn/natural.hpp"
+#include "sim/config.hpp"
+
+namespace camp::sim {
+
+/** Latency model outcome for one gather. */
+struct GatherStats
+{
+    std::uint64_t fa_bit_ops = 0;      ///< full-adder activations
+    std::uint64_t carry_variants = 0;  ///< speculative segment sums
+    std::uint64_t latency_parallel = 0; ///< carry parallel computing
+    std::uint64_t latency_sequential = 0; ///< naive ripple gathering
+};
+
+/** Carry-parallel gatherer over L-bit aligned partial-sum flows. */
+class GatherUnit
+{
+  public:
+    explicit GatherUnit(const SimConfig& config = default_config());
+
+    /**
+     * Gather partial sums: result = sum_i psums[i] * 2^(i * L).
+     * Functionally exact for partial sums of any width; the carry
+     * budget per segment is asserted against the §IV-A bound.
+     */
+    mpn::Natural gather(const std::vector<u128>& psums,
+                        GatherStats* stats = nullptr) const;
+
+    /**
+     * Fig. 10 combining: with mode m (power of two, <= flows), every
+     * group of m flows is gathered into one independent result.
+     */
+    std::vector<mpn::Natural>
+    gather_combined(const std::vector<u128>& psums, unsigned mode,
+                    GatherStats* stats = nullptr) const;
+
+  private:
+    const SimConfig& config_;
+};
+
+} // namespace camp::sim
+
+#endif // CAMP_SIM_GATHER_UNIT_HPP

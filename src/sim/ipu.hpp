@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bit-indexed IPU (Inner-Product Unit): the pattern-indexing and
+ * weighted-gathering stages of BIPS (paper Fig. 8 / Fig. 9c).
+ *
+ * For each index-bit position j (streamed LSB first from the q index
+ * operands), the multiplexer selects pattern z[idx_j], where idx_j is
+ * the q-bit column of the index operands' bit matrix; the bit-serial
+ * accumulator adds it at weight 2^j. The BIPS identity
+ *     sum_i x_i * y_i == sum_j 2^j * z[idx_j]
+ * is what the unit computes, with zero-valued columns (bit sparsity)
+ * and repeated columns (repeated computation) never costing multiplier
+ * work — the paper's intra-IPU bit-level redundancy elimination.
+ *
+ * A naive bit-serial MAC mode (Fig. 6b, the Stripes/Bit-Tactical style
+ * baseline) is provided for the ablation benchmarks.
+ */
+#ifndef CAMP_SIM_IPU_HPP
+#define CAMP_SIM_IPU_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/bitflow.hpp"
+#include "sim/config.hpp"
+#include "sim/converter.hpp"
+
+namespace camp::sim {
+
+/** Per-operation counters used by energy and ablation accounting. */
+struct IpuStats
+{
+    std::uint64_t selects = 0;        ///< mux activations (one per j)
+    std::uint64_t zero_skips = 0;     ///< columns that selected z[0]
+    std::uint64_t accum_bit_ops = 0;  ///< accumulator full-adder bits
+    std::uint64_t naive_bit_ops = 0;  ///< cost of the naive mode
+    std::uint64_t cycles = 0;
+};
+
+/** One 4-element inner product task: x and y limbs (L-bit each). */
+struct IpuTask
+{
+    std::array<std::uint32_t, 4> x{};
+    std::array<std::uint32_t, 4> y{};
+};
+
+/** Functional bit-indexed inner-product unit. */
+class Ipu
+{
+  public:
+    explicit Ipu(const SimConfig& config = default_config());
+
+    /**
+     * BIPS execution over pre-generated pattern flows. @p patterns must
+     * come from Converter::convert on the task's x flows.
+     */
+    u128 run_bips(const std::vector<Bitflow>& patterns,
+                  const std::array<std::uint32_t, 4>& y,
+                  IpuStats* stats = nullptr) const;
+
+    /** Full task: converts x internally, then runs BIPS. */
+    u128 run_task(const IpuTask& task, IpuStats* stats = nullptr,
+                  ConverterStats* conv_stats = nullptr) const;
+
+    /** Naive bit-serial MAC baseline (shift-add per set y bit). */
+    u128 run_naive(const IpuTask& task, IpuStats* stats = nullptr) const;
+
+  private:
+    const SimConfig& config_;
+    Converter converter_;
+};
+
+} // namespace camp::sim
+
+#endif // CAMP_SIM_IPU_HPP

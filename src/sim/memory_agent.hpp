@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Memory agents (paper §V-B3): the CMA streams data between the LLC
+ * and the PEs in blocks of 4 flows x 32 bits; PEMAs buffer one block
+ * per PE and feed the IPU index flows. This model tracks the traffic
+ * and the bandwidth-limited cycle count (at the configured duty cycle)
+ * so the Core can take max(compute, memory) — the roofline behaviour
+ * of Fig. 12.
+ */
+#ifndef CAMP_SIM_MEMORY_AGENT_HPP
+#define CAMP_SIM_MEMORY_AGENT_HPP
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+
+namespace camp::sim {
+
+/** Core Memory Agent traffic/cycle accounting. */
+class CoreMemoryAgent
+{
+  public:
+    explicit CoreMemoryAgent(const SimConfig& config) : config_(config) {}
+
+    /** Record an operand stream of @p bits read from the LLC. */
+    void
+    stream_in(std::uint64_t bits)
+    {
+        bytes_in_ += (bits + 7) / 8;
+    }
+
+    /** Record a result stream of @p bits written to the LLC. */
+    void
+    stream_out(std::uint64_t bits)
+    {
+        bytes_out_ += (bits + 7) / 8;
+    }
+
+    std::uint64_t bytes_in() const { return bytes_in_; }
+    std::uint64_t bytes_out() const { return bytes_out_; }
+    std::uint64_t total_bytes() const { return bytes_in_ + bytes_out_; }
+
+    /** Dispatch blocks moved on the core data bus (4 x 32-bit flows). */
+    std::uint64_t
+    blocks() const
+    {
+        const std::uint64_t block_bytes =
+            static_cast<std::uint64_t>(config_.q) * config_.limb_bits /
+            8;
+        return (total_bytes() + block_bytes - 1) / block_bytes;
+    }
+
+    /** Cycles needed at the duty-limited LLC bandwidth. */
+    std::uint64_t
+    cycles() const
+    {
+        const double bpc = config_.llc_bytes_per_cycle();
+        return static_cast<std::uint64_t>(
+            static_cast<double>(total_bytes()) / bpc + 0.999999);
+    }
+
+    void
+    reset()
+    {
+        bytes_in_ = 0;
+        bytes_out_ = 0;
+    }
+
+  private:
+    const SimConfig& config_;
+    std::uint64_t bytes_in_ = 0;
+    std::uint64_t bytes_out_ = 0;
+};
+
+} // namespace camp::sim
+
+#endif // CAMP_SIM_MEMORY_AGENT_HPP

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Technology model: area and energy constants for Cambricon-P under
+ * TSMC 16 nm, calibrated so the full configuration reproduces the
+ * paper's published totals (1.894 mm^2, 3.644 W at 2 GHz, §VII-A).
+ *
+ * Substitution note (DESIGN.md §4): the paper derives these numbers
+ * from synthesized, placed & routed RTL. Without a PDK we invert the
+ * calibration: component proportions are taken from typical 16 nm cell
+ * costs, scaled so the totals match the paper exactly; energies per
+ * event are then chosen so full-utilization power matches. All
+ * evaluation results use these constants only as scale factors.
+ */
+#ifndef CAMP_SIM_TECH_MODEL_HPP
+#define CAMP_SIM_TECH_MODEL_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.hpp"
+#include "sim/core.hpp"
+
+namespace camp::sim {
+
+/** Area breakdown in mm^2. */
+struct AreaBreakdown
+{
+    double ipus;        ///< all bit-indexed IPUs
+    double converters;  ///< pattern generators
+    double gather_units;
+    double controllers; ///< CC + PECs
+    double memory_agents;
+    double adder_tree;
+
+    double
+    total() const
+    {
+        return ipus + converters + gather_units + controllers +
+               memory_agents + adder_tree;
+    }
+};
+
+/** Energy constants (joules per event). */
+struct EnergyModel
+{
+    double per_ipu_select;      ///< mux activation
+    double per_accum_bit;       ///< accumulator full-adder bit
+    double per_converter_bit;   ///< converter serial-adder bit
+    double per_gather_fa_bit;   ///< GU full-adder bit
+    double per_llc_byte;        ///< LLC access
+    double static_watts;        ///< leakage + clock tree
+
+    /** Energy of one simulated operation. */
+    double energy(const CoreStats& stats, const SimConfig& config) const;
+
+    /** Average power of one simulated operation. */
+    double power(const CoreStats& stats, const SimConfig& config) const;
+};
+
+/** Calibrated models for the default configuration. */
+AreaBreakdown cambricon_p_area(const SimConfig& config = default_config());
+EnergyModel cambricon_p_energy(const SimConfig& config = default_config());
+
+/** Render the area breakdown table. */
+std::string area_table(const AreaBreakdown& area);
+
+} // namespace camp::sim
+
+#endif // CAMP_SIM_TECH_MODEL_HPP

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Always-on invariant checking.
+ *
+ * Follows the gem5 panic/fatal distinction:
+ *  - CAMP_ASSERT fires on internal invariant violations (library bugs) and
+ *    aborts, like gem5's panic().
+ *  - Caller errors (bad arguments) are reported by throwing
+ *    std::invalid_argument from the public API, like gem5's fatal().
+ */
+#ifndef CAMP_SUPPORT_ASSERT_HPP
+#define CAMP_SUPPORT_ASSERT_HPP
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace camp {
+
+[[noreturn]] inline void
+assert_fail(const char* expr, const char* file, int line, const char* msg)
+{
+    std::fprintf(stderr, "CAMP_ASSERT failed: %s\n  at %s:%d\n  %s\n",
+                 expr, file, line, msg ? msg : "");
+    std::abort();
+}
+
+} // namespace camp
+
+/** Always-on invariant check; aborts with location on failure. */
+#define CAMP_ASSERT(expr)                                                     \
+    ((expr) ? (void)0                                                         \
+            : ::camp::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+/** Invariant check with an explanatory message. */
+#define CAMP_ASSERT_MSG(expr, msg)                                            \
+    ((expr) ? (void)0 : ::camp::assert_fail(#expr, __FILE__, __LINE__, (msg)))
+
+#endif // CAMP_SUPPORT_ASSERT_HPP

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared across the library.
+ */
+#ifndef CAMP_SUPPORT_BITS_HPP
+#define CAMP_SUPPORT_BITS_HPP
+
+#include <bit>
+#include <cstdint>
+
+namespace camp {
+
+/** Double-width limb used for 64x64 -> 128 bit products. */
+using u128 = unsigned __int128;
+
+/** Number of significant bits in @p x (0 for x == 0). */
+constexpr int
+bit_length(std::uint64_t x)
+{
+    return 64 - std::countl_zero(x);
+}
+
+/** Number of significant bits in a 128-bit value. */
+constexpr int
+bit_length(u128 x)
+{
+    std::uint64_t hi = static_cast<std::uint64_t>(x >> 64);
+    if (hi != 0)
+        return 64 + bit_length(hi);
+    return bit_length(static_cast<std::uint64_t>(x));
+}
+
+/** Smallest power of two >= @p x (x must be >= 1). */
+constexpr std::uint64_t
+ceil_pow2(std::uint64_t x)
+{
+    return std::bit_ceil(x);
+}
+
+/** Integer ceil(a / b) for b > 0. */
+constexpr std::uint64_t
+ceil_div(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** floor(log2(x)) for x >= 1. */
+constexpr int
+floor_log2(std::uint64_t x)
+{
+    return 63 - std::countl_zero(x);
+}
+
+/** ceil(log2(x)) for x >= 1. */
+constexpr int
+ceil_log2(std::uint64_t x)
+{
+    return x <= 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+} // namespace camp
+
+#endif // CAMP_SUPPORT_BITS_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Least-squares fitting used to recover empirical complexity exponents
+ * (Table I reproduction): fit time = c * n^k via log-log regression.
+ */
+#ifndef CAMP_SUPPORT_REGRESSION_HPP
+#define CAMP_SUPPORT_REGRESSION_HPP
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace camp {
+
+/** Result of a simple linear regression y = intercept + slope * x. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r2 = 0.0;
+};
+
+/** Ordinary least squares on (x, y) pairs. */
+inline LinearFit
+linear_fit(const std::vector<double>& xs, const std::vector<double>& ys)
+{
+    CAMP_ASSERT(xs.size() == ys.size() && xs.size() >= 2);
+    const double n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+        syy += ys[i] * ys[i];
+    }
+    LinearFit fit;
+    const double denom = n * sxx - sx * sx;
+    CAMP_ASSERT(denom != 0.0);
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    const double ss_tot = syy - sy * sy / n;
+    double ss_res = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double e = ys[i] - (fit.intercept + fit.slope * xs[i]);
+        ss_res += e * e;
+    }
+    fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+/**
+ * Fit time = c * n^k on positive data; returns {slope = k,
+ * intercept = log(c), r2} from the log-log regression.
+ */
+inline LinearFit
+power_law_fit(const std::vector<double>& ns, const std::vector<double>& ts)
+{
+    std::vector<double> lx(ns.size()), ly(ts.size());
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+        CAMP_ASSERT(ns[i] > 0 && ts[i] > 0);
+        lx[i] = std::log(ns[i]);
+        ly[i] = std::log(ts[i]);
+    }
+    return linear_fit(lx, ly);
+}
+
+} // namespace camp
+
+#endif // CAMP_SUPPORT_REGRESSION_HPP

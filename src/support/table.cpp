@@ -1,0 +1,79 @@
+#include "support/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace camp {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void
+Table::add_row(std::vector<std::string> cells)
+{
+    CAMP_ASSERT(cells.size() == header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::to_string() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size())
+                out << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+    for (const auto& row : rows_)
+        emit(row);
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(to_string().c_str(), stdout);
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", precision + 2, v);
+    return buf;
+}
+
+std::string
+Table::fmt_si(double v, int precision)
+{
+    static const char* suffix[] = {"", "K", "M", "G", "T", "P"};
+    int idx = 0;
+    double a = std::fabs(v);
+    while (a >= 1000.0 && idx < 5) {
+        a /= 1000.0;
+        v /= 1000.0;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g%s", precision, v, suffix[idx]);
+    return buf;
+}
+
+} // namespace camp

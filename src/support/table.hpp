@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal aligned console table printer for the benchmark harness.
+ *
+ * Every bench binary reproduces one paper table/figure as rows of text;
+ * this keeps their output uniform and diffable.
+ */
+#ifndef CAMP_SUPPORT_TABLE_HPP
+#define CAMP_SUPPORT_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace camp {
+
+/** Column-aligned text table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void add_row(std::vector<std::string> cells);
+
+    /** Render with column alignment and a separator under the header. */
+    std::string to_string() const;
+
+    /** Convenience: render to stdout. */
+    void print() const;
+
+    /** Format helpers for numeric cells. */
+    static std::string fmt(double v, int precision = 3);
+    static std::string fmt_si(double v, int precision = 3);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace camp
+
+#endif // CAMP_SUPPORT_TABLE_HPP

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Cache hierarchy simulator tests: LRU behaviour, inclusive fill
+ * traffic accounting, and the qualitative Figure 3 signatures of the
+ * three workload traces.
+ */
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hpp"
+#include "cachesim/traces.hpp"
+
+using namespace camp::cachesim;
+
+TEST(CacheLevel, HitsAfterFill)
+{
+    CacheLevel l1({"L1", 1024, 2, 64, 0.0});
+    EXPECT_FALSE(l1.access(0x1000)); // cold miss
+    EXPECT_TRUE(l1.access(0x1000));  // hit
+    EXPECT_TRUE(l1.access(0x1010));  // same line
+    EXPECT_FALSE(l1.access(0x2000));
+    EXPECT_EQ(l1.hits(), 2u);
+    EXPECT_EQ(l1.misses(), 2u);
+}
+
+TEST(CacheLevel, LruEvictsOldest)
+{
+    // 2-way, 64B lines, 2 sets (1024/64/... = 8 sets actually); use
+    // conflicting addresses within one set.
+    CacheLevel cache({"L1", 2 * 64 * 1, 2, 64, 0.0}); // 1 set, 2 ways
+    const std::uint64_t a = 0 * 64, b = 1 * 64, c = 2 * 64;
+    cache.access(a);
+    cache.access(b);
+    cache.access(a);        // a most recent
+    cache.access(c);        // evicts b
+    EXPECT_TRUE(cache.access(a));
+    EXPECT_FALSE(cache.access(b)); // was evicted
+}
+
+TEST(CacheLevel, WorkingSetSmallerThanCacheAllHits)
+{
+    CacheLevel cache({"L2", 64 * 1024, 8, 64, 0.0});
+    for (int pass = 0; pass < 3; ++pass)
+        for (std::uint64_t addr = 0; addr < 32 * 1024; addr += 64)
+            cache.access(addr);
+    // First pass cold misses only.
+    EXPECT_EQ(cache.misses(), 32u * 1024 / 64);
+    EXPECT_EQ(cache.hits(), 2u * 32 * 1024 / 64);
+}
+
+TEST(Hierarchy, TrafficDecreasesDownTheHierarchy)
+{
+    Hierarchy h = Hierarchy::zen3_like();
+    // Stream over a 1 MB buffer twice: fits L3, not L2.
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t a = 0; a < 1 << 20; a += 8)
+            h.access(a, 8);
+    const auto traffic = h.traffic_bytes();
+    ASSERT_EQ(traffic.size(), 4u); // RF, L1, L2, L3(DRAM fill)
+    EXPECT_GT(traffic[0], 0);
+    // Second pass hits in L3 -> DRAM fill only from the first pass.
+    EXPECT_NEAR(traffic[3], 1 << 20, 64);
+    EXPECT_GE(traffic[1], traffic[2]);
+}
+
+TEST(Traces, ApcMulIsRfBoundMatMulIsL1Bound)
+{
+    // The Figure 3(b) signature: APC multiply concentrates traffic at
+    // the register file; matmul at L1; random access reaches DRAM.
+    Hierarchy h1 = Hierarchy::zen3_like();
+    const TraceResult apc = trace_apc_mul(h1, 2048); // 128 Kbit operands
+    const auto t1 = h1.traffic_bytes();
+
+    Hierarchy h2 = Hierarchy::zen3_like();
+    const TraceResult mm = trace_matmul(h2, 128);
+    const auto t2 = h2.traffic_bytes();
+
+    // Random access needs a working set beyond the last-level cache;
+    // use a scaled-down hierarchy so the test stays fast.
+    Hierarchy h3({{"L1", 32 * 1024, 8, 64, 2000.0},
+                  {"L2", 256 * 1024, 8, 64, 1000.0},
+                  {"L3", 1024 * 1024, 16, 64, 700.0}},
+                 6000.0, 50.0);
+    const TraceResult ra = trace_random_access(h3, 1 << 19);
+    const auto t3 = h3.traffic_bytes();
+
+    // Operational intensity at the RF boundary (ops per RF byte):
+    // APC multiply's is the lowest of the three workloads relative to
+    // its DRAM intensity (the "stuck at the nearest hierarchy" shape).
+    const double apc_rf_oi = apc.ops / t1[0];
+    const double apc_dram_ratio = t1[3] / t1[0];
+    const double mm_dram_ratio = t2[3] / t2[0];
+    const double ra_dram_ratio = t3[3] / t3[0];
+    EXPECT_LT(apc_dram_ratio, 0.02);  // almost no DRAM traffic
+    EXPECT_LT(mm_dram_ratio, 0.05);
+    EXPECT_GT(ra_dram_ratio, 0.5);    // random access hammers DRAM
+    EXPECT_GT(apc_rf_oi, 0.0);
+}
+
+TEST(Traces, ApcMulOpsMatchSchoolbookBelowThreshold)
+{
+    Hierarchy h = Hierarchy::zen3_like();
+    const TraceResult r = trace_apc_mul(h, 16); // below Karatsuba
+    EXPECT_DOUBLE_EQ(r.ops, 256.0);             // 16x16 MACs
+}
+
+TEST(Traces, RandomAccessCountsNLogN)
+{
+    Hierarchy h = Hierarchy::zen3_like();
+    const TraceResult r = trace_random_access(h, 1 << 10);
+    EXPECT_DOUBLE_EQ(r.ops, 1024.0 * 10);
+    EXPECT_EQ(h.accesses(), 1024u * 10);
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Float (mpf layer) tests: exact dyadic cases against double, precision
+ * truncation, sqrt/div convergence at high precision, and known
+ * constants.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mpf/float.hpp"
+#include "support/rng.hpp"
+
+using camp::mpf::Float;
+using camp::mpn::Natural;
+using camp::mpz::Integer;
+
+namespace {
+
+/** |a - b| <= 2^max_exp_err relative-ish tolerance via doubles. */
+void
+expect_close(const Float& a, double expect, double rel = 1e-14)
+{
+    const double got = a.to_double();
+    EXPECT_NEAR(got, expect,
+                std::abs(expect) * rel + 1e-300);
+}
+
+} // namespace
+
+TEST(Float, DyadicExactArithmetic)
+{
+    camp::Rng rng(81);
+    for (int iter = 0; iter < 200; ++iter) {
+        // Dyadic doubles: arithmetic on them is exact in both systems
+        // as long as no rounding occurs.
+        const double a = static_cast<double>(
+                             static_cast<std::int32_t>(rng.next())) /
+                         1024.0;
+        const double b = static_cast<double>(
+                             static_cast<std::int32_t>(rng.next())) /
+                         1024.0;
+        const Float fa = Float::from_double(a, 128);
+        const Float fb = Float::from_double(b, 128);
+        EXPECT_DOUBLE_EQ((fa + fb).to_double(), a + b);
+        EXPECT_DOUBLE_EQ((fa - fb).to_double(), a - b);
+        EXPECT_DOUBLE_EQ((fa * fb).to_double(), a * b);
+    }
+}
+
+TEST(Float, FromDoubleRoundTrip)
+{
+    for (const double v : {0.0, 1.0, -1.0, 0.5, 3.141592653589793,
+                           -2.2250738585072014e-308, 1.7976931348623157e308,
+                           123456789.123456789}) {
+        EXPECT_DOUBLE_EQ(Float::from_double(v, 64).to_double(), v);
+    }
+}
+
+TEST(Float, PrecisionTruncationDropsLowBits)
+{
+    // (2^100 + 1) at 64-bit precision loses the +1.
+    const Natural big = (Natural(1) << 100) + Natural(1);
+    const Float f = Float::from_parts(big, 0, false, 64);
+    EXPECT_EQ(f.mantissa(), Natural(1) << 63);
+    EXPECT_EQ(f.exponent(), 37);
+}
+
+TEST(Float, DivisionConvergesToKnownValue)
+{
+    const Float one = Float::from_natural(Natural(1), 512);
+    const Float three = Float::from_natural(Natural(3), 512);
+    const Float third = one / three;
+    // 1/3 * 3 == 1 - eps with eps < 2^-500.
+    const Float err = Float::abs(Float::from_natural(Natural(1), 512) -
+                                 third * three);
+    EXPECT_TRUE(err.is_zero() || err.magnitude_exp() < -500);
+}
+
+TEST(Float, SqrtTwoMatchesKnownDigits)
+{
+    const Float two = Float::from_natural(Natural(2), 400);
+    const Float s = Float::sqrt(two);
+    // First 60 fractional digits of sqrt(2).
+    EXPECT_EQ(s.to_decimal(60).substr(0, 62),
+              "1.414213562373095048801688724209698078569671875376948073"
+              "176679");
+}
+
+TEST(Float, SqrtSquareRoundTrip)
+{
+    camp::Rng rng(82);
+    for (int iter = 0; iter < 20; ++iter) {
+        const Natural m = Natural::random_bits(rng, 1 + rng.below(200));
+        const Float f = Float::from_natural(m * m, 600);
+        EXPECT_EQ(Float::sqrt(f).to_integer(), Integer(m));
+    }
+}
+
+TEST(Float, SqrtNegativeThrows)
+{
+    EXPECT_THROW(Float::sqrt(Float::from_double(-1.0, 64)),
+                 std::invalid_argument);
+}
+
+TEST(Float, ComparisonAcrossExponents)
+{
+    const Float a = Float::from_double(1.5, 64);
+    const Float b = Float::from_double(1.25, 64);
+    EXPECT_GT(a, b);
+    EXPECT_LT(-a, -b);
+    EXPECT_LT(-a, b);
+    EXPECT_GT(a, Float());
+    EXPECT_LT(-a, Float());
+    EXPECT_EQ(Float::from_double(0.5, 64),
+              Float::from_parts(Natural(1), -1, false, 64));
+}
+
+TEST(Float, AbsorptionOfTinyAddend)
+{
+    // Adding something below the precision window is a no-op under
+    // truncation semantics.
+    const Float big = Float::from_parts(Natural(1), 200, false, 128);
+    const Float tiny = Float::from_double(1.0, 128);
+    EXPECT_EQ(big + tiny, big);
+}
+
+TEST(Float, LdexpIsExact)
+{
+    const Float f = Float::from_double(1.5, 64);
+    expect_close(f.ldexp(10), 1536.0);
+    expect_close(f.ldexp(-4), 0.09375);
+}
+
+TEST(Float, ToDecimalKnownValues)
+{
+    EXPECT_EQ(Float::from_double(0.25, 64).to_decimal(4), "0.2500");
+    EXPECT_EQ(Float::from_double(-2.5, 64).to_decimal(2), "-2.50");
+    EXPECT_EQ(Float::from_natural(Natural(42), 64).to_decimal(3),
+              "42.000");
+}
+
+TEST(Float, ToIntegerTruncatesTowardZero)
+{
+    EXPECT_EQ(Float::from_double(2.75, 64).to_integer(), Integer(2));
+    EXPECT_EQ(Float::from_double(-2.75, 64).to_integer(), Integer(-2));
+    EXPECT_EQ(Float().to_integer(), Integer(0));
+}
+
+TEST(Float, HighPrecisionNewtonPi)
+{
+    // Machin-like check: 4*atan-free; instead verify that
+    // sqrt(10005) used by Chudnovsky has the right leading digits.
+    const Float v =
+        Float::sqrt(Float::from_natural(Natural(10005), 300));
+    EXPECT_EQ(v.to_decimal(30).substr(0, 20), "100.0249968757810059");
+}

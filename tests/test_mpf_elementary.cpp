@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Transcendental-layer tests: pi, atan, sin/cos/exp against known
+ * high-precision digit strings and identities.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpf/elementary.hpp"
+
+using namespace camp::mpf;
+using camp::mpn::Natural;
+
+TEST(Elementary, PiKnownDigits)
+{
+    const Float pi = pi_float(256);
+    EXPECT_EQ(pi.to_decimal(60).substr(0, 52),
+              "3.14159265358979323846264338327950288419716939937510");
+}
+
+TEST(Elementary, PiCacheConsistentAcrossPrecisions)
+{
+    const Float lo = pi_float(64);
+    const Float hi = pi_float(512);
+    const Float diff = Float::abs(hi - lo);
+    EXPECT_TRUE(diff.is_zero() || diff.magnitude_exp() < -60);
+}
+
+TEST(Elementary, AtanReciprocalKnownValue)
+{
+    // atan(1/2) = 0.46364760900080611621...
+    const Float a = atan_reciprocal(2, 200);
+    EXPECT_EQ(a.to_decimal(20).substr(0, 21), "0.4636476090008061162");
+}
+
+TEST(Elementary, SinCosPythagoreanIdentity)
+{
+    const std::uint64_t prec = 256;
+    for (const double xd : {0.1, 0.5, 1.0, 2.0, 3.0, 6.0}) {
+        const Float x = Float::from_double(xd, prec);
+        const Float s = sin(x, prec);
+        const Float c = cos(x, prec);
+        const Float err = Float::abs(
+            s * s + c * c - Float::from_natural(Natural(1), prec));
+        EXPECT_TRUE(err.is_zero() || err.magnitude_exp() < -200)
+            << "x=" << xd;
+    }
+}
+
+TEST(Elementary, SinPiIsZeroCosPiIsMinusOne)
+{
+    const std::uint64_t prec = 300;
+    const Float pi = pi_float(prec);
+    const Float s = sin(pi, prec);
+    EXPECT_TRUE(s.is_zero() || s.magnitude_exp() < -280);
+    const Float c1 = cos(pi, prec) + Float::from_natural(Natural(1),
+                                                         prec);
+    EXPECT_TRUE(c1.is_zero() || c1.magnitude_exp() < -280);
+}
+
+TEST(Elementary, SinMatchesDoubleAtLowPrecision)
+{
+    for (const double xd : {0.3, 1.2, 2.8, 5.5}) {
+        EXPECT_NEAR(sin(Float::from_double(xd, 128), 128).to_double(),
+                    std::sin(xd), 1e-14);
+        EXPECT_NEAR(cos(Float::from_double(xd, 128), 128).to_double(),
+                    std::cos(xd), 1e-14);
+    }
+}
+
+TEST(Elementary, ExpKnownValues)
+{
+    const Float e = exp(Float::from_natural(Natural(1), 256), 256);
+    EXPECT_EQ(e.to_decimal(40).substr(0, 40),
+              "2.71828182845904523536028747135266249775");
+    EXPECT_NEAR(exp(Float::from_double(-3.0, 128), 128).to_double(),
+                std::exp(-3.0), 1e-14);
+    EXPECT_NEAR(exp(Float::with_prec(64), 64).to_double(), 1.0, 1e-15);
+}

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit and property tests for the O(n) mpn kernels.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpn/basic.hpp"
+#include "support/rng.hpp"
+
+namespace mpn = camp::mpn;
+using mpn::Limb;
+
+namespace {
+
+std::vector<Limb>
+random_limbs(camp::Rng& rng, std::size_t n)
+{
+    std::vector<Limb> v(n);
+    for (auto& limb : v)
+        limb = rng.next();
+    return v;
+}
+
+} // namespace
+
+TEST(MpnBasic, AddSingleCarryChain)
+{
+    std::vector<Limb> a{mpn::kLimbMax, mpn::kLimbMax, mpn::kLimbMax};
+    std::vector<Limb> r(3);
+    const Limb carry = mpn::add_1(r.data(), a.data(), 3, 1);
+    EXPECT_EQ(carry, 1u);
+    EXPECT_EQ(r, (std::vector<Limb>{0, 0, 0}));
+}
+
+TEST(MpnBasic, AddSubRoundTrip)
+{
+    camp::Rng rng(1);
+    for (int iter = 0; iter < 200; ++iter) {
+        const std::size_t n = 1 + rng.below(40);
+        const auto a = random_limbs(rng, n);
+        const auto b = random_limbs(rng, n);
+        std::vector<Limb> s(n), d(n);
+        const Limb carry = mpn::add_n(s.data(), a.data(), b.data(), n);
+        const Limb borrow = mpn::sub_n(d.data(), s.data(), b.data(), n);
+        EXPECT_EQ(borrow, carry) << "iteration " << iter;
+        EXPECT_EQ(d, a);
+    }
+}
+
+TEST(MpnBasic, AddDifferentSizes)
+{
+    camp::Rng rng(2);
+    for (int iter = 0; iter < 100; ++iter) {
+        const std::size_t an = 2 + rng.below(30);
+        const std::size_t bn = 1 + rng.below(an);
+        const auto a = random_limbs(rng, an);
+        const auto b = random_limbs(rng, bn);
+        std::vector<Limb> s(an), back(an);
+        const Limb carry =
+            mpn::add(s.data(), a.data(), an, b.data(), bn);
+        const Limb borrow =
+            mpn::sub(back.data(), s.data(), an, b.data(), bn);
+        EXPECT_EQ(carry, borrow);
+        EXPECT_EQ(back, a);
+    }
+}
+
+TEST(MpnBasic, SubSelfIsZero)
+{
+    camp::Rng rng(3);
+    const auto a = random_limbs(rng, 17);
+    std::vector<Limb> d(17);
+    EXPECT_EQ(mpn::sub_n(d.data(), a.data(), a.data(), 17), 0u);
+    EXPECT_EQ(mpn::normalized_size(d.data(), 17), 0u);
+}
+
+TEST(MpnBasic, CompareOrdersLexicographically)
+{
+    std::vector<Limb> a{5, 7};
+    std::vector<Limb> b{9, 7};
+    EXPECT_LT(mpn::cmp_n(a.data(), b.data(), 2), 0);
+    EXPECT_GT(mpn::cmp_n(b.data(), a.data(), 2), 0);
+    EXPECT_EQ(mpn::cmp_n(a.data(), a.data(), 2), 0);
+    // Size dominates for normalized operands.
+    std::vector<Limb> c{1, 1, 1};
+    EXPECT_LT(mpn::cmp(b.data(), 2, c.data(), 3), 0);
+}
+
+TEST(MpnBasic, ShiftRoundTrip)
+{
+    camp::Rng rng(4);
+    for (unsigned cnt = 1; cnt < 64; ++cnt) {
+        const std::size_t n = 1 + rng.below(20);
+        const auto a = random_limbs(rng, n);
+        std::vector<Limb> l(n), back(n);
+        const Limb out = mpn::lshift(l.data(), a.data(), n, cnt);
+        const Limb low = mpn::rshift(back.data(), l.data(), n, cnt);
+        EXPECT_EQ(low, 0u);
+        // Reinsert the shifted-out high bits.
+        back[n - 1] |= out << (64 - cnt);
+        EXPECT_EQ(back, a) << "cnt=" << cnt;
+    }
+}
+
+TEST(MpnBasic, LshiftInPlaceMatchesCopy)
+{
+    camp::Rng rng(5);
+    const auto a = random_limbs(rng, 9);
+    auto b = a;
+    std::vector<Limb> r(9);
+    const Limb o1 = mpn::lshift(r.data(), a.data(), 9, 13);
+    const Limb o2 = mpn::lshift(b.data(), b.data(), 9, 13);
+    EXPECT_EQ(o1, o2);
+    EXPECT_EQ(r, b);
+}
+
+TEST(MpnBasic, BitSizeAndGetBit)
+{
+    std::vector<Limb> a{0, 0, 1}; // 2^128
+    EXPECT_EQ(mpn::bit_size(a.data(), 3), 129u);
+    EXPECT_TRUE(mpn::get_bit(a.data(), 3, 128));
+    EXPECT_FALSE(mpn::get_bit(a.data(), 3, 127));
+    EXPECT_FALSE(mpn::get_bit(a.data(), 3, 500));
+    EXPECT_EQ(mpn::bit_size(a.data(), 2), 0u); // truncated view is zero
+}
+
+TEST(MpnBasic, NormalizedSizeStripsHighZeros)
+{
+    std::vector<Limb> a{1, 0, 0};
+    EXPECT_EQ(mpn::normalized_size(a.data(), 3), 1u);
+    std::vector<Limb> z{0, 0};
+    EXPECT_EQ(mpn::normalized_size(z.data(), 2), 0u);
+}
+
+TEST(MpnBasic, LogicOpsMatchScalar)
+{
+    camp::Rng rng(6);
+    const auto a = random_limbs(rng, 8);
+    const auto b = random_limbs(rng, 8);
+    std::vector<Limb> r(8);
+    mpn::and_n(r.data(), a.data(), b.data(), 8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(r[i], a[i] & b[i]);
+    mpn::or_n(r.data(), a.data(), b.data(), 8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(r[i], a[i] | b[i]);
+    mpn::xor_n(r.data(), a.data(), b.data(), 8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(r[i], a[i] ^ b[i]);
+}
+
+// Associativity / commutativity style property sweeps.
+class MpnBasicSizes : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(MpnBasicSizes, AdditionIsCommutative)
+{
+    camp::Rng rng(7 + GetParam());
+    const std::size_t n = GetParam();
+    const auto a = random_limbs(rng, n);
+    const auto b = random_limbs(rng, n);
+    std::vector<Limb> r1(n), r2(n);
+    const Limb c1 = mpn::add_n(r1.data(), a.data(), b.data(), n);
+    const Limb c2 = mpn::add_n(r2.data(), b.data(), a.data(), n);
+    EXPECT_EQ(c1, c2);
+    EXPECT_EQ(r1, r2);
+}
+
+TEST_P(MpnBasicSizes, AdditionIsAssociative)
+{
+    camp::Rng rng(8 + GetParam());
+    const std::size_t n = GetParam();
+    const auto a = random_limbs(rng, n);
+    const auto b = random_limbs(rng, n);
+    const auto c = random_limbs(rng, n);
+    std::vector<Limb> ab(n + 1), bc(n + 1), r1(n + 2), r2(n + 2);
+    ab[n] = mpn::add_n(ab.data(), a.data(), b.data(), n);
+    bc[n] = mpn::add_n(bc.data(), b.data(), c.data(), n);
+    r1[n + 1] = mpn::add(r1.data(), ab.data(), n + 1, c.data(), n);
+    r2[n + 1] = mpn::add(r2.data(), bc.data(), n + 1, a.data(), n);
+    EXPECT_EQ(r1, r2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MpnBasicSizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64,
+                                           127));

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the optimization-oriented operators: mullo against the low
+ * half of the full product, divexact against divrem on constructed
+ * exact quotients, and Lehmer GCD against binary GCD.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpn/basic.hpp"
+#include "mpn/extra.hpp"
+#include "mpn/mul.hpp"
+#include "mpn/natural.hpp"
+#include "support/rng.hpp"
+
+namespace mpn = camp::mpn;
+using mpn::Limb;
+using mpn::Natural;
+
+namespace {
+
+std::vector<Limb>
+random_limbs(camp::Rng& rng, std::size_t n)
+{
+    std::vector<Limb> v(n);
+    for (auto& limb : v)
+        limb = rng.next();
+    return v;
+}
+
+} // namespace
+
+class MulloSizes : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(MulloSizes, MatchesLowHalfOfFullProduct)
+{
+    const std::size_t n = GetParam();
+    camp::Rng rng(140 + n);
+    for (int iter = 0; iter < 6; ++iter) {
+        const auto a = random_limbs(rng, n);
+        const auto b = random_limbs(rng, n);
+        std::vector<Limb> lo(n), full(2 * n);
+        mpn::mullo_n(lo.data(), a.data(), b.data(), n);
+        mpn::mul(full.data(), a.data(), n, b.data(), n);
+        EXPECT_EQ(mpn::cmp_n(lo.data(), full.data(), n), 0)
+            << "n=" << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MulloSizes,
+                         ::testing::Values(1, 2, 3, 7, 16, 47, 48, 49,
+                                           100, 200, 333));
+
+TEST(DivExact, MatchesConstructedQuotient)
+{
+    camp::Rng rng(141);
+    for (int iter = 0; iter < 40; ++iter) {
+        const std::size_t qn = 1 + rng.below(60);
+        const std::size_t dn = 1 + rng.below(40);
+        auto qv = random_limbs(rng, qn);
+        auto dv = random_limbs(rng, dn);
+        if (qv.back() == 0)
+            qv.back() = 1;
+        if (dv.back() == 0)
+            dv.back() = 1;
+        std::vector<Limb> a(qn + dn);
+        if (qn >= dn)
+            mpn::mul(a.data(), qv.data(), qn, dv.data(), dn);
+        else
+            mpn::mul(a.data(), dv.data(), dn, qv.data(), qn);
+        const std::size_t an = mpn::normalized_size(a.data(), a.size());
+        std::vector<Limb> q(an - dn + 1, 0);
+        mpn::divexact(q.data(), a.data(), an, dv.data(), dn);
+        EXPECT_EQ(mpn::normalized_size(q.data(), q.size()), qn);
+        EXPECT_EQ(mpn::cmp_n(q.data(), qv.data(), qn), 0);
+    }
+}
+
+TEST(DivExact, EvenDivisors)
+{
+    camp::Rng rng(142);
+    for (const unsigned twos : {1u, 7u, 64u, 65u, 130u}) {
+        const Natural d0 = Natural::random_bits(rng, 100);
+        const Natural d = d0 << twos;
+        const Natural q = Natural::random_bits(rng, 150);
+        const Natural a = q * d;
+        std::vector<Limb> qv(a.size() - d.size() + 1, 0);
+        mpn::divexact(qv.data(), a.data(), a.size(), d.data(),
+                      d.size());
+        EXPECT_EQ(Natural::from_limbs({qv.begin(), qv.end()}), q)
+            << "twos=" << twos;
+    }
+}
+
+TEST(DivExact, DivisorOfOneLimb)
+{
+    camp::Rng rng(143);
+    const Natural q = Natural::random_bits(rng, 500);
+    const Natural d(0x1234567b);
+    const Natural a = q * d;
+    std::vector<Limb> qv(a.size(), 0);
+    mpn::divexact(qv.data(), a.data(), a.size(), d.data(), d.size());
+    EXPECT_EQ(Natural::from_limbs({qv.begin(), qv.end()}), q);
+}
+
+TEST(GcdLehmer, MatchesBinaryGcdRandom)
+{
+    camp::Rng rng(144);
+    for (int iter = 0; iter < 25; ++iter) {
+        const Natural g =
+            Natural::random_bits(rng, 1 + rng.below(100));
+        const Natural a =
+            g * Natural::random_bits(rng, 1 + rng.below(600));
+        const Natural b =
+            g * Natural::random_bits(rng, 1 + rng.below(600));
+        EXPECT_EQ(mpn::gcd_lehmer(a, b), Natural::gcd(a, b));
+    }
+}
+
+TEST(GcdLehmer, EdgeCases)
+{
+    EXPECT_EQ(mpn::gcd_lehmer(Natural(), Natural(7)), Natural(7));
+    EXPECT_EQ(mpn::gcd_lehmer(Natural(7), Natural()), Natural(7));
+    EXPECT_EQ(mpn::gcd_lehmer(Natural(1), Natural(1)), Natural(1));
+    camp::Rng rng(145);
+    const Natural a = Natural::random_bits(rng, 2000);
+    EXPECT_EQ(mpn::gcd_lehmer(a, a), a);
+    // Coprime pair: gcd 1 (consecutive integers).
+    EXPECT_EQ(mpn::gcd_lehmer(a, a + Natural(1)), Natural(1));
+}
+
+TEST(GcdLehmer, FibonacciWorstCase)
+{
+    // Consecutive Fibonacci numbers maximize Euclid steps.
+    Natural f0(0), f1(1);
+    for (int i = 0; i < 600; ++i) {
+        const Natural f2 = f0 + f1;
+        f0 = f1;
+        f1 = f2;
+    }
+    EXPECT_EQ(mpn::gcd_lehmer(f1, f0), Natural(1));
+}
+
+#include "mpn/newton.hpp"
+
+TEST(Newton, ReciprocalIsExactFloor)
+{
+    camp::Rng rng(146);
+    for (int iter = 0; iter < 20; ++iter) {
+        const Natural d =
+            Natural::random_bits(rng, 65 + rng.below(2000));
+        const std::uint64_t extra = 64 + rng.below(2000);
+        const Natural x = mpn::newton_reciprocal(d, extra);
+        const Natural pow = Natural(1) << (d.bits() + extra);
+        EXPECT_LE(x * d, pow);
+        EXPECT_GT((x + Natural(1)) * d, pow);
+    }
+}
+
+TEST(Newton, ReciprocalSmallPathsMatch)
+{
+    // extra < 64 and tiny divisors take the direct path.
+    const Natural d(10);
+    EXPECT_EQ(mpn::newton_reciprocal(d, 10).to_uint64(),
+              (1u << (4 + 10)) / 10);
+    EXPECT_THROW(mpn::newton_reciprocal(Natural(), 100),
+                 std::invalid_argument);
+}
+
+TEST(Newton, DivremMatchesReferenceDivision)
+{
+    camp::Rng rng(147);
+    for (int iter = 0; iter < 20; ++iter) {
+        const Natural d =
+            Natural::random_bits(rng, 64 + rng.below(1500));
+        const Natural a =
+            Natural::random_bits(rng, d.bits() + rng.below(3000));
+        auto [q, r] = mpn::divrem_newton(a, d);
+        auto [q2, r2] = Natural::divrem(a, d);
+        EXPECT_EQ(q, q2);
+        EXPECT_EQ(r, r2);
+    }
+}
+
+TEST(Newton, DivremEdgeCases)
+{
+    EXPECT_THROW(mpn::divrem_newton(Natural(5), Natural()),
+                 std::invalid_argument);
+    const auto [q, r] = mpn::divrem_newton(Natural(3), Natural(7));
+    EXPECT_TRUE(q.is_zero());
+    EXPECT_EQ(r, Natural(3));
+    // Power-of-two divisor: quotient is a shift.
+    camp::Rng rng(148);
+    const Natural a = Natural::random_bits(rng, 1000);
+    const Natural d = Natural(1) << 137;
+    const auto [q2, r2] = mpn::divrem_newton(a, d);
+    EXPECT_EQ(q2, a >> 137);
+    EXPECT_EQ(r2, a & (d - Natural(1)));
+}

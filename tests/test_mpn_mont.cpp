@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Montgomery arithmetic tests: REDC correctness against plain modular
+ * reduction, round trips, and the identity element.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "mpn/basic.hpp"
+#include "mpn/mont.hpp"
+#include "mpn/natural.hpp"
+#include "support/rng.hpp"
+
+namespace mpn = camp::mpn;
+using mpn::Limb;
+using mpn::MontCtx;
+using mpn::Natural;
+
+namespace {
+
+Natural
+mont_mul_via_ctx(const MontCtx& ctx, const Natural& a, const Natural& b)
+{
+    const std::size_t nn = ctx.size();
+    std::vector<Limb> av(nn, 0), bv(nn, 0), am(nn), bm(nn), rm(nn),
+        r(nn);
+    mpn::copy(av.data(), a.data(), a.size());
+    mpn::copy(bv.data(), b.data(), b.size());
+    ctx.to_mont(am.data(), av.data());
+    ctx.to_mont(bm.data(), bv.data());
+    ctx.mul(rm.data(), am.data(), bm.data());
+    ctx.from_mont(r.data(), rm.data());
+    return Natural::from_limbs(std::move(r));
+}
+
+} // namespace
+
+TEST(MpnMont, RejectsEvenModulus)
+{
+    std::vector<Limb> m{42};
+    EXPECT_THROW(MontCtx(m.data(), 1), std::invalid_argument);
+}
+
+TEST(MpnMont, ToFromMontRoundTrip)
+{
+    camp::Rng rng(41);
+    for (std::uint64_t bits : {64u, 65u, 128u, 300u, 1024u}) {
+        Natural m = Natural::random_bits(rng, bits);
+        if (!m.is_odd())
+            m += Natural(1);
+        const MontCtx ctx(m.data(), m.size());
+        for (int iter = 0; iter < 10; ++iter) {
+            const Natural a = Natural::random_bits(rng, bits - 1) % m;
+            std::vector<Limb> av(ctx.size(), 0), am(ctx.size()),
+                back(ctx.size());
+            mpn::copy(av.data(), a.data(), a.size());
+            ctx.to_mont(am.data(), av.data());
+            ctx.from_mont(back.data(), am.data());
+            EXPECT_EQ(Natural::from_limbs({back.begin(), back.end()}), a);
+        }
+    }
+}
+
+TEST(MpnMont, MulMatchesPlainModularMul)
+{
+    camp::Rng rng(42);
+    for (std::uint64_t bits : {64u, 127u, 256u, 1000u, 2048u}) {
+        Natural m = Natural::random_bits(rng, bits);
+        if (!m.is_odd())
+            m += Natural(1);
+        const MontCtx ctx(m.data(), m.size());
+        for (int iter = 0; iter < 8; ++iter) {
+            const Natural a = Natural::random_bits(rng, bits) % m;
+            const Natural b = Natural::random_bits(rng, bits) % m;
+            EXPECT_EQ(mont_mul_via_ctx(ctx, a, b), (a * b) % m)
+                << "bits=" << bits;
+        }
+    }
+}
+
+TEST(MpnMont, OneIsMultiplicativeIdentity)
+{
+    camp::Rng rng(43);
+    Natural m = Natural::random_bits(rng, 320);
+    if (!m.is_odd())
+        m += Natural(1);
+    const MontCtx ctx(m.data(), m.size());
+    const Natural a = Natural::random_bits(rng, 319) % m;
+    std::vector<Limb> av(ctx.size(), 0), am(ctx.size()), rm(ctx.size()),
+        r(ctx.size());
+    mpn::copy(av.data(), a.data(), a.size());
+    ctx.to_mont(am.data(), av.data());
+    // mont(a) * one() == mont(a) since one() is R mod m.
+    ctx.mul(rm.data(), am.data(), ctx.one());
+    ctx.from_mont(r.data(), rm.data());
+    EXPECT_EQ(Natural::from_limbs({r.begin(), r.end()}), a);
+}
+
+TEST(MpnMont, SquaringChainMatchesPow)
+{
+    camp::Rng rng(44);
+    Natural m = Natural::random_bits(rng, 200);
+    if (!m.is_odd())
+        m += Natural(1);
+    const MontCtx ctx(m.data(), m.size());
+    Natural a = Natural::random_bits(rng, 150) % m;
+    // a^(2^5) via repeated Montgomery squaring.
+    std::vector<Limb> x(ctx.size(), 0), xm(ctx.size()), t(ctx.size());
+    mpn::copy(x.data(), a.data(), a.size());
+    ctx.to_mont(xm.data(), x.data());
+    for (int i = 0; i < 5; ++i) {
+        ctx.mul(t.data(), xm.data(), xm.data());
+        xm = t;
+    }
+    std::vector<Limb> r(ctx.size());
+    ctx.from_mont(r.data(), xm.data());
+    Natural expect = a;
+    for (int i = 0; i < 5; ++i)
+        expect = (expect * expect) % m;
+    EXPECT_EQ(Natural::from_limbs({r.begin(), r.end()}), expect);
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Square-root tests: s = floor(sqrt(a)) iff s^2 <= a < (s+1)^2, plus
+ * exact squares, boundary values, and large random sweeps.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpn/basic.hpp"
+#include "mpn/mul.hpp"
+#include "mpn/natural.hpp"
+#include "mpn/sqrt.hpp"
+#include "support/rng.hpp"
+
+namespace mpn = camp::mpn;
+using mpn::Limb;
+using mpn::Natural;
+
+namespace {
+
+void
+check_sqrt(const Natural& a)
+{
+    auto [s, r] = Natural::sqrtrem(a);
+    // a == s^2 + r
+    EXPECT_EQ(s * s + r, a);
+    // r <= 2s  (equivalent to a < (s+1)^2)
+    EXPECT_LE(r, s + s);
+}
+
+} // namespace
+
+TEST(MpnSqrt, SmallValues)
+{
+    for (std::uint64_t v = 0; v < 200; ++v) {
+        auto [s, r] = Natural::sqrtrem(Natural(v));
+        const std::uint64_t si = s.to_uint64();
+        EXPECT_LE(si * si, v);
+        EXPECT_GT((si + 1) * (si + 1), v);
+        EXPECT_EQ(r.to_uint64(), v - si * si);
+    }
+}
+
+TEST(MpnSqrt, PerfectSquares)
+{
+    camp::Rng rng(31);
+    for (std::size_t n : {1, 2, 3, 5, 9, 20, 64, 150}) {
+        const Natural s = Natural::random_bits(rng, n * 37 + 1);
+        const Natural a = s * s;
+        auto [s2, r] = Natural::sqrtrem(a);
+        EXPECT_EQ(s2, s) << "n=" << n;
+        EXPECT_TRUE(r.is_zero());
+    }
+}
+
+TEST(MpnSqrt, PerfectSquareMinusOne)
+{
+    camp::Rng rng(32);
+    for (int iter = 0; iter < 20; ++iter) {
+        const Natural s = Natural::random_bits(rng, 64 + rng.below(900));
+        const Natural a = s * s - Natural(1);
+        auto [s2, r] = Natural::sqrtrem(a);
+        EXPECT_EQ(s2, s - Natural(1));
+        EXPECT_EQ(r, (s - Natural(1)) + (s - Natural(1))); // 2(s-1)
+    }
+}
+
+class SqrtBits : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SqrtBits, RandomInvariantSweep)
+{
+    camp::Rng rng(33 + GetParam());
+    for (int iter = 0; iter < 10; ++iter)
+        check_sqrt(Natural::random_bits(rng, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, SqrtBits,
+                         ::testing::Values(1, 7, 63, 64, 65, 127, 128,
+                                           129, 255, 1000, 4096, 10001,
+                                           30000));
+
+TEST(MpnSqrt, PowersOfTwo)
+{
+    for (std::uint64_t e : {10u, 63u, 64u, 65u, 127u, 200u, 1001u}) {
+        const Natural a = Natural(1) << e;
+        auto [s, r] = Natural::sqrtrem(a);
+        if (e % 2 == 0) {
+            EXPECT_EQ(s, Natural(1) << (e / 2));
+            EXPECT_TRUE(r.is_zero());
+        } else {
+            EXPECT_EQ(s * s + r, a);
+            EXPECT_LE(r, s + s);
+        }
+    }
+}
+
+TEST(MpnSqrt, KernelInterfaceRemainderSize)
+{
+    camp::Rng rng(34);
+    const Natural a = Natural::random_bits(rng, 777);
+    std::vector<Limb> s((a.size() + 1) / 2), r(a.size());
+    const std::size_t rn =
+        mpn::sqrtrem(s.data(), r.data(), a.data(), a.size());
+    EXPECT_EQ(rn, mpn::normalized_size(r.data(), r.size()));
+    // Null remainder pointer is allowed.
+    std::vector<Limb> s2((a.size() + 1) / 2);
+    mpn::sqrtrem(s2.data(), nullptr, a.data(), a.size());
+    EXPECT_EQ(s, s2);
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Rational (mpq layer) tests: canonicalization, field axioms on random
+ * samples, ordering, and decimal expansion.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mpq/rational.hpp"
+#include "support/rng.hpp"
+
+using camp::mpn::Natural;
+using camp::mpq::Rational;
+using camp::mpz::Integer;
+
+namespace {
+
+Rational
+random_rational(camp::Rng& rng)
+{
+    const Natural n = Natural::random_bits(rng, 1 + rng.below(60));
+    const Natural d = Natural::random_bits(rng, 1 + rng.below(60));
+    return {Integer(n, rng.below(2) == 0), d};
+}
+
+} // namespace
+
+TEST(Rational, CanonicalizesToLowestTerms)
+{
+    const Rational r(Integer(6), Natural(8));
+    EXPECT_EQ(r.num(), Integer(3));
+    EXPECT_EQ(r.den(), Natural(4));
+    const Rational z(Integer(0), Natural(17));
+    EXPECT_EQ(z.den(), Natural(1));
+    EXPECT_TRUE(z.is_zero());
+}
+
+TEST(Rational, ZeroDenominatorThrows)
+{
+    EXPECT_THROW(Rational(Integer(1), Natural(0)), std::invalid_argument);
+    EXPECT_THROW(Rational(1) / Rational(0), std::invalid_argument);
+}
+
+TEST(Rational, FieldAxiomsOnRandomSamples)
+{
+    camp::Rng rng(71);
+    for (int iter = 0; iter < 25; ++iter) {
+        const Rational a = random_rational(rng);
+        const Rational b = random_rational(rng);
+        const Rational c = random_rational(rng);
+        EXPECT_EQ(a + b, b + a);
+        EXPECT_EQ(a * b, b * a);
+        EXPECT_EQ((a + b) + c, a + (b + c));
+        EXPECT_EQ(a * (b + c), a * b + a * c);
+        EXPECT_EQ(a - a, Rational(0));
+        if (!b.is_zero())
+            EXPECT_EQ(a / b * b, a);
+    }
+}
+
+TEST(Rational, OrderingMatchesCrossMultiplication)
+{
+    EXPECT_LT(Rational(Integer(1), Natural(3)),
+              Rational(Integer(1), Natural(2)));
+    EXPECT_LT(Rational(Integer(-1), Natural(2)),
+              Rational(Integer(1), Natural(3)));
+    EXPECT_GT(Rational(Integer(7), Natural(8)),
+              Rational(Integer(6), Natural(7)));
+}
+
+TEST(Rational, DecimalExpansion)
+{
+    EXPECT_EQ(Rational(Integer(1), Natural(4)).to_decimal(4), "0.2500");
+    EXPECT_EQ(Rational(Integer(1), Natural(3)).to_decimal(6), "0.333333");
+    EXPECT_EQ(Rational(Integer(-22), Natural(7)).to_decimal(5),
+              "-3.14285");
+}
+
+TEST(Rational, ToDoubleApproximates)
+{
+    EXPECT_NEAR(Rational(Integer(1), Natural(3)).to_double(),
+                1.0 / 3.0, 1e-15);
+    EXPECT_NEAR(Rational(Integer(-355), Natural(113)).to_double(),
+                -355.0 / 113.0, 1e-12);
+}

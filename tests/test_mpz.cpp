@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Integer (mpz layer) tests: sign-magnitude arithmetic, truncated
+ * division semantics, modular helpers, and primality testing.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mpz/integer.hpp"
+#include "support/rng.hpp"
+
+using camp::mpn::Natural;
+using camp::mpz::Integer;
+
+TEST(Integer, SmallConstructionAndSign)
+{
+    EXPECT_EQ(Integer(0).to_int64(), 0);
+    EXPECT_EQ(Integer(5).to_int64(), 5);
+    EXPECT_EQ(Integer(-5).to_int64(), -5);
+    EXPECT_FALSE(Integer(0).is_negative());
+    EXPECT_FALSE((-Integer(0)).is_negative()); // -0 == 0
+    EXPECT_EQ(Integer(INT64_MIN).abs().to_decimal(),
+              "9223372036854775808");
+}
+
+TEST(Integer, SignedArithmeticMatchesInt64)
+{
+    camp::Rng rng(61);
+    for (int iter = 0; iter < 300; ++iter) {
+        const std::int64_t a =
+            static_cast<std::int32_t>(rng.next());
+        const std::int64_t b =
+            static_cast<std::int32_t>(rng.next());
+        EXPECT_EQ((Integer(a) + Integer(b)).to_int64(), a + b);
+        EXPECT_EQ((Integer(a) - Integer(b)).to_int64(), a - b);
+        EXPECT_EQ((Integer(a) * Integer(b)).to_int64(), a * b);
+        if (b != 0) {
+            EXPECT_EQ((Integer(a) / Integer(b)).to_int64(), a / b)
+                << a << "/" << b;
+            EXPECT_EQ((Integer(a) % Integer(b)).to_int64(), a % b)
+                << a << "%" << b;
+        }
+    }
+}
+
+TEST(Integer, DivremInvariantAllSignCombos)
+{
+    camp::Rng rng(62);
+    for (int iter = 0; iter < 40; ++iter) {
+        const Natural am = Natural::random_bits(rng, 1 + rng.below(300));
+        const Natural bm = Natural::random_bits(rng, 1 + rng.below(200));
+        for (const bool an : {false, true}) {
+            for (const bool bn : {false, true}) {
+                const Integer a(am, an), b(bm, bn);
+                auto [q, r] = Integer::divrem(a, b);
+                EXPECT_EQ(q * b + r, a);
+                EXPECT_LT(r.abs(), b.abs());
+                // Truncated: remainder has the dividend's sign.
+                if (!r.is_zero())
+                    EXPECT_EQ(r.is_negative(), a.is_negative());
+            }
+        }
+    }
+}
+
+TEST(Integer, DecimalRoundTripWithSign)
+{
+    EXPECT_EQ(Integer::from_decimal("-12345678901234567890").to_decimal(),
+              "-12345678901234567890");
+    EXPECT_EQ(Integer::from_decimal("0").to_decimal(), "0");
+    EXPECT_THROW(Integer::from_decimal(""), std::invalid_argument);
+}
+
+TEST(Integer, ComparisonTotalOrder)
+{
+    EXPECT_LT(Integer(-5), Integer(-4));
+    EXPECT_LT(Integer(-5), Integer(0));
+    EXPECT_LT(Integer(-5), Integer(3));
+    EXPECT_LT(Integer(2), Integer(3));
+    EXPECT_GT(Integer(-2), Integer(-3));
+    EXPECT_EQ(Integer(7) <=> Integer(7), std::strong_ordering::equal);
+}
+
+TEST(Integer, EuclideanMod)
+{
+    EXPECT_EQ(Integer::mod(Integer(-7), Natural(3)), Natural(2));
+    EXPECT_EQ(Integer::mod(Integer(7), Natural(3)), Natural(1));
+    EXPECT_EQ(Integer::mod(Integer(-9), Natural(3)), Natural(0));
+}
+
+TEST(Integer, PowmodMatchesNaive)
+{
+    camp::Rng rng(63);
+    for (int iter = 0; iter < 15; ++iter) {
+        Natural m = Natural::random_bits(rng, 2 + rng.below(120));
+        if (m == Natural(1))
+            m += Natural(1);
+        const Natural b = Natural::random_bits(rng, 1 + rng.below(90));
+        const std::uint64_t e = rng.below(200);
+        Natural naive(1);
+        for (std::uint64_t i = 0; i < e; ++i)
+            naive = (naive * b) % m;
+        EXPECT_EQ(Integer::powmod(b, Natural(e), m), naive)
+            << "odd=" << m.is_odd();
+    }
+}
+
+TEST(Integer, PowmodFermatLittleTheorem)
+{
+    // 2^(p-1) == 1 mod p for prime p.
+    const Natural p = Natural::from_decimal("1000000007");
+    EXPECT_EQ(Integer::powmod(Natural(2), p - Natural(1), p), Natural(1));
+    // Large known prime 2^127 - 1.
+    const Natural m127 = (Natural(1) << 127) - Natural(1);
+    EXPECT_EQ(Integer::powmod(Natural(3), m127 - Natural(1), m127),
+              Natural(1));
+}
+
+TEST(Integer, InvmodInvertsAndThrowsOnNonCoprime)
+{
+    camp::Rng rng(64);
+    const Natural m = Natural::from_decimal("1000000007");
+    for (int iter = 0; iter < 20; ++iter) {
+        const Natural a =
+            Natural::random_bits(rng, 1 + rng.below(28)) % m;
+        if (a.is_zero())
+            continue;
+        const Natural inv = Integer::invmod(a, m);
+        EXPECT_EQ((a * inv) % m, Natural(1));
+    }
+    EXPECT_THROW(Integer::invmod(Natural(6), Natural(9)),
+                 std::invalid_argument);
+}
+
+TEST(Integer, MillerRabinKnownValues)
+{
+    const std::uint64_t primes[] = {2, 3, 5, 97, 65537, 1000000007ULL};
+    for (const std::uint64_t p : primes)
+        EXPECT_TRUE(Integer::is_probable_prime(Natural(p))) << p;
+    const std::uint64_t composites[] = {1,    4,       91,
+                                        561, // Carmichael
+                                        6601, 1000000008ULL};
+    for (const std::uint64_t c : composites)
+        EXPECT_FALSE(Integer::is_probable_prime(Natural(c))) << c;
+    // Mersenne prime 2^127 - 1 and composite 2^128 + 1.
+    EXPECT_TRUE(
+        Integer::is_probable_prime((Natural(1) << 127) - Natural(1)));
+    EXPECT_FALSE(
+        Integer::is_probable_prime((Natural(1) << 128) + Natural(1)));
+}
+
+TEST(Integer, PowSigns)
+{
+    EXPECT_EQ(Integer::pow(Integer(-3), 3).to_int64(), -27);
+    EXPECT_EQ(Integer::pow(Integer(-3), 4).to_int64(), 81);
+    EXPECT_EQ(Integer::pow(Integer(7), 0).to_int64(), 1);
+}

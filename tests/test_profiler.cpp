@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Profiler tests: category attribution is exclusive, kernel operations
+ * from Natural are captured through the op-hook, and the histogram
+ * aggregates sizes.
+ */
+#include <gtest/gtest.h>
+
+#include "mpn/natural.hpp"
+#include "profile/profiler.hpp"
+#include "support/rng.hpp"
+
+using camp::mpn::Natural;
+using camp::mpn::OpKind;
+using namespace camp::profile;
+
+TEST(Profiler, CategoriesOfOpKinds)
+{
+    EXPECT_EQ(category_of(OpKind::Mul), Category::KernelMul);
+    EXPECT_EQ(category_of(OpKind::Sqr), Category::KernelMul);
+    EXPECT_EQ(category_of(OpKind::Add), Category::KernelAdd);
+    EXPECT_EQ(category_of(OpKind::Sub), Category::KernelAdd);
+    EXPECT_EQ(category_of(OpKind::Shift), Category::KernelShift);
+    EXPECT_EQ(category_of(OpKind::Div), Category::LowLevelOther);
+    EXPECT_EQ(category_of(OpKind::Sqrt), Category::LowLevelOther);
+}
+
+TEST(Profiler, CapturesKernelOpsViaHook)
+{
+    ProfileSession session;
+    camp::Rng rng(111);
+    const Natural a = Natural::random_bits(rng, 50000);
+    const Natural b = Natural::random_bits(rng, 50000);
+    Natural c;
+    for (int i = 0; i < 5; ++i)
+        c = a * b;
+    auto& profiler = Profiler::instance();
+    EXPECT_EQ(profiler.calls(Category::KernelMul), 5u);
+    EXPECT_GT(profiler.seconds(Category::KernelMul), 0.0);
+    // Multiplication dominated this workload.
+    EXPECT_GT(profiler.seconds(Category::KernelMul),
+              0.5 * profiler.total_seconds());
+}
+
+TEST(Profiler, ExclusiveAttributionForNestedScopes)
+{
+    ProfileSession session;
+    auto& profiler = Profiler::instance();
+    {
+        CategoryScope outer(Category::Auxiliary);
+        camp::Rng rng(112);
+        const Natural a = Natural::random_bits(rng, 20000);
+        const Natural b = Natural::random_bits(rng, 20000);
+        const Natural c = a * b; // attributed to KernelMul, not Auxiliary
+        (void)c;
+    }
+    EXPECT_GT(profiler.seconds(Category::KernelMul), 0.0);
+    EXPECT_EQ(profiler.calls(Category::Auxiliary), 1u);
+}
+
+TEST(Profiler, HistogramAggregatesBySizeBucket)
+{
+    ProfileSession session;
+    camp::Rng rng(113);
+    const Natural a = Natural::random_bits(rng, 1000);
+    const Natural b = Natural::random_bits(rng, 1000);
+    for (int i = 0; i < 3; ++i) {
+        const Natural c = a * b;
+        (void)c;
+    }
+    const auto& hist = Profiler::instance().histogram();
+    // bucket = floor(log2(1000)) = 9.
+    const auto it = hist.find({OpKind::Mul, 9});
+    ASSERT_NE(it, hist.end());
+    EXPECT_EQ(it->second.count, 3u);
+    EXPECT_DOUBLE_EQ(it->second.sum_bits_a, 3000.0);
+}
+
+TEST(Profiler, BreakdownTableRendersAllCategories)
+{
+    ProfileSession session;
+    const std::string table =
+        Profiler::instance().breakdown_table("unit-test");
+    EXPECT_NE(table.find("Multiply"), std::string::npos);
+    EXPECT_NE(table.find("Auxiliary"), std::string::npos);
+    EXPECT_NE(table.find("unit-test"), std::string::npos);
+}
+
+TEST(Profiler, NoHooksMeansNoOverheadPath)
+{
+    // With no session active, Natural ops run with hooks disabled.
+    EXPECT_FALSE(camp::mpn::op_hooks_active());
+    camp::Rng rng(114);
+    const Natural a = Natural::random_bits(rng, 100);
+    const Natural b = a * a;
+    EXPECT_FALSE(b.is_zero());
+    {
+        ProfileSession session;
+        EXPECT_TRUE(camp::mpn::op_hooks_active());
+    }
+    EXPECT_FALSE(camp::mpn::op_hooks_active());
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Batch-engine tests: product correctness across batch shapes, wave
+ * accounting vs pooled capacity, and amortized-time behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/analytic_model.hpp"
+#include "sim/batch.hpp"
+#include "support/rng.hpp"
+
+using namespace camp::sim;
+using camp::mpn::Natural;
+
+TEST(BatchEngine, ProductsMatchReference)
+{
+    BatchEngine engine;
+    camp::Rng rng(150);
+    std::vector<std::pair<Natural, Natural>> pairs;
+    for (int i = 0; i < 20; ++i)
+        pairs.emplace_back(Natural::random_bits(rng, 64 + rng.below(2000)),
+                           Natural::random_bits(rng, 64 + rng.below(2000)));
+    const BatchResult result = engine.multiply_batch(pairs);
+    ASSERT_EQ(result.products.size(), pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+        EXPECT_EQ(result.products[i],
+                  pairs[i].first * pairs[i].second);
+}
+
+TEST(BatchEngine, ZeroOperandsYieldZeroProducts)
+{
+    BatchEngine engine;
+    camp::Rng rng(151);
+    std::vector<std::pair<Natural, Natural>> pairs;
+    pairs.emplace_back(Natural(), Natural(5));
+    pairs.emplace_back(Natural::random_bits(rng, 100), Natural());
+    const BatchResult result = engine.multiply_batch(pairs);
+    EXPECT_TRUE(result.products[0].is_zero());
+    EXPECT_TRUE(result.products[1].is_zero());
+}
+
+TEST(BatchEngine, WavesScaleWithBatchSize)
+{
+    BatchEngine engine(default_config(), /*validate=*/false);
+    camp::Rng rng(152);
+    auto make_batch = [&](std::size_t count) {
+        std::vector<std::pair<Natural, Natural>> pairs;
+        for (std::size_t i = 0; i < count; ++i)
+            pairs.emplace_back(Natural::random_bits(rng, 1024),
+                               Natural::random_bits(rng, 1024));
+        return pairs;
+    };
+    const BatchResult small = engine.multiply_batch(make_batch(8));
+    const BatchResult big = engine.multiply_batch(make_batch(512));
+    EXPECT_GT(big.tasks, 32 * small.tasks);
+    EXPECT_GE(big.waves, small.waves);
+    // Amortized time improves with batch size until capacity saturates.
+    EXPECT_LE(big.amortized_seconds(default_config()),
+              small.amortized_seconds(default_config()) + 1e-12);
+}
+
+TEST(BatchEngine, TaskAndWaveAccountingMatchesModel)
+{
+    BatchEngine engine(default_config(), /*validate=*/false);
+    camp::Rng rng(153);
+    const std::size_t batch = 96;
+    std::vector<std::pair<Natural, Natural>> pairs;
+    for (std::size_t i = 0; i < batch; ++i)
+        pairs.emplace_back(Natural::random_bits(rng, 1024),
+                           Natural::random_bits(rng, 1024));
+    const BatchResult result = engine.multiply_batch(pairs);
+    // Independent products pool tasks over the whole fabric.
+    const camp::sim::AnalyticModel model;
+    const auto per_product = model.multiply_counts(32, 32); // 1024 bits
+    EXPECT_EQ(result.tasks, batch * per_product.tasks);
+    const std::uint64_t expect_waves =
+        (result.tasks + default_config().total_ipus() - 1) /
+        default_config().total_ipus();
+    EXPECT_EQ(result.waves, expect_waves);
+}
+
+#include "sim/stream_sim.hpp"
+
+TEST(StreamingSimulator, ComputeBoundShapeHidesStreaming)
+{
+    // 35904x35904: compute bound; double buffering must fully hide the
+    // stream except for the initial fill.
+    const StreamingSimulator streamer(default_config(), 2);
+    const StreamStats stats = streamer.run_multiply(35904, 35904);
+    const AnalyticModel model;
+    const std::uint64_t analytic = model.multiply_cycles(35904, 35904);
+    EXPECT_EQ(stats.stall_cycles, 0u);
+    EXPECT_GE(stats.cycles, analytic);
+    EXPECT_LE(stats.cycles, analytic + stats.fill_cycles + 32);
+}
+
+TEST(StreamingSimulator, MemoryBoundShapeStalls)
+{
+    // 35904x32: memory bound; the pipeline must stall roughly down to
+    // the bandwidth bound regardless of buffering depth.
+    const AnalyticModel model;
+    const std::uint64_t analytic = model.multiply_cycles(35904, 32);
+    const StreamingSimulator streamer(default_config(), 4);
+    const StreamStats stats = streamer.run_multiply(35904, 32);
+    EXPECT_GT(stats.stall_cycles + stats.fill_cycles, 0u);
+    EXPECT_GE(stats.cycles, analytic);
+    EXPECT_LE(stats.cycles, analytic + analytic / 4 + 64);
+}
+
+TEST(StreamingSimulator, DeeperBuffersNeverHurt)
+{
+    for (const auto [a, b] :
+         {std::pair<std::uint64_t, std::uint64_t>{35904, 35904},
+          std::pair<std::uint64_t, std::uint64_t>{35904, 512},
+          std::pair<std::uint64_t, std::uint64_t>{20000, 4000}}) {
+        std::uint64_t prev = ~0ull;
+        for (const unsigned depth : {1u, 2u, 4u, 8u}) {
+            const StreamingSimulator streamer(default_config(), depth);
+            const StreamStats stats = streamer.run_multiply(a, b);
+            EXPECT_LE(stats.cycles, prev) << a << "x" << b << " depth "
+                                          << depth;
+            prev = stats.cycles;
+        }
+    }
+}
+
+TEST(StreamingSimulator, ZeroOperandIsFree)
+{
+    const StreamingSimulator streamer;
+    EXPECT_EQ(streamer.run_multiply(0, 100).cycles, 0u);
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Integration tests of the Cambricon-P Core: simulated multiplication
+ * equals the mpn reference across sizes and fidelities; the analytic
+ * model agrees with the functional schedule; the Table III calibration
+ * point (4096x4096 in 32 cycles = 1.6e-8 s) is reproduced.
+ */
+#include <gtest/gtest.h>
+
+#include "mpn/natural.hpp"
+#include "sim/analytic_model.hpp"
+#include "sim/core.hpp"
+#include "sim/tech_model.hpp"
+#include "support/rng.hpp"
+
+using namespace camp::sim;
+using camp::mpn::Natural;
+
+TEST(SimCore, SmallProductsBitSerialFidelity)
+{
+    camp::Rng rng(101);
+    Core core(default_config(), Fidelity::BitSerial);
+    for (const std::uint64_t bits : {1u, 17u, 32u, 33u, 64u, 100u, 256u}) {
+        const Natural a = Natural::random_bits(rng, bits);
+        const Natural b = Natural::random_bits(rng, bits);
+        const MulResult r = core.multiply(a, b);
+        EXPECT_EQ(r.product, a * b) << "bits=" << bits;
+    }
+}
+
+TEST(SimCore, FastFidelityMatchesBitSerial)
+{
+    camp::Rng rng(102);
+    Core bit_serial(default_config(), Fidelity::BitSerial);
+    Core fast(default_config(), Fidelity::Fast);
+    for (int iter = 0; iter < 5; ++iter) {
+        const Natural a = Natural::random_bits(rng, 200 + rng.below(800));
+        const Natural b = Natural::random_bits(rng, 200 + rng.below(800));
+        const MulResult r1 = bit_serial.multiply(a, b);
+        const MulResult r2 = fast.multiply(a, b);
+        EXPECT_EQ(r1.product, r2.product);
+        EXPECT_EQ(r1.stats.tasks, r2.stats.tasks);
+        EXPECT_EQ(r1.stats.waves, r2.stats.waves);
+        EXPECT_EQ(r1.stats.cycles, r2.stats.cycles);
+        // Event accounting agrees (fast mode mirrors the counters).
+        EXPECT_EQ(r1.stats.ipu.selects, r2.stats.ipu.selects);
+        EXPECT_EQ(r1.stats.ipu.zero_skips, r2.stats.ipu.zero_skips);
+    }
+}
+
+class SimCoreSizes : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SimCoreSizes, ProductMatchesReference)
+{
+    camp::Rng rng(103 + GetParam());
+    Core core(default_config(), Fidelity::Fast);
+    const Natural a = Natural::random_bits(rng, GetParam());
+    const Natural b = Natural::random_bits(rng, GetParam());
+    EXPECT_EQ(core.multiply(a, b).product, a * b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, SimCoreSizes,
+                         ::testing::Values(8, 31, 32, 64, 96, 512, 1024,
+                                           4096, 10000, 35904));
+
+TEST(SimCore, RejectsOversizedOperands)
+{
+    Core core;
+    camp::Rng rng(104);
+    const Natural big = Natural::random_bits(rng, 35905);
+    EXPECT_THROW(core.multiply(big, Natural(3)), std::invalid_argument);
+}
+
+TEST(SimCore, ZeroOperandsShortCircuit)
+{
+    Core core;
+    const MulResult r = core.multiply(Natural(), Natural(5));
+    EXPECT_TRUE(r.product.is_zero());
+    EXPECT_EQ(r.stats.cycles, 0u);
+}
+
+TEST(SimCore, Table3CalibrationPoint)
+{
+    // 4096x4096 bits = 128x128 hardware limbs -> 4096 tasks on 8192
+    // IPUs -> 1 wave of 32 cycles = 1.6e-8 s @ 2 GHz (Table III).
+    Core core(default_config(), Fidelity::Fast);
+    camp::Rng rng(105);
+    const Natural a = Natural::random_bits(rng, 4096);
+    const Natural b = Natural::random_bits(rng, 4096);
+    const MulResult r = core.multiply(a, b);
+    EXPECT_EQ(r.stats.waves, 1u);
+    EXPECT_EQ(r.stats.compute_cycles, 32u);
+    EXPECT_EQ(r.stats.cycles, 32u);
+    EXPECT_NEAR(r.stats.seconds(default_config()), 1.6e-8, 1e-12);
+}
+
+TEST(SimCore, AnalyticModelMatchesFunctionalSchedule)
+{
+    camp::Rng rng(106);
+    Core core(default_config(), Fidelity::Fast);
+    const AnalyticModel model;
+    for (const std::uint64_t bits :
+         {33u, 128u, 1000u, 4096u, 9999u, 20000u}) {
+        const Natural a = Natural::random_bits(rng, bits);
+        const Natural b = Natural::random_bits(rng, bits);
+        const MulResult r = core.multiply(a, b);
+        const CoreStats s = model.multiply_stats(bits, bits);
+        EXPECT_EQ(r.stats.tasks, s.tasks) << bits;
+        EXPECT_EQ(r.stats.waves, s.waves) << bits;
+        EXPECT_EQ(r.stats.cycles, s.cycles) << bits;
+        EXPECT_EQ(r.stats.bytes, s.bytes) << bits;
+    }
+}
+
+TEST(SimCore, UnbalancedOperands)
+{
+    camp::Rng rng(107);
+    Core core(default_config(), Fidelity::Fast);
+    const AnalyticModel model;
+    const Natural a = Natural::random_bits(rng, 30000);
+    const Natural b = Natural::random_bits(rng, 700);
+    const MulResult r = core.multiply(a, b);
+    EXPECT_EQ(r.product, a * b);
+    EXPECT_EQ(r.stats.cycles, model.multiply_cycles(30000, 700));
+}
+
+TEST(SimCore, MemoryBoundForSkinnyOperands)
+{
+    // 35904 x 32 bits: tiny compute, streaming dominates.
+    const AnalyticModel model;
+    const CoreStats s = model.multiply_stats(35904, 32);
+    EXPECT_GT(s.memory_cycles, s.compute_cycles);
+    EXPECT_EQ(s.cycles, s.memory_cycles);
+}
+
+TEST(TechModel, AreaMatchesPaperTotal)
+{
+    const AreaBreakdown area = cambricon_p_area();
+    EXPECT_NEAR(area.total(), 1.894, 1e-9);
+}
+
+TEST(TechModel, PowerNearPaperAtFullUtilization)
+{
+    // A large dense multiplication should run the chip near the
+    // published 3.644 W.
+    const AnalyticModel model;
+    const CoreStats stats = model.multiply_stats(35904, 35904);
+    const EnergyModel energy = cambricon_p_energy();
+    const double watts = energy.power(stats, default_config());
+    EXPECT_GT(watts, 2.0);
+    EXPECT_LT(watts, 5.5);
+}
+
+TEST(TechModel, EnergyScalesWithWork)
+{
+    const AnalyticModel model;
+    const EnergyModel energy = cambricon_p_energy();
+    const double e1 = energy.energy(model.multiply_stats(4096, 4096),
+                                    default_config());
+    const double e2 = energy.energy(model.multiply_stats(16384, 16384),
+                                    default_config());
+    EXPECT_GT(e2, 8 * e1); // ~16x tasks
+    EXPECT_LT(e2, 32 * e1);
+}

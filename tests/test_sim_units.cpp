@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the Cambricon-P functional blocks: Converter pattern
+ * generation, BIPS identity in the IPU, carry parallel gathering in the
+ * GU, and the fractal CC/PEC scheduling.
+ */
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "sim/controller.hpp"
+#include "sim/converter.hpp"
+#include "sim/gather_unit.hpp"
+#include "sim/ipu.hpp"
+#include "support/rng.hpp"
+
+using namespace camp::sim;
+using camp::u128;
+using camp::mpn::Natural;
+
+namespace {
+
+std::vector<Bitflow>
+flows_from(const std::array<std::uint32_t, 4>& x, std::size_t len = 32)
+{
+    std::vector<Bitflow> flows;
+    for (const auto v : x)
+        flows.push_back(Bitflow::from_value(v, len));
+    return flows;
+}
+
+} // namespace
+
+TEST(Bitflow, ValueRoundTrip)
+{
+    camp::Rng rng(90);
+    for (int iter = 0; iter < 50; ++iter) {
+        const u128 v = (static_cast<u128>(rng.next()) << 64) | rng.next();
+        const Bitflow flow = Bitflow::from_value(v, 128);
+        EXPECT_TRUE(flow.value() == v);
+        EXPECT_EQ(flow.length(), 128u);
+    }
+}
+
+TEST(Converter, GeneratesAllSubsetSums)
+{
+    camp::Rng rng(91);
+    const Converter converter;
+    for (int iter = 0; iter < 30; ++iter) {
+        const std::array<std::uint32_t, 4> x{
+            static_cast<std::uint32_t>(rng.next()),
+            static_cast<std::uint32_t>(rng.next()),
+            static_cast<std::uint32_t>(rng.next()),
+            static_cast<std::uint32_t>(rng.next())};
+        const auto patterns = converter.convert(flows_from(x));
+        ASSERT_EQ(patterns.size(), 16u);
+        for (unsigned s = 0; s < 16; ++s) {
+            u128 expect = 0;
+            for (unsigned i = 0; i < 4; ++i)
+                if (s & (1u << i))
+                    expect += x[i];
+            EXPECT_TRUE(patterns[s].value() == expect) << "s=" << s;
+        }
+    }
+}
+
+TEST(Converter, ActiveAdderCountMatchesPaperBound)
+{
+    // 2^q - q - 1 = 11 serial adders for q = 4 (paper §IV-B).
+    const Converter converter;
+    EXPECT_EQ(converter.active_adders(), 11u);
+    // Measured bit ops = adders * stream length.
+    ConverterStats stats;
+    const std::array<std::uint32_t, 4> x{1, 2, 3, 4};
+    converter.convert(flows_from(x), &stats);
+    EXPECT_EQ(stats.adder_bit_ops, 11u * stats.cycles);
+}
+
+TEST(Ipu, BipsIdentityRandomSweep)
+{
+    camp::Rng rng(92);
+    const Ipu ipu;
+    for (int iter = 0; iter < 200; ++iter) {
+        IpuTask task;
+        for (int i = 0; i < 4; ++i) {
+            task.x[i] = static_cast<std::uint32_t>(rng.next());
+            task.y[i] = static_cast<std::uint32_t>(rng.next());
+        }
+        u128 expect = 0;
+        for (int i = 0; i < 4; ++i)
+            expect += static_cast<u128>(task.x[i]) * task.y[i];
+        EXPECT_TRUE(ipu.run_task(task) == expect);
+        EXPECT_TRUE(ipu.run_naive(task) == expect);
+    }
+}
+
+TEST(Ipu, ZeroColumnsAreSkipped)
+{
+    const Ipu ipu;
+    IpuTask task;
+    task.x = {0xffffffff, 0xffffffff, 0xffffffff, 0xffffffff};
+    task.y = {0, 0, 0, 0};
+    IpuStats stats;
+    EXPECT_TRUE(ipu.run_task(task, &stats) == 0);
+    EXPECT_EQ(stats.zero_skips, 32u); // every column all-zero
+    EXPECT_EQ(stats.accum_bit_ops, 0u);
+}
+
+TEST(Ipu, BipsBeatsNaiveOnBops)
+{
+    // Paper §IV-B: lambda = bops(BIPS)/bops(naive) ~ 0.367 for dense
+    // operands (q = 4, p_y = 32). Converter + accumulate vs naive.
+    camp::Rng rng(93);
+    const Ipu ipu;
+    std::uint64_t bips_bops = 0, naive_bops = 0;
+    for (int iter = 0; iter < 100; ++iter) {
+        IpuTask task;
+        for (int i = 0; i < 4; ++i) {
+            task.x[i] = static_cast<std::uint32_t>(rng.next());
+            task.y[i] = static_cast<std::uint32_t>(rng.next());
+        }
+        IpuStats istats;
+        ConverterStats cstats;
+        ipu.run_task(task, &istats, &cstats);
+        bips_bops += istats.accum_bit_ops + cstats.adder_bit_ops;
+        IpuStats nstats;
+        ipu.run_naive(task, &nstats);
+        naive_bops += nstats.naive_bit_ops;
+    }
+    const double lambda = static_cast<double>(bips_bops) /
+                          static_cast<double>(naive_bops);
+    // Paper §IV-B: lambda_min = 0.367 at q = 4, p_y = 32. The measured
+    // ratio carries the q extra carry-drain bits per add, so allow a
+    // small band around the closed form.
+    EXPECT_NEAR(lambda, 0.367, 0.05);
+}
+
+TEST(GatherUnit, MatchesDirectSum)
+{
+    camp::Rng rng(94);
+    const GatherUnit gu;
+    for (int iter = 0; iter < 50; ++iter) {
+        const std::size_t n = 1 + rng.below(32);
+        std::vector<u128> psums(n);
+        Natural expect;
+        for (std::size_t i = 0; i < n; ++i) {
+            // Realistic partial sums: up to 66 bits.
+            psums[i] = (static_cast<u128>(rng.below(4)) << 64) |
+                       rng.next();
+            Natural term = Natural(static_cast<std::uint64_t>(psums[i]));
+            term += Natural(static_cast<std::uint64_t>(psums[i] >> 64))
+                    << 64;
+            expect += term << (32 * i);
+        }
+        EXPECT_EQ(gu.gather(psums), expect) << "n=" << n;
+    }
+}
+
+TEST(GatherUnit, CarryParallelLatencyBeatsSequential)
+{
+    const GatherUnit gu;
+    std::vector<u128> psums(32, static_cast<u128>(1) << 40);
+    GatherStats stats;
+    gu.gather(psums, &stats);
+    EXPECT_LT(stats.latency_parallel, stats.latency_sequential / 4);
+}
+
+TEST(GatherUnit, CombiningModes)
+{
+    camp::Rng rng(95);
+    const GatherUnit gu;
+    std::vector<u128> psums(32);
+    for (auto& p : psums)
+        p = rng.next();
+    for (unsigned mode : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        const auto results = gu.gather_combined(psums, mode);
+        EXPECT_EQ(results.size(), 32u / mode);
+        for (std::size_t g = 0; g < results.size(); ++g) {
+            Natural expect;
+            for (unsigned i = 0; i < mode; ++i)
+                expect += Natural(static_cast<std::uint64_t>(
+                              psums[g * mode + i]))
+                          << (32 * i);
+            EXPECT_EQ(results[g], expect) << "mode=" << mode;
+        }
+    }
+}
+
+TEST(Controller, AllPairsCoveredExactlyOnce)
+{
+    const SimConfig& config = default_config();
+    for (const auto [nx, ny] :
+         {std::pair<std::size_t, std::size_t>{1, 1},
+          std::pair<std::size_t, std::size_t>{7, 5},
+          std::pair<std::size_t, std::size_t>{128, 128},
+          std::pair<std::size_t, std::size_t>{300, 17}}) {
+        const Schedule schedule =
+            CoreController::schedule_multiply(nx, ny, config);
+        // Each (i, j) pair must appear exactly once across all works.
+        std::vector<int> seen(nx * ny, 0);
+        for (const auto& pe : schedule.per_pe) {
+            for (const auto& work : pe) {
+                for (std::uint32_t j = work.j_begin; j < work.j_end;
+                     ++j) {
+                    ASSERT_LT(j, ny);
+                    ASSERT_GE(work.t, j);
+                    ASSERT_LT(work.t - j, nx);
+                    seen[(work.t - j) * ny + j] += 1;
+                }
+            }
+        }
+        for (const int count : seen)
+            EXPECT_EQ(count, 1);
+    }
+}
+
+TEST(Controller, TaskChunksRespectQ)
+{
+    const SimConfig& config = default_config();
+    const Schedule schedule =
+        CoreController::schedule_multiply(100, 90, config);
+    for (const auto& pe : schedule.per_pe)
+        for (const auto& work : pe)
+            EXPECT_LE(work.j_end - work.j_begin, config.q);
+    EXPECT_GT(schedule.waves, 0u);
+}
