@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_bips"
+  "../bench/ablation_bips.pdb"
+  "CMakeFiles/ablation_bips.dir/ablation_bips.cpp.o"
+  "CMakeFiles/ablation_bips.dir/ablation_bips.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

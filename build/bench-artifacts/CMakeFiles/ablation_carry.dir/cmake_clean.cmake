@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_carry"
+  "../bench/ablation_carry.pdb"
+  "CMakeFiles/ablation_carry.dir/ablation_carry.cpp.o"
+  "CMakeFiles/ablation_carry.dir/ablation_carry.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_carry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_gu_modes"
+  "../bench/ablation_gu_modes.pdb"
+  "CMakeFiles/ablation_gu_modes.dir/ablation_gu_modes.cpp.o"
+  "CMakeFiles/ablation_gu_modes.dir/ablation_gu_modes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gu_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/batch_throughput"
+  "../bench/batch_throughput.pdb"
+  "CMakeFiles/batch_throughput.dir/batch_throughput.cpp.o"
+  "CMakeFiles/batch_throughput.dir/batch_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

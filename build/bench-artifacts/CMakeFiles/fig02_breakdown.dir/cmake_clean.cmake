@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_breakdown"
+  "../bench/fig02_breakdown.pdb"
+  "CMakeFiles/fig02_breakdown.dir/fig02_breakdown.cpp.o"
+  "CMakeFiles/fig02_breakdown.dir/fig02_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

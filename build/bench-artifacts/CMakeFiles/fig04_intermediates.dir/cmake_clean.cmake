@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_intermediates"
+  "../bench/fig04_intermediates.pdb"
+  "CMakeFiles/fig04_intermediates.dir/fig04_intermediates.cpp.o"
+  "CMakeFiles/fig04_intermediates.dir/fig04_intermediates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_intermediates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

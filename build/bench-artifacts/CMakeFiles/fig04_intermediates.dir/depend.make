@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_intermediates.
+# This may be replaced when dependencies are built.

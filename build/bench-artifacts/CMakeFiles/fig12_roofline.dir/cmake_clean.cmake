@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_roofline"
+  "../bench/fig12_roofline.pdb"
+  "CMakeFiles/fig12_roofline.dir/fig12_roofline.cpp.o"
+  "CMakeFiles/fig12_roofline.dir/fig12_roofline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_apps.cpp" "bench-artifacts/CMakeFiles/fig13_apps.dir/fig13_apps.cpp.o" "gcc" "bench-artifacts/CMakeFiles/fig13_apps.dir/fig13_apps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/camp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpapca/CMakeFiles/camp_mpapca.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpf/CMakeFiles/camp_mpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpz/CMakeFiles/camp_mpz.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/camp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/camp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpn/CMakeFiles/camp_mpn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/camp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

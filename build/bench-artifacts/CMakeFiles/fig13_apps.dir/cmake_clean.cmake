@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_apps"
+  "../bench/fig13_apps.pdb"
+  "CMakeFiles/fig13_apps.dir/fig13_apps.cpp.o"
+  "CMakeFiles/fig13_apps.dir/fig13_apps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

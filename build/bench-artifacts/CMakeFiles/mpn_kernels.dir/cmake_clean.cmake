@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/mpn_kernels"
+  "../bench/mpn_kernels.pdb"
+  "CMakeFiles/mpn_kernels.dir/mpn_kernels.cpp.o"
+  "CMakeFiles/mpn_kernels.dir/mpn_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpn_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

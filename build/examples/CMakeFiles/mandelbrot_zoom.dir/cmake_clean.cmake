@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandelbrot_zoom.dir/mandelbrot_zoom.cpp.o"
+  "CMakeFiles/mandelbrot_zoom.dir/mandelbrot_zoom.cpp.o.d"
+  "mandelbrot_zoom"
+  "mandelbrot_zoom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandelbrot_zoom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

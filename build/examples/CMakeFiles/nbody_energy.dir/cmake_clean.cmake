@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_energy.dir/nbody_energy.cpp.o"
+  "CMakeFiles/nbody_energy.dir/nbody_energy.cpp.o.d"
+  "nbody_energy"
+  "nbody_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

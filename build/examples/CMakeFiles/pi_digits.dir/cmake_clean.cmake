@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_digits.dir/pi_digits.cpp.o"
+  "CMakeFiles/pi_digits.dir/pi_digits.cpp.o.d"
+  "pi_digits"
+  "pi_digits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_digits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/rsa_demo.cpp" "examples/CMakeFiles/rsa_demo.dir/rsa_demo.cpp.o" "gcc" "examples/CMakeFiles/rsa_demo.dir/rsa_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/camp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpf/CMakeFiles/camp_mpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpz/CMakeFiles/camp_mpz.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/camp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpn/CMakeFiles/camp_mpn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/camp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsa_demo.dir/rsa_demo.cpp.o"
+  "CMakeFiles/rsa_demo.dir/rsa_demo.cpp.o.d"
+  "rsa_demo"
+  "rsa_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsa_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/frac/mandelbrot.cpp" "src/apps/CMakeFiles/camp_apps.dir/frac/mandelbrot.cpp.o" "gcc" "src/apps/CMakeFiles/camp_apps.dir/frac/mandelbrot.cpp.o.d"
+  "/root/repo/src/apps/nbody/nbody.cpp" "src/apps/CMakeFiles/camp_apps.dir/nbody/nbody.cpp.o" "gcc" "src/apps/CMakeFiles/camp_apps.dir/nbody/nbody.cpp.o.d"
+  "/root/repo/src/apps/pi/chudnovsky.cpp" "src/apps/CMakeFiles/camp_apps.dir/pi/chudnovsky.cpp.o" "gcc" "src/apps/CMakeFiles/camp_apps.dir/pi/chudnovsky.cpp.o.d"
+  "/root/repo/src/apps/rsa/rsa.cpp" "src/apps/CMakeFiles/camp_apps.dir/rsa/rsa.cpp.o" "gcc" "src/apps/CMakeFiles/camp_apps.dir/rsa/rsa.cpp.o.d"
+  "/root/repo/src/apps/zkcm/statevector.cpp" "src/apps/CMakeFiles/camp_apps.dir/zkcm/statevector.cpp.o" "gcc" "src/apps/CMakeFiles/camp_apps.dir/zkcm/statevector.cpp.o.d"
+  "/root/repo/src/apps/zkcm/zkcm.cpp" "src/apps/CMakeFiles/camp_apps.dir/zkcm/zkcm.cpp.o" "gcc" "src/apps/CMakeFiles/camp_apps.dir/zkcm/zkcm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpz/CMakeFiles/camp_mpz.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpf/CMakeFiles/camp_mpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/camp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpn/CMakeFiles/camp_mpn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/camp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

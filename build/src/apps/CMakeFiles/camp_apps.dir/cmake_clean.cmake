@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camp_apps.dir/frac/mandelbrot.cpp.o"
+  "CMakeFiles/camp_apps.dir/frac/mandelbrot.cpp.o.d"
+  "CMakeFiles/camp_apps.dir/nbody/nbody.cpp.o"
+  "CMakeFiles/camp_apps.dir/nbody/nbody.cpp.o.d"
+  "CMakeFiles/camp_apps.dir/pi/chudnovsky.cpp.o"
+  "CMakeFiles/camp_apps.dir/pi/chudnovsky.cpp.o.d"
+  "CMakeFiles/camp_apps.dir/rsa/rsa.cpp.o"
+  "CMakeFiles/camp_apps.dir/rsa/rsa.cpp.o.d"
+  "CMakeFiles/camp_apps.dir/zkcm/statevector.cpp.o"
+  "CMakeFiles/camp_apps.dir/zkcm/statevector.cpp.o.d"
+  "CMakeFiles/camp_apps.dir/zkcm/zkcm.cpp.o"
+  "CMakeFiles/camp_apps.dir/zkcm/zkcm.cpp.o.d"
+  "libcamp_apps.a"
+  "libcamp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

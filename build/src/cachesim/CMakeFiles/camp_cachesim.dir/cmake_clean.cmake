@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camp_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/camp_cachesim.dir/cache.cpp.o.d"
+  "CMakeFiles/camp_cachesim.dir/traces.cpp.o"
+  "CMakeFiles/camp_cachesim.dir/traces.cpp.o.d"
+  "libcamp_cachesim.a"
+  "libcamp_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camp_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpapca/cost_model.cpp" "src/mpapca/CMakeFiles/camp_mpapca.dir/cost_model.cpp.o" "gcc" "src/mpapca/CMakeFiles/camp_mpapca.dir/cost_model.cpp.o.d"
+  "/root/repo/src/mpapca/ledger.cpp" "src/mpapca/CMakeFiles/camp_mpapca.dir/ledger.cpp.o" "gcc" "src/mpapca/CMakeFiles/camp_mpapca.dir/ledger.cpp.o.d"
+  "/root/repo/src/mpapca/runtime.cpp" "src/mpapca/CMakeFiles/camp_mpapca.dir/runtime.cpp.o" "gcc" "src/mpapca/CMakeFiles/camp_mpapca.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/camp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/camp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpn/CMakeFiles/camp_mpn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/camp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

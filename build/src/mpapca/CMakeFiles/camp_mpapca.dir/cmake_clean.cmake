@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camp_mpapca.dir/cost_model.cpp.o"
+  "CMakeFiles/camp_mpapca.dir/cost_model.cpp.o.d"
+  "CMakeFiles/camp_mpapca.dir/ledger.cpp.o"
+  "CMakeFiles/camp_mpapca.dir/ledger.cpp.o.d"
+  "CMakeFiles/camp_mpapca.dir/runtime.cpp.o"
+  "CMakeFiles/camp_mpapca.dir/runtime.cpp.o.d"
+  "libcamp_mpapca.a"
+  "libcamp_mpapca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camp_mpapca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camp_mpf.dir/elementary.cpp.o"
+  "CMakeFiles/camp_mpf.dir/elementary.cpp.o.d"
+  "CMakeFiles/camp_mpf.dir/float.cpp.o"
+  "CMakeFiles/camp_mpf.dir/float.cpp.o.d"
+  "libcamp_mpf.a"
+  "libcamp_mpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camp_mpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcamp_mpf.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpn/basic.cpp" "src/mpn/CMakeFiles/camp_mpn.dir/basic.cpp.o" "gcc" "src/mpn/CMakeFiles/camp_mpn.dir/basic.cpp.o.d"
+  "/root/repo/src/mpn/div.cpp" "src/mpn/CMakeFiles/camp_mpn.dir/div.cpp.o" "gcc" "src/mpn/CMakeFiles/camp_mpn.dir/div.cpp.o.d"
+  "/root/repo/src/mpn/extra.cpp" "src/mpn/CMakeFiles/camp_mpn.dir/extra.cpp.o" "gcc" "src/mpn/CMakeFiles/camp_mpn.dir/extra.cpp.o.d"
+  "/root/repo/src/mpn/mont.cpp" "src/mpn/CMakeFiles/camp_mpn.dir/mont.cpp.o" "gcc" "src/mpn/CMakeFiles/camp_mpn.dir/mont.cpp.o.d"
+  "/root/repo/src/mpn/mul_basecase.cpp" "src/mpn/CMakeFiles/camp_mpn.dir/mul_basecase.cpp.o" "gcc" "src/mpn/CMakeFiles/camp_mpn.dir/mul_basecase.cpp.o.d"
+  "/root/repo/src/mpn/mul_dispatch.cpp" "src/mpn/CMakeFiles/camp_mpn.dir/mul_dispatch.cpp.o" "gcc" "src/mpn/CMakeFiles/camp_mpn.dir/mul_dispatch.cpp.o.d"
+  "/root/repo/src/mpn/mul_karatsuba.cpp" "src/mpn/CMakeFiles/camp_mpn.dir/mul_karatsuba.cpp.o" "gcc" "src/mpn/CMakeFiles/camp_mpn.dir/mul_karatsuba.cpp.o.d"
+  "/root/repo/src/mpn/mul_ssa.cpp" "src/mpn/CMakeFiles/camp_mpn.dir/mul_ssa.cpp.o" "gcc" "src/mpn/CMakeFiles/camp_mpn.dir/mul_ssa.cpp.o.d"
+  "/root/repo/src/mpn/mul_toom.cpp" "src/mpn/CMakeFiles/camp_mpn.dir/mul_toom.cpp.o" "gcc" "src/mpn/CMakeFiles/camp_mpn.dir/mul_toom.cpp.o.d"
+  "/root/repo/src/mpn/natural.cpp" "src/mpn/CMakeFiles/camp_mpn.dir/natural.cpp.o" "gcc" "src/mpn/CMakeFiles/camp_mpn.dir/natural.cpp.o.d"
+  "/root/repo/src/mpn/newton.cpp" "src/mpn/CMakeFiles/camp_mpn.dir/newton.cpp.o" "gcc" "src/mpn/CMakeFiles/camp_mpn.dir/newton.cpp.o.d"
+  "/root/repo/src/mpn/ophook.cpp" "src/mpn/CMakeFiles/camp_mpn.dir/ophook.cpp.o" "gcc" "src/mpn/CMakeFiles/camp_mpn.dir/ophook.cpp.o.d"
+  "/root/repo/src/mpn/sqrt.cpp" "src/mpn/CMakeFiles/camp_mpn.dir/sqrt.cpp.o" "gcc" "src/mpn/CMakeFiles/camp_mpn.dir/sqrt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/camp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

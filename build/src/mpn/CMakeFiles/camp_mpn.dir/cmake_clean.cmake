@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camp_mpn.dir/basic.cpp.o"
+  "CMakeFiles/camp_mpn.dir/basic.cpp.o.d"
+  "CMakeFiles/camp_mpn.dir/div.cpp.o"
+  "CMakeFiles/camp_mpn.dir/div.cpp.o.d"
+  "CMakeFiles/camp_mpn.dir/extra.cpp.o"
+  "CMakeFiles/camp_mpn.dir/extra.cpp.o.d"
+  "CMakeFiles/camp_mpn.dir/mont.cpp.o"
+  "CMakeFiles/camp_mpn.dir/mont.cpp.o.d"
+  "CMakeFiles/camp_mpn.dir/mul_basecase.cpp.o"
+  "CMakeFiles/camp_mpn.dir/mul_basecase.cpp.o.d"
+  "CMakeFiles/camp_mpn.dir/mul_dispatch.cpp.o"
+  "CMakeFiles/camp_mpn.dir/mul_dispatch.cpp.o.d"
+  "CMakeFiles/camp_mpn.dir/mul_karatsuba.cpp.o"
+  "CMakeFiles/camp_mpn.dir/mul_karatsuba.cpp.o.d"
+  "CMakeFiles/camp_mpn.dir/mul_ssa.cpp.o"
+  "CMakeFiles/camp_mpn.dir/mul_ssa.cpp.o.d"
+  "CMakeFiles/camp_mpn.dir/mul_toom.cpp.o"
+  "CMakeFiles/camp_mpn.dir/mul_toom.cpp.o.d"
+  "CMakeFiles/camp_mpn.dir/natural.cpp.o"
+  "CMakeFiles/camp_mpn.dir/natural.cpp.o.d"
+  "CMakeFiles/camp_mpn.dir/newton.cpp.o"
+  "CMakeFiles/camp_mpn.dir/newton.cpp.o.d"
+  "CMakeFiles/camp_mpn.dir/ophook.cpp.o"
+  "CMakeFiles/camp_mpn.dir/ophook.cpp.o.d"
+  "CMakeFiles/camp_mpn.dir/sqrt.cpp.o"
+  "CMakeFiles/camp_mpn.dir/sqrt.cpp.o.d"
+  "libcamp_mpn.a"
+  "libcamp_mpn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camp_mpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camp_mpq.dir/rational.cpp.o"
+  "CMakeFiles/camp_mpq.dir/rational.cpp.o.d"
+  "libcamp_mpq.a"
+  "libcamp_mpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camp_mpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

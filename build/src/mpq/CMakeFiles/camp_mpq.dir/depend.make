@@ -1,0 +1,2 @@
+# Empty dependencies file for camp_mpq.
+# This may be replaced when dependencies are built.

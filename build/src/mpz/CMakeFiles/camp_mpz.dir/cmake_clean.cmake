@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camp_mpz.dir/integer.cpp.o"
+  "CMakeFiles/camp_mpz.dir/integer.cpp.o.d"
+  "libcamp_mpz.a"
+  "libcamp_mpz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camp_mpz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camp_profile.dir/profiler.cpp.o"
+  "CMakeFiles/camp_profile.dir/profiler.cpp.o.d"
+  "libcamp_profile.a"
+  "libcamp_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camp_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

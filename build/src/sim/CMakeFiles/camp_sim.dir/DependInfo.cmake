@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/analytic_model.cpp" "src/sim/CMakeFiles/camp_sim.dir/analytic_model.cpp.o" "gcc" "src/sim/CMakeFiles/camp_sim.dir/analytic_model.cpp.o.d"
+  "/root/repo/src/sim/batch.cpp" "src/sim/CMakeFiles/camp_sim.dir/batch.cpp.o" "gcc" "src/sim/CMakeFiles/camp_sim.dir/batch.cpp.o.d"
+  "/root/repo/src/sim/comparators.cpp" "src/sim/CMakeFiles/camp_sim.dir/comparators.cpp.o" "gcc" "src/sim/CMakeFiles/camp_sim.dir/comparators.cpp.o.d"
+  "/root/repo/src/sim/controller.cpp" "src/sim/CMakeFiles/camp_sim.dir/controller.cpp.o" "gcc" "src/sim/CMakeFiles/camp_sim.dir/controller.cpp.o.d"
+  "/root/repo/src/sim/converter.cpp" "src/sim/CMakeFiles/camp_sim.dir/converter.cpp.o" "gcc" "src/sim/CMakeFiles/camp_sim.dir/converter.cpp.o.d"
+  "/root/repo/src/sim/core.cpp" "src/sim/CMakeFiles/camp_sim.dir/core.cpp.o" "gcc" "src/sim/CMakeFiles/camp_sim.dir/core.cpp.o.d"
+  "/root/repo/src/sim/gather_unit.cpp" "src/sim/CMakeFiles/camp_sim.dir/gather_unit.cpp.o" "gcc" "src/sim/CMakeFiles/camp_sim.dir/gather_unit.cpp.o.d"
+  "/root/repo/src/sim/ipu.cpp" "src/sim/CMakeFiles/camp_sim.dir/ipu.cpp.o" "gcc" "src/sim/CMakeFiles/camp_sim.dir/ipu.cpp.o.d"
+  "/root/repo/src/sim/stream_sim.cpp" "src/sim/CMakeFiles/camp_sim.dir/stream_sim.cpp.o" "gcc" "src/sim/CMakeFiles/camp_sim.dir/stream_sim.cpp.o.d"
+  "/root/repo/src/sim/tech_model.cpp" "src/sim/CMakeFiles/camp_sim.dir/tech_model.cpp.o" "gcc" "src/sim/CMakeFiles/camp_sim.dir/tech_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpn/CMakeFiles/camp_mpn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/camp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

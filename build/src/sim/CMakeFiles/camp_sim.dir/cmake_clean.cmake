@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camp_sim.dir/analytic_model.cpp.o"
+  "CMakeFiles/camp_sim.dir/analytic_model.cpp.o.d"
+  "CMakeFiles/camp_sim.dir/batch.cpp.o"
+  "CMakeFiles/camp_sim.dir/batch.cpp.o.d"
+  "CMakeFiles/camp_sim.dir/comparators.cpp.o"
+  "CMakeFiles/camp_sim.dir/comparators.cpp.o.d"
+  "CMakeFiles/camp_sim.dir/controller.cpp.o"
+  "CMakeFiles/camp_sim.dir/controller.cpp.o.d"
+  "CMakeFiles/camp_sim.dir/converter.cpp.o"
+  "CMakeFiles/camp_sim.dir/converter.cpp.o.d"
+  "CMakeFiles/camp_sim.dir/core.cpp.o"
+  "CMakeFiles/camp_sim.dir/core.cpp.o.d"
+  "CMakeFiles/camp_sim.dir/gather_unit.cpp.o"
+  "CMakeFiles/camp_sim.dir/gather_unit.cpp.o.d"
+  "CMakeFiles/camp_sim.dir/ipu.cpp.o"
+  "CMakeFiles/camp_sim.dir/ipu.cpp.o.d"
+  "CMakeFiles/camp_sim.dir/stream_sim.cpp.o"
+  "CMakeFiles/camp_sim.dir/stream_sim.cpp.o.d"
+  "CMakeFiles/camp_sim.dir/tech_model.cpp.o"
+  "CMakeFiles/camp_sim.dir/tech_model.cpp.o.d"
+  "libcamp_sim.a"
+  "libcamp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camp_support.dir/table.cpp.o"
+  "CMakeFiles/camp_support.dir/table.cpp.o.d"
+  "libcamp_support.a"
+  "libcamp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpapca.dir/test_mpapca.cpp.o"
+  "CMakeFiles/test_mpapca.dir/test_mpapca.cpp.o.d"
+  "test_mpapca"
+  "test_mpapca.pdb"
+  "test_mpapca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpapca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

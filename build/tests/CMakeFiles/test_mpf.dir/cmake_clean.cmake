@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpf.dir/test_mpf.cpp.o"
+  "CMakeFiles/test_mpf.dir/test_mpf.cpp.o.d"
+  "test_mpf"
+  "test_mpf.pdb"
+  "test_mpf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

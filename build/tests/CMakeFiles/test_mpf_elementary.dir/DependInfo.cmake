@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mpf_elementary.cpp" "tests/CMakeFiles/test_mpf_elementary.dir/test_mpf_elementary.cpp.o" "gcc" "tests/CMakeFiles/test_mpf_elementary.dir/test_mpf_elementary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpf/CMakeFiles/camp_mpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpz/CMakeFiles/camp_mpz.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpn/CMakeFiles/camp_mpn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/camp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

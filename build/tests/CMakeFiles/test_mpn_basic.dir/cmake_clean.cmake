@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpn_basic.dir/test_mpn_basic.cpp.o"
+  "CMakeFiles/test_mpn_basic.dir/test_mpn_basic.cpp.o.d"
+  "test_mpn_basic"
+  "test_mpn_basic.pdb"
+  "test_mpn_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpn_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

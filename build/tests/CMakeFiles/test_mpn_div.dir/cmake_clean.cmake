@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpn_div.dir/test_mpn_div.cpp.o"
+  "CMakeFiles/test_mpn_div.dir/test_mpn_div.cpp.o.d"
+  "test_mpn_div"
+  "test_mpn_div.pdb"
+  "test_mpn_div[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpn_div.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

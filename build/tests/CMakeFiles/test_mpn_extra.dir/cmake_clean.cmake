@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpn_extra.dir/test_mpn_extra.cpp.o"
+  "CMakeFiles/test_mpn_extra.dir/test_mpn_extra.cpp.o.d"
+  "test_mpn_extra"
+  "test_mpn_extra.pdb"
+  "test_mpn_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpn_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

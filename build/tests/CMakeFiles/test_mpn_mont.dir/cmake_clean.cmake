@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpn_mont.dir/test_mpn_mont.cpp.o"
+  "CMakeFiles/test_mpn_mont.dir/test_mpn_mont.cpp.o.d"
+  "test_mpn_mont"
+  "test_mpn_mont.pdb"
+  "test_mpn_mont[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpn_mont.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mpn_mont.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpn_mul.dir/test_mpn_mul.cpp.o"
+  "CMakeFiles/test_mpn_mul.dir/test_mpn_mul.cpp.o.d"
+  "test_mpn_mul"
+  "test_mpn_mul.pdb"
+  "test_mpn_mul[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpn_mul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

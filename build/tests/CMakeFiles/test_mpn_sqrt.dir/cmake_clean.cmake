@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpn_sqrt.dir/test_mpn_sqrt.cpp.o"
+  "CMakeFiles/test_mpn_sqrt.dir/test_mpn_sqrt.cpp.o.d"
+  "test_mpn_sqrt"
+  "test_mpn_sqrt.pdb"
+  "test_mpn_sqrt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpn_sqrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpq.dir/test_mpq.cpp.o"
+  "CMakeFiles/test_mpq.dir/test_mpq.cpp.o.d"
+  "test_mpq"
+  "test_mpq.pdb"
+  "test_mpq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

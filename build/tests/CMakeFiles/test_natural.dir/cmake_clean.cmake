@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_natural.dir/test_natural.cpp.o"
+  "CMakeFiles/test_natural.dir/test_natural.cpp.o.d"
+  "test_natural"
+  "test_natural.pdb"
+  "test_natural[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_natural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_batch.dir/test_sim_batch.cpp.o"
+  "CMakeFiles/test_sim_batch.dir/test_sim_batch.cpp.o.d"
+  "test_sim_batch"
+  "test_sim_batch.pdb"
+  "test_sim_batch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

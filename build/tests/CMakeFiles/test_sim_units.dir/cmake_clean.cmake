@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_units.dir/test_sim_units.cpp.o"
+  "CMakeFiles/test_sim_units.dir/test_sim_units.cpp.o.d"
+  "test_sim_units"
+  "test_sim_units.pdb"
+  "test_sim_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

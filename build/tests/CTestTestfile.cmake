@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_mpn_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_mpn_mul[1]_include.cmake")
+include("/root/repo/build/tests/test_mpn_div[1]_include.cmake")
+include("/root/repo/build/tests/test_mpn_sqrt[1]_include.cmake")
+include("/root/repo/build/tests/test_mpn_mont[1]_include.cmake")
+include("/root/repo/build/tests/test_natural[1]_include.cmake")
+include("/root/repo/build/tests/test_mpz[1]_include.cmake")
+include("/root/repo/build/tests/test_mpq[1]_include.cmake")
+include("/root/repo/build/tests/test_mpf[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_units[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_core[1]_include.cmake")
+include("/root/repo/build/tests/test_cachesim[1]_include.cmake")
+include("/root/repo/build/tests/test_profiler[1]_include.cmake")
+include("/root/repo/build/tests/test_mpapca[1]_include.cmake")
+include("/root/repo/build/tests/test_mpf_elementary[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_mpn_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_batch[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_support[1]_include.cmake")
