@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Minimal CI: default Release build + ctest, then an
+# address+undefined-sanitizer build + ctest (skip the second pass with
+# CAMP_CI_SKIP_SANITIZE=1). Fails on the first failing step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_pass() {
+    local build_dir="$1"
+    shift
+    echo "==== configure ${build_dir} ($*) ===="
+    cmake -B "${build_dir}" -S . "$@"
+    echo "==== build ${build_dir} ===="
+    cmake --build "${build_dir}" -j "${JOBS}"
+    echo "==== ctest ${build_dir} ===="
+    ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_pass build
+
+if [[ "${CAMP_CI_SKIP_SANITIZE:-0}" != "1" ]]; then
+    run_pass build-asan \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCAMP_SANITIZE="address;undefined"
+fi
+
+echo "==== all test passes green ===="

@@ -54,7 +54,16 @@ void
 Ledger::reset()
 {
     entries_.fill(LedgerEntry{});
+    faults_ = FaultStats{};
+    diagnostics_.clear();
     depth_ = 0;
+}
+
+void
+Ledger::record_fault_diagnostic(std::string diagnostic)
+{
+    if (diagnostics_.size() < kMaxFaultDiagnostics)
+        diagnostics_.push_back(std::move(diagnostic));
 }
 
 double
@@ -105,6 +114,12 @@ Ledger::table(const std::string& label) const
         << table.to_string()
         << "total: " << Table::fmt(total_seconds()) << " s, "
         << Table::fmt(total_energy_j()) << " J (simulated)\n";
+    if (faults_.any()) {
+        out << "faults: " << faults_.injected << " injected, "
+            << faults_.checks << " checks, " << faults_.detected
+            << " detected, " << faults_.retried << " retried, "
+            << faults_.fallbacks << " cpu fallbacks\n";
+    }
     return out.str();
 }
 

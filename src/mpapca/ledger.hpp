@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "mpapca/cost_model.hpp"
 #include "mpn/ophook.hpp"
@@ -24,6 +25,28 @@ struct LedgerEntry
 {
     std::uint64_t count = 0;
     Cost cost;
+};
+
+/**
+ * Observable fault-and-recovery accounting: what the injection engine
+ * put in, what the self-checking runtime caught, and how each caught
+ * fault was resolved. Invariant maintained by the runtime:
+ * detected == retried + fallbacks (every detected mismatch triggers
+ * exactly one recovery action).
+ */
+struct FaultStats
+{
+    std::uint64_t injected = 0;  ///< faults injected by the engine
+    std::uint64_t checks = 0;    ///< base products cross-checked
+    std::uint64_t detected = 0;  ///< cross-check mismatches observed
+    std::uint64_t retried = 0;   ///< hardware retries issued
+    std::uint64_t fallbacks = 0; ///< products served by the CPU path
+
+    bool
+    any() const
+    {
+        return injected | checks | detected | retried | fallbacks;
+    }
 };
 
 /** Accumulates simulated hardware cost per operation kind. */
@@ -45,12 +68,30 @@ class Ledger : public mpn::OpHook
 
     const LedgerEntry& entry(mpn::OpKind kind) const;
 
-    /** Render a per-kind cost table. */
+    /** Fault-and-recovery counters (mutated by the runtime). */
+    FaultStats& fault_stats() { return faults_; }
+    const FaultStats& fault_stats() const { return faults_; }
+
+    /** Record one human-readable fault diagnostic; retention is capped
+     * at kMaxFaultDiagnostics (the counters always stay exact). */
+    void record_fault_diagnostic(std::string diagnostic);
+
+    static constexpr std::size_t kMaxFaultDiagnostics = 64;
+
+    const std::vector<std::string>&
+    fault_diagnostics() const
+    {
+        return diagnostics_;
+    }
+
+    /** Render a per-kind cost table (plus fault counters when any). */
     std::string table(const std::string& label) const;
 
   private:
     const CostModel& model_;
     std::array<LedgerEntry, 9> entries_{};
+    FaultStats faults_;
+    std::vector<std::string> diagnostics_;
     int depth_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "mpapca/runtime.hpp"
 
+#include <sstream>
+
 #include "profile/profiler.hpp"
 #include "sim/comparators.hpp"
 #include "support/assert.hpp"
@@ -8,13 +10,22 @@ namespace camp::mpapca {
 
 using mpn::Natural;
 
-Runtime::Runtime(Backend backend, const sim::SimConfig& config)
+Runtime::Runtime(Backend backend, const sim::SimConfig& config,
+                 const SelfCheckPolicy& self_check)
     : backend_(backend),
-      config_(config),
+      config_(sim::validated(config)),
       model_(config_),
       ledger_(model_),
-      core_(config_, sim::Fidelity::Fast, /*validate=*/false)
+      core_(config_, sim::Fidelity::Fast, /*validate=*/false),
+      check_(self_check),
+      check_rng_(self_check.seed)
 {
+    // Armed fault injection without self-checking would silently
+    // return corrupted products; default to full-coverage checking.
+    if (config_.faults.enabled() && !check_.enabled) {
+        check_.enabled = true;
+        check_.sample_rate = 1.0;
+    }
 }
 
 AppReport
@@ -51,9 +62,63 @@ Runtime::run(const std::string& label, const std::function<void()>& app)
         report.seconds = report.kernel_seconds + report.host_seconds;
         report.energy_j =
             ledger_.total_energy_j() + report.host_seconds * cpu_power;
+        report.faults = ledger_.fault_stats();
     }
     report.breakdown = profiler.breakdown_table(label);
     return report;
+}
+
+void
+Runtime::sync_injected()
+{
+    const sim::Core& core = core_;
+    const FaultEngine* engine = core.fault_engine();
+    if (engine == nullptr)
+        return;
+    const std::uint64_t now = engine->total_injected();
+    ledger_.fault_stats().injected += now - injected_seen_;
+    injected_seen_ = now;
+}
+
+Natural
+Runtime::base_product(const Natural& a, const Natural& b)
+{
+    ++base_products_;
+    Natural product = core_.multiply(a, b).product;
+    sync_injected();
+    if (!check_.enabled)
+        return product;
+    const bool sampled = check_.sample_rate >= 1.0 ||
+                         check_rng_.uniform() < check_.sample_rate;
+    if (!sampled)
+        return product;
+
+    FaultStats& stats = ledger_.fault_stats();
+    ++stats.checks;
+    const Natural golden = a * b;
+    unsigned attempt = 0;
+    while (product != golden) {
+        ++stats.detected;
+        std::ostringstream diag;
+        diag << "base product " << a.bits() << "x" << b.bits()
+             << " bits: hardware/golden mismatch (attempt " << attempt
+             << ")";
+        const bool out_of_budget = attempt >= check_.retry_budget;
+        diag << (out_of_budget ? "; retry budget exhausted, CPU fallback"
+                               : "; retrying");
+        ledger_.record_fault_diagnostic(diag.str());
+        if (out_of_budget) {
+            // Graceful degradation: serve the exact CPU product.
+            ++stats.fallbacks;
+            product = golden;
+            break;
+        }
+        ++stats.retried;
+        ++attempt;
+        product = core_.multiply(a, b).product;
+        sync_injected();
+    }
+    return product;
 }
 
 Natural
@@ -62,10 +127,8 @@ Runtime::mul_functional(const Natural& a, const Natural& b)
     if (a.is_zero() || b.is_zero())
         return Natural();
     const std::uint64_t cap = config_.monolithic_cap_bits;
-    if (a.bits() <= cap && b.bits() <= cap) {
-        ++base_products_;
-        return core_.multiply(a, b).product;
-    }
+    if (a.bits() <= cap && b.bits() <= cap)
+        return base_product(a, b);
     // Order so a is the wider operand.
     if (a.bits() < b.bits())
         return mul_functional(b, a);

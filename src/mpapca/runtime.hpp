@@ -8,7 +8,11 @@
  *    host categories measured) — this is the Fig. 13 methodology;
  *  - a functional multiplication path that really decomposes oversized
  *    operands in software and drives the simulated Core for every base
- *    product, validating the decomposition end to end.
+ *    product, validating the decomposition end to end;
+ *  - a self-checking mode that cross-checks hardware base products
+ *    against the mpn golden model and degrades gracefully — bounded
+ *    hardware retries, then the CPU path — so mul_functional returns
+ *    the exact product even with datapath fault injection armed.
  */
 #ifndef CAMP_MPAPCA_RUNTIME_HPP
 #define CAMP_MPAPCA_RUNTIME_HPP
@@ -20,6 +24,7 @@
 #include "mpapca/ledger.hpp"
 #include "mpn/natural.hpp"
 #include "sim/core.hpp"
+#include "support/rng.hpp"
 
 namespace camp::mpapca {
 
@@ -39,17 +44,49 @@ struct AppReport
     double host_seconds = 0;    ///< non-offloaded host share
     double kernel_seconds = 0;  ///< kernel operators (measured or sim)
     std::string breakdown;      ///< rendered profiler table
+    FaultStats faults;          ///< fault/recovery counters for the run
+};
+
+/**
+ * Golden-model self-checking policy for hardware base products.
+ * Auto-enabled (full sampling) whenever the SimConfig arms fault
+ * injection; sample_rate < 1 trades coverage for check overhead
+ * (see bench/ablation_fault.cpp for the measured trade-off).
+ */
+struct SelfCheckPolicy
+{
+    bool enabled = false;
+    double sample_rate = 1.0;  ///< fraction of base products checked
+    unsigned retry_budget = 2; ///< hardware retries before CPU fallback
+    std::uint64_t seed = 0x5e1fc4ecull; ///< sampling RNG seed
 };
 
 /** MPApca runtime. */
 class Runtime
 {
   public:
+    /**
+     * Throws camp::ConfigError on a non-buildable @p config. When
+     * @p config arms fault injection and @p self_check leaves checking
+     * disabled, full-sampling self-checking is switched on so
+     * mul_functional stays exact under injected faults.
+     */
     explicit Runtime(Backend backend,
-                     const sim::SimConfig& config = sim::default_config());
+                     const sim::SimConfig& config = sim::default_config(),
+                     const SelfCheckPolicy& self_check = SelfCheckPolicy{});
 
     Backend backend() const { return backend_; }
     const CostModel& cost_model() const { return model_; }
+    const SelfCheckPolicy& self_check() const { return check_; }
+
+    /** Fault/recovery counters accumulated by the self-checking path
+     * (reset at the start of every run()). */
+    const FaultStats& fault_stats() const
+    {
+        return ledger_.fault_stats();
+    }
+
+    const Ledger& ledger() const { return ledger_; }
 
     /**
      * Run an application closure under this backend and report time,
@@ -79,12 +116,25 @@ class Runtime
     mpn::Natural mul_toom3_functional(const mpn::Natural& a,
                                       const mpn::Natural& b);
 
+    /** One hardware base product, guarded by the self-check policy:
+     * cross-check a sample against the mpn golden model; on mismatch
+     * record a diagnostic, retry within the budget, then fall back to
+     * the CPU path so the result is always exact. */
+    mpn::Natural base_product(const mpn::Natural& a,
+                              const mpn::Natural& b);
+
+    /** Fold newly injected engine faults into the ledger counters. */
+    void sync_injected();
+
     Backend backend_;
     sim::SimConfig config_;
     CostModel model_;
     Ledger ledger_;
     sim::Core core_;
+    SelfCheckPolicy check_;
+    Rng check_rng_;
     std::uint64_t base_products_ = 0;
+    std::uint64_t injected_seen_ = 0;
 };
 
 } // namespace camp::mpapca

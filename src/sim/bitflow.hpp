@@ -46,6 +46,14 @@ class Bitflow
         bits_.push_back(static_cast<std::uint8_t>(bit & 1));
     }
 
+    /** Invert the bit at cycle @p t (no-op past the stream end). */
+    void
+    flip(std::size_t t)
+    {
+        if (t < bits_.size())
+            bits_[t] ^= 1;
+    }
+
     std::size_t length() const { return bits_.size(); }
 
     /** Value carried by the stream (must fit 128 bits). */

@@ -1,0 +1,63 @@
+#include "sim/config.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "support/errors.hpp"
+
+namespace camp::sim {
+
+namespace {
+
+[[noreturn]] void
+reject(const std::string& what)
+{
+    throw ConfigError("SimConfig: " + what);
+}
+
+} // namespace
+
+void
+validate(const SimConfig& config)
+{
+    if (config.n_pe == 0)
+        reject("n_pe must be nonzero");
+    if (config.n_ipu == 0)
+        reject("n_ipu must be nonzero");
+    const std::uint64_t total = static_cast<std::uint64_t>(config.n_pe) *
+                                config.n_ipu;
+    if (total > std::numeric_limits<unsigned>::max())
+        reject("n_pe * n_ipu overflows the IPU count");
+    if (config.limb_bits != 32)
+        reject("only the 32-bit hardware limb width is supported");
+    if (config.q != 4)
+        reject("only q = 4 bitflows per IPU is supported");
+    if (!(config.freq_ghz > 0))
+        reject("freq_ghz must be positive");
+    if (!(config.llc_gbps > 0))
+        reject("llc_gbps must be positive");
+    if (!(config.ma_duty > 0) || config.ma_duty > 1.0)
+        reject("ma_duty must be in (0, 1]");
+    if (config.monolithic_cap_bits == 0)
+        reject("monolithic_cap_bits must be nonzero");
+    for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+        const double rate = config.faults.rate[i];
+        if (!(rate >= 0.0) || rate > 1.0) {
+            std::ostringstream what;
+            what << "fault rate for "
+                 << fault_site_name(static_cast<FaultSite>(i))
+                 << " must be in [0, 1], got " << rate;
+            reject(what.str());
+        }
+    }
+}
+
+SimConfig
+validated(SimConfig config)
+{
+    config.faults = FaultConfig::from_env(config.faults);
+    validate(config);
+    return config;
+}
+
+} // namespace camp::sim

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "support/fault.hpp"
+
 namespace camp::sim {
 
 /** Static architecture parameters. */
@@ -24,6 +26,9 @@ struct SimConfig
     /** Largest monolithic multiplication the hardware executes without
      * software decomposition (paper §VII-B: N = 35904). */
     std::uint64_t monolithic_cap_bits = 35904;
+
+    /** Datapath fault injection (all rates zero = faults disabled). */
+    FaultConfig faults;
 
     unsigned total_ipus() const { return n_pe * n_ipu; }
 
@@ -45,6 +50,23 @@ default_config()
     static const SimConfig config;
     return config;
 }
+
+/**
+ * Reject configurations that cannot describe buildable hardware:
+ * zero/overflowing PE or IPU counts, unsupported limb/bitflow widths,
+ * non-positive clock or bandwidth, out-of-range duty cycle or fault
+ * rates, zero monolithic capability. Throws camp::ConfigError. Every
+ * consumer that instantiates hardware (sim::Core, mpapca::Runtime)
+ * funnels through this one function.
+ */
+void validate(const SimConfig& config);
+
+/**
+ * Copy of @p config with fault-injection environment overrides
+ * applied (FaultConfig::from_env), then validated. The constructor
+ * entry point for Core and Runtime.
+ */
+SimConfig validated(SimConfig config);
 
 } // namespace camp::sim
 

@@ -64,6 +64,15 @@ Converter::convert(const std::vector<Bitflow>& inputs,
     for (unsigned s = 0; s < np; ++s)
         CAMP_ASSERT(carry[s] == 0);
 
+    // Fault injection: a corrupted pattern-SRAM cell shows up as one
+    // wrong bit in one generated pattern stream.
+    if (faults_ && faults_->fire(FaultSite::ConverterPattern)) {
+        const unsigned victim =
+            1 + static_cast<unsigned>(faults_->below(np - 1));
+        out[victim].flip(
+            static_cast<std::size_t>(faults_->below(out_len)));
+    }
+
     if (stats) {
         stats->adder_bit_ops += adder_ops;
         stats->cycles += out_len;

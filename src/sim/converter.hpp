@@ -16,6 +16,7 @@
 
 #include "sim/bitflow.hpp"
 #include "sim/config.hpp"
+#include "support/fault.hpp"
 
 namespace camp::sim {
 
@@ -42,8 +43,13 @@ class Converter
     /** Number of active serial adders: 2^q - q - 1. */
     unsigned active_adders() const;
 
+    /** Attach (or detach with nullptr) a fault source; convert() then
+     * draws one ConverterPattern opportunity per call. */
+    void set_fault_engine(FaultEngine* faults) { faults_ = faults; }
+
   private:
     const SimConfig& config_;
+    FaultEngine* faults_ = nullptr;
 };
 
 } // namespace camp::sim

@@ -1,11 +1,10 @@
 #include "sim/core.hpp"
 
-#include <stdexcept>
-
 #include "mpn/basic.hpp"
 #include "mpn/mul.hpp"
 #include "sim/memory_agent.hpp"
 #include "support/assert.hpp"
+#include "support/errors.hpp"
 
 namespace camp::sim {
 
@@ -26,12 +25,19 @@ to_hw_limbs(const mpn::Natural& n, unsigned limb_bits)
 }
 
 Core::Core(const SimConfig& config, Fidelity fidelity, bool validate)
-    : config_(config),
+    : config_(validated(config)),
       fidelity_(fidelity),
       validate_(validate),
+      faults_(config_.faults.enabled()
+                  ? std::make_unique<FaultEngine>(config_.faults)
+                  : nullptr),
       ipu_(config_),
       gather_unit_(config_)
 {
+    if (faults_) {
+        ipu_.set_fault_engine(faults_.get());
+        gather_unit_.set_fault_engine(faults_.get());
+    }
 }
 
 u128
@@ -54,6 +60,17 @@ Core::run_work(const IpuWork& work, const std::vector<std::uint32_t>& x,
         acc += static_cast<u128>(task.x[i]) * task.y[i];
         // Accounting mirrors run_bips/convert: selects per y bit with
         // zero-column skips, accumulator adds, converter adders.
+    }
+    if (faults_) {
+        // Same fault surface as the bit-serial path: an accumulator
+        // single-event upset flips one bit; a corrupted pattern z[idx]
+        // at column j perturbs the accumulator by delta << j.
+        if (faults_->fire(FaultSite::IpuAccumulator))
+            acc ^= static_cast<u128>(1)
+                   << faults_->below(2 * config_.limb_bits + config_.q);
+        if (faults_->fire(FaultSite::ConverterPattern))
+            acc += static_cast<u128>(1 + faults_->below(15))
+                   << faults_->below(config_.limb_bits);
     }
     unsigned nonzero_cols = 0;
     for (unsigned j = 0; j < config_.limb_bits; ++j) {
@@ -84,13 +101,20 @@ Core::multiply(const mpn::Natural& a, const mpn::Natural& b)
         return result;
     if (a.bits() > config_.monolithic_cap_bits ||
         b.bits() > config_.monolithic_cap_bits) {
-        throw std::invalid_argument(
+        throw InvalidArgument(
             "Core::multiply: operand exceeds the monolithic capability; "
             "decompose in software (MPApca)");
     }
 
-    const auto x = to_hw_limbs(a, config_.limb_bits);
-    const auto y = to_hw_limbs(b, config_.limb_bits);
+    // Operands stream in through the CMA before compute: under fault
+    // injection the delivered limb streams may be truncated or
+    // stalled. Traffic is charged for the full requested widths either
+    // way, so disabled faults change no byte or cycle accounting.
+    CoreMemoryAgent cma(config_, faults_.get());
+    auto x = to_hw_limbs(a, config_.limb_bits);
+    auto y = to_hw_limbs(b, config_.limb_bits);
+    cma.stream_in_limbs(x, a.bits());
+    cma.stream_in_limbs(y, b.bits());
     const std::size_t nx = x.size(), ny = y.size();
 
     // CC/PEC fractal decomposition into IPU tasks.
@@ -111,10 +135,7 @@ Core::multiply(const mpn::Natural& a, const mpn::Natural& b)
     result.product =
         gather_unit_.gather(position_sums, &result.stats.gather);
 
-    // Memory traffic through the CMA.
-    CoreMemoryAgent cma(config_);
-    cma.stream_in(a.bits());
-    cma.stream_in(b.bits());
+    // Result traffic back through the CMA.
     cma.stream_out(a.bits() + b.bits());
     result.stats.bytes = cma.total_bytes();
     result.stats.memory_cycles = cma.cycles();
@@ -127,10 +148,15 @@ Core::multiply(const mpn::Natural& a, const mpn::Natural& b)
 
     if (validate_) {
         // Cross-check against the software reference (paper §VI-A: "The
-        // hardware design is verified with CPU results").
+        // hardware design is verified with CPU results"). A mismatch is
+        // a typed, catchable fault: with injection armed it is the
+        // expected detection path, without it it still points at a
+        // datapath bug the caller may want to survive.
         const mpn::Natural expect = a * b;
-        CAMP_ASSERT_MSG(result.product == expect,
-                        "simulated product mismatch vs mpn reference");
+        if (result.product != expect)
+            throw HardwareFault(
+                "Core::multiply: simulated product mismatch vs mpn "
+                "reference");
     }
     return result;
 }

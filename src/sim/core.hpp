@@ -12,6 +12,7 @@
 #define CAMP_SIM_CORE_HPP
 
 #include <cstdint>
+#include <memory>
 
 #include "mpn/natural.hpp"
 #include "sim/config.hpp"
@@ -19,6 +20,7 @@
 #include "sim/converter.hpp"
 #include "sim/gather_unit.hpp"
 #include "sim/ipu.hpp"
+#include "support/fault.hpp"
 
 namespace camp::sim {
 
@@ -56,7 +58,16 @@ enum class Fidelity
     Fast,      ///< same dataflow, word-level arithmetic (identical values)
 };
 
-/** The Cambricon-P accelerator core. */
+/**
+ * The Cambricon-P accelerator core.
+ *
+ * The constructor validates the configuration (camp::ConfigError on a
+ * non-buildable one) and applies fault-injection environment
+ * overrides. When any fault site is armed, a seeded FaultEngine is
+ * installed into the IPU, Converter, Gather Unit, and CMA; with
+ * validation on, a corrupted product surfaces as camp::HardwareFault
+ * instead of a wrong result.
+ */
 class Core
 {
   public:
@@ -68,12 +79,18 @@ class Core
      * Monolithic multiplication. Requires
      * bits(a) + bits(b) within the monolithic capability; MPApca
      * decomposes larger operands in software (§V-C).
-     * Throws std::invalid_argument if either operand is zero-capable
-     * sizes are fine; zero operands short-circuit.
+     * Throws camp::InvalidArgument (a std::invalid_argument) on
+     * oversized operands; zero operands short-circuit. With
+     * validation on, throws camp::HardwareFault when the datapath
+     * result fails the mpn cross-check.
      */
     MulResult multiply(const mpn::Natural& a, const mpn::Natural& b);
 
     const SimConfig& config() const { return config_; }
+
+    /** Installed fault engine, or nullptr when faults are disabled. */
+    FaultEngine* fault_engine() { return faults_.get(); }
+    const FaultEngine* fault_engine() const { return faults_.get(); }
 
   private:
     u128 run_work(const IpuWork& work,
@@ -84,6 +101,7 @@ class Core
     SimConfig config_;
     Fidelity fidelity_;
     bool validate_;
+    std::unique_ptr<FaultEngine> faults_;
     Ipu ipu_;
     GatherUnit gather_unit_;
 };

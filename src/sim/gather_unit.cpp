@@ -51,6 +51,13 @@ GatherUnit::gather(const std::vector<u128>& psums,
     const u128 max_carry_bound =
         static_cast<u128>(max_chunks) + 1; // loose per-segment bound
 
+    // Fault injection: a broken selection-chain mux drops the incoming
+    // carry of one segment.
+    std::size_t drop_carry_at = segments;
+    if (faults_ && faults_->fire(FaultSite::GatherCarry))
+        drop_carry_at = static_cast<std::size_t>(
+            faults_->below(segments));
+
     // Stage 2: carry-select. Every segment publishes value(cin) =
     // low L bits and cout(cin) for each speculative carry-in; the
     // selection chain then ripples one select per segment.
@@ -59,6 +66,8 @@ GatherUnit::gather(const std::vector<u128>& psums,
     std::uint64_t variants = 0;
     for (std::size_t s = 0; s < segments; ++s) {
         variants += static_cast<std::uint64_t>(max_carry_bound) + 1;
+        if (s == drop_carry_at)
+            carry = 0;
         const u128 total = local[s] + carry;
         const u128 low = total & mask;
         carry = total >> L;

@@ -20,6 +20,7 @@
 
 #include "mpn/natural.hpp"
 #include "sim/config.hpp"
+#include "support/fault.hpp"
 
 namespace camp::sim {
 
@@ -54,8 +55,13 @@ class GatherUnit
     gather_combined(const std::vector<u128>& psums, unsigned mode,
                     GatherStats* stats = nullptr) const;
 
+    /** Attach (or detach with nullptr) a fault source; gather() then
+     * draws one GatherCarry opportunity per call. */
+    void set_fault_engine(FaultEngine* faults) { faults_ = faults; }
+
   private:
     const SimConfig& config_;
+    FaultEngine* faults_ = nullptr;
 };
 
 } // namespace camp::sim

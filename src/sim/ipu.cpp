@@ -41,6 +41,10 @@ Ipu::run_bips(const std::vector<Bitflow>& patterns,
         stats->accum_bit_ops += accum_bits;
         stats->cycles += py;
     }
+    // Fault injection: a single-event upset flips one accumulator bit.
+    if (faults_ && faults_->fire(FaultSite::IpuAccumulator))
+        acc ^= static_cast<u128>(1)
+               << faults_->below(2 * config_.limb_bits + config_.q);
     return acc;
 }
 
@@ -53,14 +57,21 @@ Ipu::run_task(const IpuTask& task, IpuStats* stats,
     for (unsigned i = 0; i < config_.q; ++i)
         xflows.push_back(
             Bitflow::from_value(task.x[i], config_.limb_bits));
+    const std::uint64_t injected_before =
+        faults_ ? faults_->total_injected() : 0;
     const auto patterns = converter_.convert(xflows, conv_stats);
     const u128 result = run_bips(patterns, task.y, stats);
 
-    // Cross-check the BIPS identity against the direct inner product.
-    u128 direct = 0;
-    for (unsigned i = 0; i < config_.q; ++i)
-        direct += static_cast<u128>(task.x[i]) * task.y[i];
-    CAMP_ASSERT_MSG(result == direct, "BIPS identity violated");
+    // Cross-check the BIPS identity against the direct inner product —
+    // unless a fault was injected into this task, in which case the
+    // mismatch is the intended behaviour and detection belongs to the
+    // self-checking layers above.
+    if (!faults_ || faults_->total_injected() == injected_before) {
+        u128 direct = 0;
+        for (unsigned i = 0; i < config_.q; ++i)
+            direct += static_cast<u128>(task.x[i]) * task.y[i];
+        CAMP_ASSERT_MSG(result == direct, "BIPS identity violated");
+    }
     return result;
 }
 

@@ -66,9 +66,20 @@ class Ipu
     /** Naive bit-serial MAC baseline (shift-add per set y bit). */
     u128 run_naive(const IpuTask& task, IpuStats* stats = nullptr) const;
 
+    /** Attach (or detach with nullptr) a fault source; run_bips then
+     * draws one IpuAccumulator opportunity per task, and the internal
+     * converter draws its own site. */
+    void
+    set_fault_engine(FaultEngine* faults)
+    {
+        faults_ = faults;
+        converter_.set_fault_engine(faults);
+    }
+
   private:
     const SimConfig& config_;
     Converter converter_;
+    FaultEngine* faults_ = nullptr;
 };
 
 } // namespace camp::sim

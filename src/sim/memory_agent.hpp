@@ -11,8 +11,10 @@
 #define CAMP_SIM_MEMORY_AGENT_HPP
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/config.hpp"
+#include "support/fault.hpp"
 
 namespace camp::sim {
 
@@ -20,13 +22,44 @@ namespace camp::sim {
 class CoreMemoryAgent
 {
   public:
-    explicit CoreMemoryAgent(const SimConfig& config) : config_(config) {}
+    /** Cycles lost per injected stream stall. */
+    static constexpr std::uint64_t kStallPenaltyCycles = 128;
+
+    explicit CoreMemoryAgent(const SimConfig& config,
+                             FaultEngine* faults = nullptr)
+        : config_(config), faults_(faults)
+    {
+    }
 
     /** Record an operand stream of @p bits read from the LLC. */
     void
     stream_in(std::uint64_t bits)
     {
         bytes_in_ += (bits + 7) / 8;
+    }
+
+    /**
+     * Stream an operand's hardware limbs in from the LLC. Traffic is
+     * charged for the full @p bits; under fault injection the delivered
+     * stream may be truncated (MemoryTruncate: high limbs never arrive)
+     * or stalled (MemoryStall: kStallPenaltyCycles added).
+     */
+    void
+    stream_in_limbs(std::vector<std::uint32_t>& limbs, std::uint64_t bits)
+    {
+        stream_in(bits);
+        if (!faults_)
+            return;
+        if (limbs.size() > 1 &&
+            faults_->fire(FaultSite::MemoryTruncate)) {
+            const std::size_t keep = 1 + static_cast<std::size_t>(
+                faults_->below(limbs.size() - 1));
+            limbs.resize(keep);
+            while (limbs.size() > 1 && limbs.back() == 0)
+                limbs.pop_back();
+        }
+        if (faults_->fire(FaultSite::MemoryStall))
+            stall_cycles_ += kStallPenaltyCycles;
     }
 
     /** Record a result stream of @p bits written to the LLC. */
@@ -50,26 +83,33 @@ class CoreMemoryAgent
         return (total_bytes() + block_bytes - 1) / block_bytes;
     }
 
-    /** Cycles needed at the duty-limited LLC bandwidth. */
+    /** Cycles needed at the duty-limited LLC bandwidth, plus any
+     * injected stall penalties. */
     std::uint64_t
     cycles() const
     {
         const double bpc = config_.llc_bytes_per_cycle();
         return static_cast<std::uint64_t>(
-            static_cast<double>(total_bytes()) / bpc + 0.999999);
+                   static_cast<double>(total_bytes()) / bpc + 0.999999) +
+               stall_cycles_;
     }
+
+    std::uint64_t stall_cycles() const { return stall_cycles_; }
 
     void
     reset()
     {
         bytes_in_ = 0;
         bytes_out_ = 0;
+        stall_cycles_ = 0;
     }
 
   private:
     const SimConfig& config_;
+    FaultEngine* faults_ = nullptr;
     std::uint64_t bytes_in_ = 0;
     std::uint64_t bytes_out_ = 0;
+    std::uint64_t stall_cycles_ = 0;
 };
 
 } // namespace camp::sim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Error taxonomy for the sim/runtime boundary (Status-style codes
+ * carried on exception types).
+ *
+ * The gem5 panic/fatal split from assert.hpp still stands: internal
+ * invariant violations abort via CAMP_ASSERT. Everything a *caller or
+ * the environment* can cause is reported with one of these typed
+ * exceptions instead of an ad-hoc std::invalid_argument, so the
+ * runtime can distinguish "you passed garbage" (InvalidArgument),
+ * "this configuration cannot be built" (ConfigError), "the datapath
+ * returned a wrong result" (HardwareFault, recoverable by retry or
+ * CPU fallback), and "a budget was exhausted" (ResourceExhausted).
+ */
+#ifndef CAMP_SUPPORT_ERRORS_HPP
+#define CAMP_SUPPORT_ERRORS_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace camp {
+
+/** Status-style error codes, one per exception type. */
+enum class ErrorCode
+{
+    Ok = 0,
+    InvalidArgument,   ///< caller passed an out-of-contract value
+    ConfigError,       ///< configuration cannot describe buildable hardware
+    HardwareFault,     ///< the (simulated) datapath produced a wrong result
+    ResourceExhausted, ///< a bounded budget (retries, capacity) ran out
+};
+
+inline const char*
+error_code_name(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::Ok: return "Ok";
+    case ErrorCode::InvalidArgument: return "InvalidArgument";
+    case ErrorCode::ConfigError: return "ConfigError";
+    case ErrorCode::HardwareFault: return "HardwareFault";
+    case ErrorCode::ResourceExhausted: return "ResourceExhausted";
+    }
+    return "Unknown";
+}
+
+/** Base of the typed runtime errors (everything except InvalidArgument). */
+class Error : public std::runtime_error
+{
+  public:
+    Error(ErrorCode code, const std::string& what)
+        : std::runtime_error(what), code_(code)
+    {
+    }
+
+    ErrorCode code() const { return code_; }
+
+  private:
+    ErrorCode code_;
+};
+
+/**
+ * Caller error. Derives std::invalid_argument (not Error) so existing
+ * catch sites for the documented throw type keep working.
+ */
+class InvalidArgument : public std::invalid_argument
+{
+  public:
+    explicit InvalidArgument(const std::string& what)
+        : std::invalid_argument(what)
+    {
+    }
+
+    ErrorCode code() const { return ErrorCode::InvalidArgument; }
+};
+
+/** A SimConfig that cannot describe buildable hardware. */
+class ConfigError : public Error
+{
+  public:
+    explicit ConfigError(const std::string& what)
+        : Error(ErrorCode::ConfigError, what)
+    {
+    }
+};
+
+/** The simulated datapath returned a result that fails validation. */
+class HardwareFault : public Error
+{
+  public:
+    explicit HardwareFault(const std::string& what)
+        : Error(ErrorCode::HardwareFault, what)
+    {
+    }
+};
+
+/** A bounded budget (retry count, capacity) was exhausted. */
+class ResourceExhausted : public Error
+{
+  public:
+    explicit ResourceExhausted(const std::string& what)
+        : Error(ErrorCode::ResourceExhausted, what)
+    {
+    }
+};
+
+} // namespace camp
+
+#endif // CAMP_SUPPORT_ERRORS_HPP

@@ -1,0 +1,71 @@
+#include "support/fault.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace camp {
+
+const char*
+fault_site_name(FaultSite site)
+{
+    switch (site) {
+    case FaultSite::IpuAccumulator: return "ipu-accumulator";
+    case FaultSite::ConverterPattern: return "converter-pattern";
+    case FaultSite::GatherCarry: return "gather-carry";
+    case FaultSite::MemoryTruncate: return "memory-truncate";
+    case FaultSite::MemoryStall: return "memory-stall";
+    }
+    return "unknown";
+}
+
+namespace {
+
+bool
+env_double(const char* name, double* out)
+{
+    const char* value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return false;
+    char* end = nullptr;
+    const double parsed = std::strtod(value, &end);
+    if (end == value)
+        return false;
+    *out = parsed;
+    return true;
+}
+
+bool
+env_u64(const char* name, std::uint64_t* out)
+{
+    const char* value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return false;
+    char* end = nullptr;
+    const std::uint64_t parsed = std::strtoull(value, &end, 0);
+    if (end == value)
+        return false;
+    *out = parsed;
+    return true;
+}
+
+} // namespace
+
+FaultConfig
+FaultConfig::from_env(const FaultConfig& base)
+{
+    FaultConfig config = base;
+    env_u64("CAMP_FAULT_SEED", &config.seed);
+    double rate = 0;
+    if (env_double("CAMP_FAULT_RATE", &rate))
+        config.rate.fill(rate);
+    static constexpr const char* kSiteVars[kFaultSiteCount] = {
+        "CAMP_FAULT_IPU",          "CAMP_FAULT_CONVERTER",
+        "CAMP_FAULT_GATHER",       "CAMP_FAULT_MEM_TRUNCATE",
+        "CAMP_FAULT_MEM_STALL",
+    };
+    for (std::size_t i = 0; i < kFaultSiteCount; ++i)
+        env_double(kSiteVars[i], &config.rate[i]);
+    return config;
+}
+
+} // namespace camp

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Negative-path coverage for the documented throw sites across the
+ * number-type stack, plus the typed error taxonomy of
+ * support/errors.hpp. Every public-API contract violation must throw
+ * the documented type (std::invalid_argument family) and leave no
+ * aborted state behind.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mpf/float.hpp"
+#include "mpn/mont.hpp"
+#include "mpn/natural.hpp"
+#include "mpn/newton.hpp"
+#include "mpq/rational.hpp"
+#include "mpz/integer.hpp"
+#include "support/errors.hpp"
+
+using camp::mpf::Float;
+using camp::mpn::MontCtx;
+using camp::mpn::Natural;
+using camp::mpq::Rational;
+using camp::mpz::Integer;
+
+TEST(ErrorTaxonomy, CodesAndHierarchy)
+{
+    EXPECT_STREQ(camp::error_code_name(camp::ErrorCode::HardwareFault),
+                 "HardwareFault");
+    EXPECT_STREQ(camp::error_code_name(camp::ErrorCode::ConfigError),
+                 "ConfigError");
+
+    // Typed errors are catchable via the shared base with their code.
+    try {
+        throw camp::HardwareFault("ipu bit flip");
+    } catch (const camp::Error& e) {
+        EXPECT_EQ(e.code(), camp::ErrorCode::HardwareFault);
+        EXPECT_STREQ(e.what(), "ipu bit flip");
+    }
+    try {
+        throw camp::ConfigError("zero PEs");
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "zero PEs");
+    }
+    // InvalidArgument stays compatible with the documented throw type.
+    try {
+        throw camp::InvalidArgument("bad operand");
+    } catch (const std::invalid_argument& e) {
+        EXPECT_STREQ(e.what(), "bad operand");
+    }
+    try {
+        throw camp::ResourceExhausted("retry budget");
+    } catch (const camp::Error& e) {
+        EXPECT_EQ(e.code(), camp::ErrorCode::ResourceExhausted);
+    }
+}
+
+TEST(NaturalNegativePaths, SubtractionUnderflow)
+{
+    EXPECT_THROW(Natural(3) - Natural(5), std::invalid_argument);
+    EXPECT_THROW(Natural() - Natural(1), std::invalid_argument);
+    const Natural big = Natural(1) << 1000;
+    EXPECT_THROW(big - (big + Natural(1)), std::invalid_argument);
+    // a - a is fine and must still work after a failed attempt.
+    Natural a(42);
+    EXPECT_THROW(a - Natural(43), std::invalid_argument);
+    EXPECT_TRUE((a - a).is_zero());
+}
+
+TEST(NaturalNegativePaths, DivisionByZero)
+{
+    EXPECT_THROW(Natural(5) / Natural(), std::invalid_argument);
+    EXPECT_THROW(Natural(5) % Natural(), std::invalid_argument);
+    EXPECT_THROW(Natural::divrem(Natural(5), Natural()),
+                 std::invalid_argument);
+    EXPECT_THROW(camp::mpn::newton_reciprocal(Natural(), 64),
+                 std::invalid_argument);
+    EXPECT_THROW(camp::mpn::divrem_newton(Natural(9), Natural()),
+                 std::invalid_argument);
+}
+
+TEST(RationalNegativePaths, ZeroDenominator)
+{
+    EXPECT_THROW(Rational(Integer(1), Natural(0)),
+                 std::invalid_argument);
+    EXPECT_THROW(Rational(7) / Rational(0), std::invalid_argument);
+}
+
+TEST(IntegerNegativePaths, InvmodNonInvertibleAndZeroModulus)
+{
+    // gcd(6, 9) = 3: not invertible.
+    EXPECT_THROW(Integer::invmod(Natural(6), Natural(9)),
+                 std::invalid_argument);
+    EXPECT_THROW(Integer::invmod(Natural(4), Natural(8)),
+                 std::invalid_argument);
+    EXPECT_THROW(Integer::invmod(Natural(5), Natural(0)),
+                 std::invalid_argument);
+    EXPECT_THROW(Integer::powmod(Natural(2), Natural(10), Natural(0)),
+                 std::invalid_argument);
+    // The invertible neighbour still works afterwards.
+    const Natural inv = Integer::invmod(Natural(5), Natural(9));
+    EXPECT_EQ((Natural(5) * inv) % Natural(9), Natural(1));
+}
+
+TEST(FloatNegativePaths, SqrtOfNegativeAndDivisionByZero)
+{
+    EXPECT_THROW(Float::sqrt(Float::from_double(-1.0, 64)),
+                 std::invalid_argument);
+    EXPECT_THROW(Float::sqrt(Float::from_double(-1e300, 128)),
+                 std::invalid_argument);
+    EXPECT_THROW(Float::from_double(1.0, 64) /
+                     Float::from_double(0.0, 64),
+                 std::invalid_argument);
+    // sqrt(+x) still works after the failed calls.
+    const Float four = Float::from_double(4.0, 64);
+    EXPECT_DOUBLE_EQ(Float::sqrt(four).to_double(), 2.0);
+}
+
+TEST(MontNegativePaths, EvenModulusRejected)
+{
+    const camp::mpn::Limb even[1] = {10};
+    EXPECT_THROW(MontCtx(even, 1), std::invalid_argument);
+    const camp::mpn::Limb zero[1] = {0};
+    EXPECT_THROW(MontCtx(zero, 1), std::invalid_argument);
+    // Odd modulus constructs fine.
+    const camp::mpn::Limb odd[1] = {9};
+    EXPECT_NO_THROW(MontCtx(odd, 1));
+}
+
+TEST(ParseNegativePaths, MalformedStringsRejected)
+{
+    EXPECT_THROW(Natural::from_decimal(""), std::invalid_argument);
+    EXPECT_THROW(Natural::from_decimal("12x3"), std::invalid_argument);
+    EXPECT_THROW(Natural::from_hex(""), std::invalid_argument);
+    EXPECT_THROW(Natural::from_hex("g0"), std::invalid_argument);
+    EXPECT_THROW(Integer::from_decimal(""), std::invalid_argument);
+}

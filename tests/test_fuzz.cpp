@@ -4,9 +4,15 @@
  * deep cross-algorithm recursions, adversarial bit patterns stress
  * carry paths, and off-nominal simulator configurations validate the
  * schedule model beyond the paper's single design point.
+ *
+ * Seeds: every randomized test uses a fixed per-test default seed,
+ * overridable with the CAMP_FUZZ_SEED environment variable. Failure
+ * messages carry the effective seed, so any failure replays with
+ * CAMP_FUZZ_SEED=<printed seed> ctest -R Fuzz.
  */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <vector>
 
 #include "mpn/basic.hpp"
@@ -22,6 +28,20 @@ using mpn::Limb;
 using mpn::Natural;
 
 namespace {
+
+/** Effective fuzz seed: CAMP_FUZZ_SEED when set, else the per-test
+ * default. Failures print it for exact replay. */
+std::uint64_t
+fuzz_seed(std::uint64_t fallback)
+{
+    if (const char* env = std::getenv("CAMP_FUZZ_SEED")) {
+        char* end = nullptr;
+        const std::uint64_t seed = std::strtoull(env, &end, 0);
+        if (end != env)
+            return seed;
+    }
+    return fallback;
+}
 
 /** RAII: scramble the mul/div thresholds, restore on exit. */
 class TuningFuzz
@@ -72,7 +92,8 @@ adversarial_limbs(camp::Rng& rng, std::size_t n)
 
 TEST(Fuzz, MulWithScrambledThresholds)
 {
-    camp::Rng rng(160);
+    const std::uint64_t seed = fuzz_seed(160);
+    camp::Rng rng(seed);
     for (int round = 0; round < 15; ++round) {
         TuningFuzz fuzz(rng);
         const std::size_t an = 1 + rng.below(600);
@@ -82,13 +103,15 @@ TEST(Fuzz, MulWithScrambledThresholds)
         std::vector<Limb> got(an + bn), expect(an + bn);
         mpn::mul(got.data(), a.data(), an, b.data(), bn);
         mpn::mul_basecase(expect.data(), a.data(), an, b.data(), bn);
-        EXPECT_EQ(got, expect) << "round " << round;
+        EXPECT_EQ(got, expect)
+            << "round " << round << " seed " << seed;
     }
 }
 
 TEST(Fuzz, DivremWithScrambledThresholds)
 {
-    camp::Rng rng(161);
+    const std::uint64_t seed = fuzz_seed(161);
+    camp::Rng rng(seed);
     for (int round = 0; round < 15; ++round) {
         TuningFuzz fuzz(rng);
         const std::size_t dn = 1 + rng.below(120);
@@ -102,14 +125,16 @@ TEST(Fuzz, DivremWithScrambledThresholds)
         const Natural nd = Natural::from_limbs({d.begin(), d.end()});
         const Natural nq = Natural::from_limbs({q.begin(), q.end()});
         const Natural nr = Natural::from_limbs({r.begin(), r.end()});
-        EXPECT_EQ(nq * nd + nr, na) << "round " << round;
-        EXPECT_LT(nr, nd);
+        EXPECT_EQ(nq * nd + nr, na)
+            << "round " << round << " seed " << seed;
+        EXPECT_LT(nr, nd) << "round " << round << " seed " << seed;
     }
 }
 
 TEST(Fuzz, SsaAdversarialPatterns)
 {
-    camp::Rng rng(162);
+    const std::uint64_t seed = fuzz_seed(162);
+    camp::Rng rng(seed);
     for (int round = 0; round < 10; ++round) {
         const std::size_t an = 64 + rng.below(400);
         const std::size_t bn = 32 + rng.below(an - 31);
@@ -118,7 +143,8 @@ TEST(Fuzz, SsaAdversarialPatterns)
         std::vector<Limb> got(an + bn), expect(an + bn);
         mpn::mul_ssa(got.data(), a.data(), an, b.data(), bn);
         mpn::mul(expect.data(), a.data(), an, b.data(), bn);
-        EXPECT_EQ(got, expect) << "round " << round;
+        EXPECT_EQ(got, expect)
+            << "round " << round << " seed " << seed;
     }
 }
 
@@ -145,7 +171,8 @@ TEST(Fuzz, PowersOfTwoBoundaries)
 
 TEST(Fuzz, SimCoreOffNominalConfigs)
 {
-    camp::Rng rng(163);
+    const std::uint64_t seed = fuzz_seed(163);
+    camp::Rng rng(seed);
     for (const unsigned n_pe : {16u, 64u, 333u}) {
         for (const unsigned n_ipu : {8u, 32u}) {
             camp::sim::SimConfig config;
@@ -157,17 +184,18 @@ TEST(Fuzz, SimCoreOffNominalConfigs)
             const Natural a = Natural::random_bits(rng, bits);
             const Natural b = Natural::random_bits(rng, bits);
             const auto result = core.multiply(a, b);
-            EXPECT_EQ(result.product, a * b);
+            EXPECT_EQ(result.product, a * b) << "seed " << seed;
             EXPECT_EQ(result.stats.cycles,
                       model.multiply_cycles(bits, bits))
-                << n_pe << "x" << n_ipu;
+                << n_pe << "x" << n_ipu << " seed " << seed;
         }
     }
 }
 
 TEST(Fuzz, DecimalConversionAdversarial)
 {
-    camp::Rng rng(164);
+    const std::uint64_t seed = fuzz_seed(164);
+    camp::Rng rng(seed);
     // Numbers with long runs of 0/9 digits stress the split logic.
     for (int round = 0; round < 10; ++round) {
         std::string digits = std::to_string(1 + rng.below(9));
@@ -180,6 +208,6 @@ TEST(Fuzz, DecimalConversionAdversarial)
                                                '0' + rng.below(10)));
         }
         EXPECT_EQ(Natural::from_decimal(digits).to_decimal(), digits)
-            << "round " << round;
+            << "round " << round << " seed " << seed;
     }
 }
