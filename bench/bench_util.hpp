@@ -1,7 +1,12 @@
 /**
  * @file
  * Shared helpers for the paper-reproduction benchmark binaries: a
- * repeat-until-stable wall timer and common formatting.
+ * repeat-until-stable wall timer with warmup/repetition control and a
+ * machine-readable result sink — every bench binary can append rows
+ * (op, bits, threads, ns/op, GB/s) to a BenchJson and flush them as
+ * `BENCH_<name>.json`, giving the repo a perf trajectory that CI can
+ * diff run over run (see bench/perf_smoke.cpp and README
+ * "Performance").
  */
 #ifndef CAMP_BENCH_BENCH_UTIL_HPP
 #define CAMP_BENCH_BENCH_UTIL_HPP
@@ -10,15 +15,28 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace camp::bench {
 
-/** Seconds for one call of @p fn, repeated until >= @p min_seconds of
- * total runtime accumulates (at least once). */
+/** Repetition policy for time_call. */
+struct TimingOptions
+{
+    int warmup = 1;       ///< untimed calls before measurement
+    int min_runs = 1;     ///< timed calls at minimum
+    int max_runs = 1000000;
+    double min_seconds = 0.05; ///< accumulate at least this much
+};
+
+/** Seconds for one call of @p fn under @p opts. */
 inline double
-time_call(const std::function<void()>& fn, double min_seconds = 0.05)
+time_call(const std::function<void()>& fn,
+          const TimingOptions& opts)
 {
     using clock = std::chrono::steady_clock;
+    for (int i = 0; i < opts.warmup; ++i)
+        fn();
     int runs = 0;
     const auto start = clock::now();
     double elapsed = 0;
@@ -27,8 +45,21 @@ time_call(const std::function<void()>& fn, double min_seconds = 0.05)
         ++runs;
         elapsed = std::chrono::duration<double>(clock::now() - start)
                       .count();
-    } while (elapsed < min_seconds && runs < 1000000);
+    } while ((elapsed < opts.min_seconds || runs < opts.min_runs) &&
+             runs < opts.max_runs);
     return elapsed / runs;
+}
+
+/** Seconds for one call of @p fn, repeated until >= @p min_seconds of
+ * total runtime accumulates (at least once); no warmup — the
+ * historical default of the fig/table binaries. */
+inline double
+time_call(const std::function<void()>& fn, double min_seconds = 0.05)
+{
+    TimingOptions opts;
+    opts.warmup = 0;
+    opts.min_seconds = min_seconds;
+    return time_call(fn, opts);
 }
 
 /** Print a section header in a uniform style. */
@@ -37,6 +68,92 @@ section(const std::string& title)
 {
     std::printf("\n==== %s ====\n", title.c_str());
 }
+
+/**
+ * Machine-readable benchmark sink. Rows are (op, bits, threads,
+ * ns/op, GB/s) plus free-form extras; write_file() emits
+ * BENCH_<name>.json into the current directory (or $CAMP_BENCH_DIR).
+ */
+class BenchJson
+{
+  public:
+    explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+    struct Row
+    {
+        std::string op;
+        std::uint64_t bits = 0;
+        unsigned threads = 1;
+        double ns_per_op = 0;
+        double gb_per_s = 0;
+        /** Extra numeric fields, e.g. {"speedup", 1.9}. */
+        std::vector<std::pair<std::string, double>> extra;
+    };
+
+    void add(Row row) { rows_.push_back(std::move(row)); }
+
+    /** Convenience: append a row and echo it to stdout. */
+    void
+    add(const std::string& op, std::uint64_t bits, unsigned threads,
+        double seconds_per_op, double bytes_per_op,
+        std::vector<std::pair<std::string, double>> extra = {})
+    {
+        Row row;
+        row.op = op;
+        row.bits = bits;
+        row.threads = threads;
+        row.ns_per_op = seconds_per_op * 1e9;
+        row.gb_per_s = seconds_per_op > 0
+                           ? bytes_per_op / seconds_per_op * 1e-9
+                           : 0.0;
+        row.extra = std::move(extra);
+        std::printf("  %-24s %10llu bits  %2u thr  %14.1f ns/op"
+                    "  %8.3f GB/s",
+                    row.op.c_str(),
+                    static_cast<unsigned long long>(row.bits),
+                    row.threads, row.ns_per_op, row.gb_per_s);
+        for (const auto& [key, value] : row.extra)
+            std::printf("  %s=%.3f", key.c_str(), value);
+        std::printf("\n");
+        rows_.push_back(std::move(row));
+    }
+
+    /** Write BENCH_<name>.json; returns the path (empty on failure). */
+    std::string
+    write_file() const
+    {
+        std::string dir = ".";
+        if (const char* env = std::getenv("CAMP_BENCH_DIR"))
+            dir = env;
+        const std::string path = dir + "/BENCH_" + name_ + ".json";
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr)
+            return std::string();
+        std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"rows\": [",
+                     name_.c_str());
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            const Row& r = rows_[i];
+            std::fprintf(f,
+                         "%s\n    {\"op\": \"%s\", \"bits\": %llu, "
+                         "\"threads\": %u, \"ns_per_op\": %.3f, "
+                         "\"gb_per_s\": %.6f",
+                         i == 0 ? "" : ",", r.op.c_str(),
+                         static_cast<unsigned long long>(r.bits),
+                         r.threads, r.ns_per_op, r.gb_per_s);
+            for (const auto& [key, value] : r.extra)
+                std::fprintf(f, ", \"%s\": %.6f", key.c_str(), value);
+            std::fprintf(f, "}");
+        }
+        std::fprintf(f, "\n  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+        return path;
+    }
+
+  private:
+    std::string name_;
+    std::vector<Row> rows_;
+};
 
 } // namespace camp::bench
 

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * CI perf smoke (< 10 s): times the two parallel paths added with the
+ * thread pool — a large monolithic mpn multiplication and a
+ * BatchEngine batch — serial (SerialGuard) vs pooled, checks the
+ * results are bit-identical, and records machine-readable numbers in
+ * BENCH_perf_smoke.json (op, bits, threads, ns/op, GB/s, speedup).
+ * Speedup tracks the host: on a single-core runner the pooled path is
+ * expected near 1.0x and the JSON row is the honest record of that.
+ */
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mpn/natural.hpp"
+#include "sim/batch.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+using camp::mpn::Natural;
+using namespace camp::bench;
+
+int
+main()
+{
+    camp::support::ThreadPool& pool = camp::support::ThreadPool::global();
+    const unsigned threads = pool.executors();
+    BenchJson json("perf_smoke");
+    TimingOptions opts;
+    opts.warmup = 1;
+    opts.min_seconds = 0.2;
+    camp::Rng rng(42);
+
+    section("mpn monolithic multiply, serial vs pooled");
+    {
+        const std::uint64_t bits = 1u << 20; // 1 Mbit x 1 Mbit
+        const Natural a = Natural::random_bits(rng, bits);
+        const Natural b = Natural::random_bits(rng, bits);
+        Natural serial_prod, pooled_prod;
+        const double serial_s = time_call(
+            [&] {
+                camp::support::SerialGuard guard;
+                serial_prod = a * b;
+            },
+            opts);
+        const double pooled_s =
+            time_call([&] { pooled_prod = a * b; }, opts);
+        CAMP_ASSERT(serial_prod == pooled_prod);
+        const double bytes = 2.0 * (bits / 8.0);
+        json.add("mpn_mul_serial", bits, 1, serial_s, bytes);
+        json.add("mpn_mul_pooled", bits, threads, pooled_s, bytes,
+                 {{"speedup", serial_s / pooled_s}});
+    }
+
+    section("sim batch multiply, serial vs pooled");
+    {
+        const std::uint64_t bits = 2048;
+        const std::size_t batch = 256;
+        std::vector<std::pair<Natural, Natural>> pairs;
+        pairs.reserve(batch);
+        for (std::size_t i = 0; i < batch; ++i)
+            pairs.emplace_back(Natural::random_bits(rng, bits),
+                               Natural::random_bits(rng, bits));
+        camp::sim::BatchEngine engine;
+        camp::sim::BatchResult serial_res, pooled_res;
+        const double serial_s = time_call(
+            [&] { serial_res = engine.multiply_batch(pairs, 1); },
+            opts);
+        const double pooled_s = time_call(
+            [&] { pooled_res = engine.multiply_batch(pairs, 0); },
+            opts);
+        CAMP_ASSERT(serial_res.products == pooled_res.products);
+        const double bytes =
+            static_cast<double>(batch) * 2.0 * (bits / 8.0);
+        json.add("batch_mul_serial", bits, 1, serial_s, bytes);
+        json.add("batch_mul_pooled", bits, pooled_res.parallelism,
+                 pooled_s, bytes, {{"speedup", serial_s / pooled_s}});
+    }
+
+    json.write_file();
+    return 0;
+}

@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# Minimal CI: default Release build + ctest, then an
-# address+undefined-sanitizer build + ctest (skip the second pass with
-# CAMP_CI_SKIP_SANITIZE=1). Fails on the first failing step.
+# Minimal CI, three passes (fail on the first failing step):
+#  1. default Release build; ctest at CAMP_THREADS=1 and CAMP_THREADS=4
+#     so the pool's serial-inline and forking paths both run;
+#  2. address+undefined-sanitizer build + ctest
+#     (skip with CAMP_CI_SKIP_SANITIZE=1);
+#  3. ThreadSanitizer build (CAMP_SANITIZE=thread) over the
+#     concurrency-bearing tests — pool, mpn mul, batch, runtime — at
+#     CAMP_THREADS=4 (skip with CAMP_CI_SKIP_SANITIZE=1).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,11 +24,31 @@ run_pass() {
 }
 
 run_pass build
+echo "==== ctest build (CAMP_THREADS=1) ===="
+CAMP_THREADS=1 ctest --test-dir build --output-on-failure -j "${JOBS}"
+echo "==== ctest build (CAMP_THREADS=4) ===="
+CAMP_THREADS=4 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 if [[ "${CAMP_CI_SKIP_SANITIZE:-0}" != "1" ]]; then
     run_pass build-asan \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCAMP_SANITIZE="address;undefined"
+
+    # ThreadSanitizer pass: the tests that exercise the thread pool
+    # (fork/join, parallel mpn kernels, parallel batch, runtime batch),
+    # forced parallel so races are actually reachable.
+    echo "==== configure build-tsan (thread sanitizer) ===="
+    cmake -B build-tsan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCAMP_SANITIZE="thread"
+    echo "==== build build-tsan ===="
+    cmake --build build-tsan -j "${JOBS}" --target \
+        test_thread_pool test_mpn_mul test_sim_batch test_mpapca
+    echo "==== tsan tests (CAMP_THREADS=4) ===="
+    for t in test_thread_pool test_mpn_mul test_sim_batch test_mpapca; do
+        echo "---- ${t} ----"
+        CAMP_THREADS=4 ./build-tsan/tests/"${t}"
+    done
 fi
 
 echo "==== all test passes green ===="

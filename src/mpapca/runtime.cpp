@@ -5,6 +5,7 @@
 #include "profile/profiler.hpp"
 #include "sim/comparators.hpp"
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 namespace camp::mpapca {
 
@@ -119,6 +120,29 @@ Runtime::base_product(const Natural& a, const Natural& b)
         sync_injected();
     }
     return product;
+}
+
+sim::BatchResult
+Runtime::multiply_batch(
+    const std::vector<std::pair<Natural, Natural>>& pairs)
+{
+    // Self-checking policy carries over: checked batches validate every
+    // product against the golden model (mismatches are counted, not
+    // fatal, when injection is armed — see BatchEngine).
+    sim::BatchEngine engine(config_, /*validate=*/check_.enabled ||
+                                         !config_.faults.enabled());
+    const unsigned parallelism =
+        pairs.size() >= 2
+            ? support::ThreadPool::global().executors()
+            : 1;
+    const sim::BatchResult result =
+        engine.multiply_batch(pairs, parallelism);
+    base_products_ += result.products.size();
+    ledger_.fault_stats().injected += result.injected;
+    ledger_.fault_stats().detected += result.faulty;
+    if (config_.faults.enabled())
+        ledger_.fault_stats().checks += result.products.size();
+    return result;
 }
 
 Natural

@@ -23,6 +23,7 @@
 #include "mpapca/cost_model.hpp"
 #include "mpapca/ledger.hpp"
 #include "mpn/natural.hpp"
+#include "sim/batch.hpp"
 #include "sim/core.hpp"
 #include "support/rng.hpp"
 
@@ -111,6 +112,20 @@ class Runtime
 
     /** Hardware base products issued by mul_functional so far. */
     std::uint64_t base_products() const { return base_products_; }
+
+    /**
+     * Multiply many independent pairs through the simulated batch
+     * fabric (sim::BatchEngine). The runtime picks the host-side
+     * parallelism: batches of at least two products fork across the
+     * global thread pool, single products and CAMP_THREADS=1 runs
+     * stay serial; products are bit-identical either way. Injected
+     * faults and validation mismatches are folded into the ledger's
+     * FaultStats (injected / detected), keeping the PR-1 diagnostics
+     * surface authoritative for batch work too.
+     */
+    sim::BatchResult
+    multiply_batch(const std::vector<std::pair<mpn::Natural,
+                                               mpn::Natural>>& pairs);
 
   private:
     mpn::Natural mul_toom3_functional(const mpn::Natural& a,

@@ -67,10 +67,34 @@ struct MulTuning
     std::size_t toom4 = 288;     ///< below: Toom-3
     std::size_t toom6 = 800;     ///< below: Toom-4
     std::size_t ssa = 3200;      ///< below: Toom-6, above: SSA
+    /** Smaller-operand size (limbs) from which the recursive kernels
+     * fork their independent sub-multiplications onto the global
+     * thread pool. Forking never changes results, only placement. */
+    std::size_t parallel = 512;
 };
 
-/** Active thresholds for the dispatching mul(). */
+/**
+ * True iff the algorithm thresholds are strictly increasing
+ * (karatsuba < toom3 < toom4 < toom6 < ssa) and every fast algorithm
+ * engages above the schoolbook floor. Dispatch correctness does not
+ * depend on monotone thresholds, but a non-monotone set silently
+ * shadows algorithms, so mul_tuning() asserts this at load and
+ * tuning experiments should re-check after overriding.
+ */
+bool mul_tuning_monotone(const MulTuning& tuning);
+
+/**
+ * Active thresholds for the dispatching mul(). First use applies
+ * environment overrides CAMP_MUL_THRESH_KARATSUBA / _TOOM3 / _TOOM4 /
+ * _TOOM6 / _SSA / _PARALLEL (limb counts), then debug-asserts
+ * mul_tuning_monotone.
+ */
 MulTuning& mul_tuning();
+
+/** True when a kernel at smaller-operand size @p bn should fork its
+ * sub-products: above the parallel threshold, pool has workers, and
+ * no support::SerialGuard is active on this thread. */
+bool mul_should_fork(std::size_t bn);
 
 /** Names of the regime mul() would pick for a balanced n-limb product. */
 const char* mul_algorithm_name(std::size_t n, const MulTuning& tuning);

@@ -5,19 +5,64 @@
  * operands — the same threshold-driven policy structure GMP and the
  * paper's MPApca library use (§V-C).
  */
+#include <cstdlib>
 #include <vector>
 
 #include "mpn/basic.hpp"
 #include "mpn/mul.hpp"
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 namespace camp::mpn {
+
+namespace {
+
+/** CAMP_MUL_THRESH_<NAME> override in limbs, if set and >= 1. */
+void
+env_threshold(const char* name, std::size_t& value)
+{
+    if (const char* env = std::getenv(name)) {
+        const long long v = std::strtoll(env, nullptr, 10);
+        if (v >= 1)
+            value = static_cast<std::size_t>(v);
+    }
+}
+
+} // namespace
+
+bool
+mul_tuning_monotone(const MulTuning& t)
+{
+    return t.karatsuba >= 2 && t.karatsuba < t.toom3 &&
+           t.toom3 < t.toom4 && t.toom4 < t.toom6 && t.toom6 < t.ssa;
+}
 
 MulTuning&
 mul_tuning()
 {
-    static MulTuning tuning;
+    static MulTuning tuning = [] {
+        MulTuning t;
+        env_threshold("CAMP_MUL_THRESH_KARATSUBA", t.karatsuba);
+        env_threshold("CAMP_MUL_THRESH_TOOM3", t.toom3);
+        env_threshold("CAMP_MUL_THRESH_TOOM4", t.toom4);
+        env_threshold("CAMP_MUL_THRESH_TOOM6", t.toom6);
+        env_threshold("CAMP_MUL_THRESH_SSA", t.ssa);
+        env_threshold("CAMP_MUL_THRESH_PARALLEL", t.parallel);
+        CAMP_ASSERT_MSG(mul_tuning_monotone(t),
+                        "mul thresholds must satisfy karatsuba < toom3 "
+                        "< toom4 < toom6 < ssa (check CAMP_MUL_THRESH_* "
+                        "overrides)");
+        return t;
+    }();
     return tuning;
+}
+
+bool
+mul_should_fork(std::size_t bn)
+{
+    return bn >= mul_tuning().parallel &&
+           support::ThreadPool::global().parallel() &&
+           support::parallel_allowed();
 }
 
 const char*

@@ -1,8 +1,19 @@
-#include <vector>
-
+/**
+ * @file
+ * Karatsuba (Toom-2) multiplication. The three half-size products are
+ * independent: above the parallel threshold z0 and z2 fork onto the
+ * work-stealing pool while the calling thread computes the middle
+ * product, then joins before the (sequential) recombination — the
+ * classic fork/join shape, bit-identical to the serial schedule
+ * because every product writes a disjoint region and recombination
+ * happens after the join in program order. Temporaries come from the
+ * per-thread scratch arena, so the hot recursion allocates nothing
+ * from the system in steady state.
+ */
 #include "mpn/basic.hpp"
 #include "mpn/mul.hpp"
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 namespace camp::mpn {
 
@@ -38,36 +49,50 @@ mul_karatsuba(Limb* rp, const Limb* ap, std::size_t an,
     const std::size_t a1n = an - m;
     const std::size_t b1n = bn - m;
 
-    // z0 and z2 go straight into their final positions in rp.
-    mul(rp, a0, m, b0, m);                       // rp[0 .. 2m)
-    mul(rp + 2 * m, a1, a1n, b1, b1n);           // rp[2m .. an+bn)
+    support::ScratchFrame scratch;
+    Limb* sa = scratch.alloc(a1n + 1);
+    Limb* sb = scratch.alloc(m + 2);
+    Limb* t = scratch.alloc(a1n + m + 3);
 
-    std::vector<Limb> sa(a1n + 1), sb(m + 2);
-    const std::size_t san = add_ext(sa.data(), a1, a1n, a0, m);
+    // z0 and z2 go straight into their final positions in rp; they are
+    // independent of each other and of the middle product.
+    support::TaskGroup fork;
+    const bool parallel = mul_should_fork(bn);
+    if (parallel) {
+        fork.run([=] { mul(rp, a0, m, b0, m); });             // rp[0..2m)
+        fork.run([=] { mul(rp + 2 * m, a1, a1n, b1, b1n); }); // rp[2m..)
+    } else {
+        mul(rp, a0, m, b0, m);
+        mul(rp + 2 * m, a1, a1n, b1, b1n);
+    }
+
+    const std::size_t san = add_ext(sa, a1, a1n, a0, m);
     std::size_t sbn;
     if (b1n >= m)
-        sbn = add_ext(sb.data(), b1, b1n, b0, m);
+        sbn = add_ext(sb, b1, b1n, b0, m);
     else
-        sbn = add_ext(sb.data(), b0, m, b1, b1n);
+        sbn = add_ext(sb, b0, m, b1, b1n);
 
-    std::vector<Limb> t(san + sbn);
     if (san >= sbn)
-        mul(t.data(), sa.data(), san, sb.data(), sbn);
+        mul(t, sa, san, sb, sbn);
     else
-        mul(t.data(), sb.data(), sbn, sa.data(), san);
-    std::size_t tn = normalized_size(t.data(), t.size());
+        mul(t, sb, sbn, sa, san);
+    std::size_t tn = normalized_size(t, san + sbn);
+
+    if (parallel)
+        fork.wait();
 
     // t -= z0; t -= z2 (both are <= t mathematically).
     const std::size_t z0n = normalized_size(rp, 2 * m);
     const std::size_t z2n = normalized_size(rp + 2 * m, an + bn - 2 * m);
-    Limb borrow = sub(t.data(), t.data(), tn, rp, z0n);
+    Limb borrow = sub(t, t, tn, rp, z0n);
     CAMP_ASSERT(borrow == 0);
-    borrow = sub(t.data(), t.data(), tn, rp + 2 * m, z2n);
+    borrow = sub(t, t, tn, rp + 2 * m, z2n);
     CAMP_ASSERT(borrow == 0);
-    tn = normalized_size(t.data(), tn);
+    tn = normalized_size(t, tn);
 
     // rp += t * B^m.
-    const Limb carry = add(rp + m, rp + m, an + bn - m, t.data(), tn);
+    const Limb carry = add(rp + m, rp + m, an + bn - m, t, tn);
     CAMP_ASSERT(carry == 0);
 }
 

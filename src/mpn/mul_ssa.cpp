@@ -16,6 +16,7 @@
 #include "mpn/mul.hpp"
 #include "support/assert.hpp"
 #include "support/bits.hpp"
+#include "support/thread_pool.hpp"
 
 namespace camp::mpn {
 
@@ -319,26 +320,55 @@ mul_ssa(Limb* rp, const Limb* ap, std::size_t an,
     std::vector<Limb> da = decompose(ap, an);
     std::vector<Limb> db = decompose(bp, bn);
 
+    // The two forward transforms touch disjoint arrays and the L
+    // pointwise products each own residue slice i of da (reading only
+    // slice i of db), so both stages fork onto the pool; results are
+    // bit-identical to the serial order.
+    const bool parallel = mul_should_fork(bn);
     const FermatFft fft(ring, k);
-    fft.transform(da, false);
-    fft.transform(db, false);
+    if (parallel) {
+        support::TaskGroup fork;
+        fork.run([&] { fft.transform(db, false); });
+        fft.transform(da, false);
+        fork.wait();
+    } else {
+        fft.transform(da, false);
+        fft.transform(db, false);
+    }
 
     // Pointwise products, recursing through the mul() dispatcher.
-    std::vector<Limb> prod(2 * rl);
-    for (std::size_t i = 0; i < L; ++i) {
-        Limb* pa = da.data() + i * rl;
-        const Limb* pb = db.data() + i * rl;
-        const std::size_t na = normalized_size(pa, rl);
-        const std::size_t nb = normalized_size(pb, rl);
-        if (na == 0 || nb == 0) {
-            zero(pa, rl);
-            continue;
+    auto pointwise = [&](std::size_t begin, std::size_t end) {
+        support::ScratchFrame frame;
+        Limb* prod = frame.alloc(2 * rl);
+        for (std::size_t i = begin; i < end; ++i) {
+            Limb* pa = da.data() + i * rl;
+            const Limb* pb = db.data() + i * rl;
+            const std::size_t na = normalized_size(pa, rl);
+            const std::size_t nb = normalized_size(pb, rl);
+            if (na == 0 || nb == 0) {
+                zero(pa, rl);
+                continue;
+            }
+            if (na >= nb)
+                mul(prod, pa, na, pb, nb);
+            else
+                mul(prod, pb, nb, pa, na);
+            ring.reduce_full(pa, prod, na + nb);
         }
-        if (na >= nb)
-            mul(prod.data(), pa, na, pb, nb);
-        else
-            mul(prod.data(), pb, nb, pa, na);
-        ring.reduce_full(pa, prod.data(), na + nb);
+    };
+    if (parallel) {
+        support::TaskGroup fork;
+        const std::size_t chunks = std::min<std::size_t>(
+            L, 4 * support::ThreadPool::global().executors());
+        const std::size_t step = (L + chunks - 1) / chunks;
+        for (std::size_t begin = step; begin < L; begin += step)
+            fork.run([&pointwise, begin, step, L] {
+                pointwise(begin, std::min(begin + step, L));
+            });
+        pointwise(0, std::min(step, L));
+        fork.wait();
+    } else {
+        pointwise(0, L);
     }
 
     fft.transform(da, true);

@@ -18,6 +18,7 @@
 #include "mpn/basic.hpp"
 #include "mpn/mul.hpp"
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 namespace camp::mpn {
 
@@ -82,7 +83,6 @@ mul_toom(Limb* rp, const Limb* ap, std::size_t an,
     // Evaluate a(p) and b(p) by Horner; scalar points are tiny so each
     // evaluation fits in m + 1 limbs (see DESIGN.md bounds).
     const std::size_t en = m + 2;
-    std::vector<Limb> evals_a(npoints * en), evals_b(npoints * en);
     auto evaluate = [&](Limb* out, const Limb* p, std::size_t n,
                         Limb point) -> std::size_t {
         auto [tp, tn0] = block(p, n, k - 1);
@@ -108,50 +108,71 @@ mul_toom(Limb* rp, const Limb* ap, std::size_t an,
     };
 
     // Pointwise products v_p = a(p) * b(p); v_0 = a0 * b0 shortcut.
+    // Every point is independent (disjoint vbuf slice, disjoint v[p]
+    // entry), as is the leading coefficient v_inf, so all 2k-1
+    // products fork onto the pool above the parallel threshold; the
+    // serial and parallel schedules compute identical limbs.
     const std::size_t vn_cap = 2 * en;
-    std::vector<Limb> vbuf(npoints * vn_cap);
+    support::ScratchFrame scratch;
+    Limb* vbuf = scratch.alloc(npoints * vn_cap);
     std::vector<Value> v(npoints);
-    std::vector<Limb> ea(en), eb(en);
-    for (unsigned p = 0; p < npoints; ++p) {
+    auto compute_point = [&](unsigned p) {
+        support::ScratchFrame frame; // per-executing-thread buffers
+        Limb* ea = frame.alloc(en);
+        Limb* eb = frame.alloc(en);
         std::size_t ean, ebn;
         if (p == 0) {
             ean = normalized_size(ap, m);
-            copy(ea.data(), ap, ean);
+            copy(ea, ap, ean);
             ebn = normalized_size(bp, m);
-            copy(eb.data(), bp, ebn);
+            copy(eb, bp, ebn);
         } else {
-            ean = evaluate(ea.data(), ap, an, p);
-            ebn = evaluate(eb.data(), bp, bn, p);
+            ean = evaluate(ea, ap, an, p);
+            ebn = evaluate(eb, bp, bn, p);
         }
-        Limb* out = vbuf.data() + p * vn_cap;
+        Limb* out = vbuf + p * vn_cap;
         std::size_t outn = ean + ebn;
         if (ean == 0 || ebn == 0) {
             outn = 0;
         } else if (ean >= ebn) {
-            mul(out, ea.data(), ean, eb.data(), ebn);
+            mul(out, ea, ean, eb, ebn);
         } else {
-            mul(out, eb.data(), ebn, ea.data(), ean);
+            mul(out, eb, ebn, ea, ean);
         }
         v[p] = {out, normalized_size(out, outn)};
-    }
+    };
 
-    // v_inf = a_{k-1} * b_{k-1} is the leading coefficient c_d; place it
-    // in its final position right away.
+    // v_inf = a_{k-1} * b_{k-1} is the leading coefficient c_d.
     auto [atp, atn0] = block(ap, an, k - 1);
     auto [btp, btn0] = block(bp, bn, k - 1);
     const std::size_t atn = normalized_size(atp, atn0);
     const std::size_t btn = normalized_size(btp, btn0);
     const std::size_t rn = an + bn;
-    zero(rp, rn);
+    Limb* ctop = scratch.alloc(atn + btn + 1);
     std::size_t ctopn = 0;
-    std::vector<Limb> ctop(atn + btn + 1);
-    if (atn != 0 && btn != 0) {
+    auto compute_top = [&] {
+        if (atn == 0 || btn == 0)
+            return;
         if (atn >= btn)
-            mul(ctop.data(), atp, atn, btp, btn);
+            mul(ctop, atp, atn, btp, btn);
         else
-            mul(ctop.data(), btp, btn, atp, atn);
-        ctopn = normalized_size(ctop.data(), atn + btn);
+            mul(ctop, btp, btn, atp, atn);
+        ctopn = normalized_size(ctop, atn + btn);
+    };
+
+    if (mul_should_fork(bn)) {
+        support::TaskGroup fork;
+        for (unsigned p = 1; p < npoints; ++p)
+            fork.run([&compute_point, p] { compute_point(p); });
+        fork.run(compute_top);
+        compute_point(0); // cheapest product: keep the submitter busy
+        fork.wait();
+    } else {
+        for (unsigned p = 0; p < npoints; ++p)
+            compute_point(p);
+        compute_top();
     }
+    zero(rp, rn);
 
     // w_p = v_p - c_d * p^d  (exact leading-term removal).
     for (unsigned p = 1; p < npoints; ++p) {
@@ -161,7 +182,7 @@ mul_toom(Limb* rp, const Limb* ap, std::size_t an,
         if (ctopn == 0)
             continue;
         CAMP_ASSERT(v[p].n >= ctopn);
-        const Limb borrow = submul_1(v[p].p, ctop.data(), ctopn, pd);
+        const Limb borrow = submul_1(v[p].p, ctop, ctopn, pd);
         Limb* high = v[p].p + ctopn;
         const std::size_t highn = v[p].n - ctopn;
         const Limb b2 = borrow ? sub_1(high, high, highn, borrow) : 0;
@@ -238,7 +259,7 @@ mul_toom(Limb* rp, const Limb* ap, std::size_t an,
         const std::size_t off = static_cast<std::size_t>(d) * m;
         CAMP_ASSERT(off + ctopn <= rn);
         const Limb carry = add(rp + off, rp + off, rn - off,
-                               ctop.data(), ctopn);
+                               ctop, ctopn);
         CAMP_ASSERT(carry == 0);
     }
 }

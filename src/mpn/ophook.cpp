@@ -12,6 +12,9 @@ namespace {
 std::array<OpHook*, 4> g_hooks{};
 std::size_t g_hook_count = 0;
 
+/** OpHookSuspend nesting depth for the calling thread. */
+thread_local unsigned t_suspend_depth = 0;
+
 } // namespace
 
 const char*
@@ -58,8 +61,25 @@ op_hooks_active()
     return g_hook_count != 0;
 }
 
+OpHookSuspend::OpHookSuspend()
+{
+    ++t_suspend_depth;
+}
+
+OpHookSuspend::~OpHookSuspend()
+{
+    CAMP_ASSERT(t_suspend_depth > 0);
+    --t_suspend_depth;
+}
+
+bool
+op_hooks_suspended()
+{
+    return t_suspend_depth != 0;
+}
+
 OpScope::OpScope(OpKind kind, std::uint64_t bits_a, std::uint64_t bits_b)
-    : kind_(kind), active_(g_hook_count != 0)
+    : kind_(kind), active_(g_hook_count != 0 && t_suspend_depth == 0)
 {
     if (!active_)
         return;

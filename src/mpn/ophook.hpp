@@ -52,6 +52,25 @@ void remove_op_hook(OpHook* hook);
 /** True if any hook is registered (fast path check). */
 bool op_hooks_active();
 
+/**
+ * RAII: suppress OpScope announcements on the calling thread. Pool
+ * worker tasks (sim::BatchEngine products, internal golden checks)
+ * run under this so sim-internal arithmetic is neither attributed as
+ * application kernel work nor fed to hooks (the MPApca Ledger) that
+ * assume the single-threaded op nesting of one logical app thread.
+ */
+class OpHookSuspend
+{
+  public:
+    OpHookSuspend();
+    ~OpHookSuspend();
+    OpHookSuspend(const OpHookSuspend&) = delete;
+    OpHookSuspend& operator=(const OpHookSuspend&) = delete;
+};
+
+/** True while an OpHookSuspend is live on this thread. */
+bool op_hooks_suspended();
+
 /** RAII scope announcing one operation to all hooks. */
 class OpScope
 {

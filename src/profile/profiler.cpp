@@ -1,7 +1,9 @@
 #include "profile/profiler.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <sstream>
+#include <thread>
 
 #include "support/assert.hpp"
 #include "support/bits.hpp"
@@ -56,43 +58,79 @@ Profiler::instance()
     return profiler;
 }
 
+namespace {
+
+std::size_t
+thread_hash()
+{
+    return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+} // namespace
+
 void
 Profiler::reset()
 {
-    seconds_.fill(0);
-    calls_.fill(0);
-    depth_ = 0;
-    last_stamp_ = now_seconds();
+    session_.fetch_add(1, std::memory_order_acq_rel);
+    primary_thread_.store(thread_hash(), std::memory_order_release);
+    for (auto& n : nanos_)
+        n.store(0, std::memory_order_relaxed);
+    for (auto& c : calls_)
+        c.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(histogram_mutex_);
     histogram_.clear();
 }
 
-void
-Profiler::switch_to(int new_depth)
+Profiler::TlsState&
+Profiler::tls()
 {
-    // Attribute the elapsed slice to the currently-innermost category
-    // (HighLevel when the stack is empty), then move the stack top.
+    static thread_local TlsState state;
+    const std::uint64_t session =
+        session_.load(std::memory_order_acquire);
+    if (state.session != session) {
+        state = TlsState{};
+        state.session = session;
+        state.last_stamp = now_seconds();
+    }
+    return state;
+}
+
+void
+Profiler::switch_to(TlsState& t, int new_depth)
+{
+    // Attribute the elapsed slice to this thread's innermost category.
+    // With an empty stack only the primary thread attributes (to
+    // HighLevel); a pool worker's between-tasks time belongs to nobody.
     const double now = now_seconds();
-    const Category current =
-        depth_ == 0 ? Category::HighLevel : stack_[depth_ - 1];
-    seconds_[static_cast<int>(current)] += now - last_stamp_;
-    last_stamp_ = now;
-    depth_ = new_depth;
+    const bool primary = primary_thread_.load(
+                             std::memory_order_acquire) == thread_hash();
+    if (t.depth > 0 || primary) {
+        const Category current =
+            t.depth == 0 ? Category::HighLevel : t.stack[t.depth - 1];
+        nanos_[static_cast<int>(current)].fetch_add(
+            std::llround((now - t.last_stamp) * 1e9),
+            std::memory_order_relaxed);
+    }
+    t.last_stamp = now;
+    t.depth = new_depth;
 }
 
 void
 Profiler::push_category(Category c)
 {
-    CAMP_ASSERT(depth_ < kMaxDepth);
-    switch_to(depth_ + 1);
-    stack_[depth_ - 1] = c;
-    calls_[static_cast<int>(c)] += 1;
+    TlsState& t = tls();
+    CAMP_ASSERT(t.depth < kMaxDepth);
+    switch_to(t, t.depth + 1);
+    t.stack[t.depth - 1] = c;
+    calls_[static_cast<int>(c)].fetch_add(1, std::memory_order_relaxed);
 }
 
 void
 Profiler::pop_category()
 {
-    CAMP_ASSERT(depth_ > 0);
-    switch_to(depth_ - 1);
+    TlsState& t = tls();
+    CAMP_ASSERT(t.depth > 0);
+    switch_to(t, t.depth - 1);
 }
 
 void
@@ -102,6 +140,7 @@ Profiler::on_enter(mpn::OpKind kind, std::uint64_t bits_a,
     push_category(category_of(kind));
     const unsigned bucket =
         bits_a == 0 ? 0 : static_cast<unsigned>(floor_log2(bits_a));
+    std::lock_guard<std::mutex> lock(histogram_mutex_);
     OpBucket& b = histogram_[{kind, bucket}];
     b.count += 1;
     b.sum_bits_a += static_cast<double>(bits_a);
@@ -117,21 +156,23 @@ Profiler::on_exit(mpn::OpKind)
 double
 Profiler::seconds(Category c) const
 {
-    return seconds_[static_cast<int>(c)];
+    return static_cast<double>(nanos_[static_cast<int>(c)].load(
+               std::memory_order_relaxed)) *
+           1e-9;
 }
 
 std::uint64_t
 Profiler::calls(Category c) const
 {
-    return calls_[static_cast<int>(c)];
+    return calls_[static_cast<int>(c)].load(std::memory_order_relaxed);
 }
 
 double
 Profiler::total_seconds() const
 {
     double total = 0;
-    for (const double s : seconds_)
-        total += s;
+    for (int i = 0; i < kNumCategories; ++i)
+        total += seconds(static_cast<Category>(i));
     return total;
 }
 

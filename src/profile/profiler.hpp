@@ -6,13 +6,26 @@
  * low-level operators, high-level processing, and auxiliary work.
  * It also aggregates an operation histogram (kind x size bucket) that
  * the batch-oriented GPU cost model replays.
+ *
+ * Thread policy (work-stealing pool integration): time and call
+ * counters are atomic buckets merged on the fly, while the exclusive
+ * -attribution stack is thread-local — each thread attributes its own
+ * elapsed slices to its own innermost category. The thread that
+ * started the session (reset()) is the *primary* thread and owns the
+ * HighLevel default bucket; other threads only contribute while
+ * inside at least one explicit category, so pool-worker idle time is
+ * never misattributed as HighLevel. The histogram takes a small
+ * mutex per operation. Hooks themselves still register/unregister on
+ * the primary thread only, outside parallel regions (ophook.hpp).
  */
 #ifndef CAMP_PROFILE_PROFILER_HPP
 #define CAMP_PROFILE_PROFILER_HPP
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "mpn/ophook.hpp"
@@ -66,7 +79,8 @@ class Profiler : public mpn::OpHook
     /** Calls observed per category. */
     std::uint64_t calls(Category c) const;
 
-    /** Operation histogram: key = (kind, floor(log2(bits_a))). */
+    /** Operation histogram: key = (kind, floor(log2(bits_a))). Only
+     * read this outside parallel regions (no lock is held). */
     const std::map<std::pair<mpn::OpKind, unsigned>, OpBucket>&
     histogram() const
     {
@@ -88,14 +102,26 @@ class Profiler : public mpn::OpHook
   private:
     Profiler() = default;
 
-    void switch_to(int stack_top);
-
     static constexpr int kMaxDepth = 64;
-    std::array<double, kNumCategories> seconds_{};
-    std::array<std::uint64_t, kNumCategories> calls_{};
-    std::array<Category, kMaxDepth> stack_{};
-    int depth_ = 0;
-    double last_stamp_ = 0;
+
+    /** Per-thread exclusive-attribution stack, lazily re-zeroed when
+     * the session generation moves on. */
+    struct TlsState
+    {
+        std::uint64_t session = 0;
+        int depth = 0;
+        std::array<Category, kMaxDepth> stack{};
+        double last_stamp = 0;
+    };
+
+    TlsState& tls();
+    void switch_to(TlsState& t, int stack_top);
+
+    std::array<std::atomic<std::int64_t>, kNumCategories> nanos_{};
+    std::array<std::atomic<std::uint64_t>, kNumCategories> calls_{};
+    std::atomic<std::uint64_t> session_{1};
+    std::atomic<std::size_t> primary_thread_{0}; ///< hashed thread id
+    std::mutex histogram_mutex_;
     std::map<std::pair<mpn::OpKind, unsigned>, OpBucket> histogram_;
 };
 

@@ -1,64 +1,153 @@
 #include "sim/batch.hpp"
 
+#include <memory>
+
 #include "mpn/basic.hpp"
+#include "mpn/ophook.hpp"
+#include "sim/gather_unit.hpp"
 #include "sim/memory_agent.hpp"
 #include "support/assert.hpp"
 #include "support/bits.hpp"
+#include "support/thread_pool.hpp"
 
 namespace camp::sim {
 
 using mpn::Natural;
 
 BatchEngine::BatchEngine(const SimConfig& config, bool validate)
-    : config_(config), validate_(validate), gather_unit_(config_)
+    : config_(config), validate_(validate)
 {
+}
+
+BatchEngine::ProductOutcome
+BatchEngine::multiply_one(std::size_t index, const Natural& a,
+                          const Natural& b) const
+{
+    // Sim-internal arithmetic (gathering, golden checks) must not be
+    // announced to op hooks: it is not application kernel work, and
+    // this body runs on pool threads.
+    mpn::OpHookSuspend suspend;
+    ProductOutcome out;
+    if (a.is_zero() || b.is_zero())
+        return out;
+    CAMP_ASSERT(a.bits() <= config_.monolithic_cap_bits &&
+                b.bits() <= config_.monolithic_cap_bits);
+
+    // Per-product fault stream: seeded by product index so the
+    // injected sequence replays identically at any parallelism.
+    std::unique_ptr<FaultEngine> faults;
+    if (config_.faults.enabled()) {
+        FaultConfig fc = config_.faults;
+        fc.seed += static_cast<std::uint64_t>(index);
+        faults = std::make_unique<FaultEngine>(fc);
+    }
+
+    CoreMemoryAgent cma(config_, faults.get());
+    auto x = to_hw_limbs(a, config_.limb_bits);
+    auto y = to_hw_limbs(b, config_.limb_bits);
+    cma.stream_in_limbs(x, a.bits());
+    cma.stream_in_limbs(y, b.bits());
+
+    // Per-product convolution, exactly the monolithic dataflow but
+    // bounded to this product's PE group; the fault surface per IPU
+    // task mirrors Core::run_work's fast-fidelity path.
+    std::vector<u128> sums(x.size() + y.size() - 1, 0);
+    for (std::size_t t = 0; t < sums.size(); ++t) {
+        const std::size_t lo = t >= x.size() ? t - x.size() + 1 : 0;
+        const std::size_t hi = std::min(y.size() - 1, t);
+        for (std::size_t j = lo; j <= hi; ++j)
+            sums[t] += static_cast<u128>(x[t - j]) * y[j];
+        const std::uint64_t position_tasks = (hi - lo) / config_.q + 1;
+        out.tasks += position_tasks;
+        if (faults) {
+            for (std::uint64_t w = 0; w < position_tasks; ++w) {
+                if (faults->fire(FaultSite::IpuAccumulator))
+                    sums[t] ^= static_cast<u128>(1)
+                               << faults->below(2 * config_.limb_bits +
+                                                config_.q);
+                if (faults->fire(FaultSite::ConverterPattern))
+                    sums[t] += static_cast<u128>(1 + faults->below(15))
+                               << faults->below(config_.limb_bits);
+            }
+        }
+    }
+
+    GatherUnit gather_unit(config_);
+    if (faults)
+        gather_unit.set_fault_engine(faults.get());
+    out.product = gather_unit.gather(sums);
+    cma.stream_out(a.bits() + b.bits());
+    out.bytes = cma.total_bytes();
+    out.stall_cycles = cma.stall_cycles();
+    if (faults)
+        out.injected = faults->total_injected();
+
+    if (validate_) {
+        if (config_.faults.enabled()) {
+            // Corruption is the injected, expected outcome: count it.
+            out.faulty = out.product != a * b;
+        } else {
+            CAMP_ASSERT(out.product == a * b);
+        }
+    }
+    return out;
 }
 
 BatchResult
 BatchEngine::multiply_batch(
-    const std::vector<std::pair<Natural, Natural>>& pairs)
+    const std::vector<std::pair<Natural, Natural>>& pairs,
+    unsigned parallelism)
 {
     BatchResult result;
-    CoreMemoryAgent cma(config_);
-    std::uint64_t total_tasks = 0;
+    const std::size_t count = pairs.size();
+    std::vector<ProductOutcome> outcomes(count);
 
-    for (const auto& [a, b] : pairs) {
-        if (a.is_zero() || b.is_zero()) {
-            result.products.emplace_back();
-            continue;
-        }
-        CAMP_ASSERT(a.bits() <= config_.monolithic_cap_bits &&
-                    b.bits() <= config_.monolithic_cap_bits);
-        const auto x = to_hw_limbs(a, config_.limb_bits);
-        const auto y = to_hw_limbs(b, config_.limb_bits);
-        // Per-product convolution, exactly the monolithic dataflow but
-        // bounded to this product's PE group.
-        std::vector<u128> sums(x.size() + y.size() - 1, 0);
-        for (std::size_t t = 0; t < sums.size(); ++t) {
-            const std::size_t lo = t >= x.size() ? t - x.size() + 1 : 0;
-            const std::size_t hi = std::min(y.size() - 1, t);
-            for (std::size_t j = lo; j <= hi; ++j)
-                sums[t] += static_cast<u128>(x[t - j]) * y[j];
-            total_tasks += (hi - lo) / config_.q + 1;
-        }
-        result.products.push_back(gather_unit_.gather(sums));
-        cma.stream_in(a.bits());
-        cma.stream_in(b.bits());
-        cma.stream_out(a.bits() + b.bits());
-        if (validate_) {
-            CAMP_ASSERT(result.products.back() == a * b);
-        }
+    support::ThreadPool& pool = support::ThreadPool::global();
+    const bool fork = parallelism != 1 && count > 1 && pool.parallel() &&
+                      support::parallel_allowed();
+    result.parallelism = fork ? pool.executors() : 1;
+    if (fork) {
+        support::TaskGroup group(pool);
+        for (std::size_t i = 1; i < count; ++i)
+            group.run([this, &outcomes, &pairs, i] {
+                outcomes[i] = multiply_one(i, pairs[i].first,
+                                           pairs[i].second);
+            });
+        outcomes[0] =
+            multiply_one(0, pairs[0].first, pairs[0].second);
+        group.wait();
+    } else {
+        for (std::size_t i = 0; i < count; ++i)
+            outcomes[i] =
+                multiply_one(i, pairs[i].first, pairs[i].second);
     }
 
-    result.tasks = total_tasks;
+    // Fold in product order: aggregates are independent of placement.
+    std::uint64_t stall_cycles = 0;
+    result.products.reserve(count);
+    for (ProductOutcome& out : outcomes) {
+        result.products.push_back(std::move(out.product));
+        result.tasks += out.tasks;
+        result.bytes += out.bytes;
+        stall_cycles += out.stall_cycles;
+        result.injected += out.injected;
+        result.faulty += out.faulty ? 1 : 0;
+    }
+
     // Batch scheduling: tasks from independent products pack the whole
     // fabric (no inter-product dependencies), so waves are simply the
-    // pooled-capacity quotient.
+    // pooled-capacity quotient; memory time is the pooled traffic at
+    // the duty-limited LLC bandwidth plus injected stalls (identical
+    // to accumulating one CMA across the whole batch).
     result.waves =
-        (total_tasks + config_.total_ipus() - 1) / config_.total_ipus();
+        (result.tasks + config_.total_ipus() - 1) / config_.total_ipus();
     const std::uint64_t compute = result.waves * config_.limb_bits;
-    result.bytes = cma.total_bytes();
-    result.cycles = std::max<std::uint64_t>(compute, cma.cycles());
+    const double bpc = config_.llc_bytes_per_cycle();
+    const std::uint64_t memory_cycles =
+        static_cast<std::uint64_t>(
+            static_cast<double>(result.bytes) / bpc + 0.999999) +
+        stall_cycles;
+    result.cycles = std::max<std::uint64_t>(compute, memory_cycles);
     return result;
 }
 

@@ -7,6 +7,16 @@
  * scenario. The abstract's claim is identical batch throughput at
  * 430x less area and 60.5x less power; bench/batch_throughput
  * regenerates that comparison.
+ *
+ * Host-side parallelism: the products of a batch are independent, so
+ * the engine distributes them across the support::ThreadPool. Every
+ * product owns its PE-group state — its own CoreMemoryAgent, its own
+ * GatherUnit, and (when fault injection is armed) its own FaultEngine
+ * seeded `faults.seed + product_index` — so the injected fault
+ * sequence of product i is a pure function of the config seed and i,
+ * replayable at any thread count, and an N-thread batch is
+ * bit-identical to a serial one. Aggregate accounting (tasks, waves,
+ * bytes, cycles) is folded in product order after the join.
  */
 #ifndef CAMP_SIM_BATCH_HPP
 #define CAMP_SIM_BATCH_HPP
@@ -27,6 +37,9 @@ struct BatchResult
     std::uint64_t waves = 0;
     std::uint64_t cycles = 0;       ///< max(compute, memory)
     std::uint64_t bytes = 0;
+    unsigned parallelism = 1;       ///< host executors used
+    std::uint64_t injected = 0;     ///< faults injected (armed runs)
+    std::uint64_t faulty = 0;       ///< products that failed validation
     double seconds(const SimConfig& config) const
     {
         return static_cast<double>(cycles) / (config.freq_ghz * 1e9);
@@ -52,15 +65,40 @@ class BatchEngine
      * tasks from all products share the fabric; waves are computed as
      * in the monolithic mode, and each product's partial sums are
      * gathered by its PE group's GU in the matching combine mode.
+     *
+     * @p parallelism picks the host-side execution: 0 = auto (fork
+     * across the global pool when it has workers), 1 = serial on the
+     * calling thread, >= 2 = fork (actual concurrency is bounded by
+     * the pool). Products are bit-identical across all settings.
+     *
+     * Without fault injection a validation mismatch aborts (library
+     * bug); with any fault site armed, mismatching products are
+     * *expected* and only counted in BatchResult::faulty — recovery
+     * policy (retry / CPU fallback) lives in mpapca::Runtime.
      */
     BatchResult
     multiply_batch(const std::vector<std::pair<mpn::Natural,
-                                               mpn::Natural>>& pairs);
+                                               mpn::Natural>>& pairs,
+                   unsigned parallelism = 0);
 
   private:
+    /** Everything one product contributes to the aggregate. */
+    struct ProductOutcome
+    {
+        mpn::Natural product;
+        std::uint64_t tasks = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t stall_cycles = 0;
+        std::uint64_t injected = 0;
+        bool faulty = false;
+    };
+
+    ProductOutcome multiply_one(std::size_t index,
+                                const mpn::Natural& a,
+                                const mpn::Natural& b) const;
+
     SimConfig config_;
     bool validate_;
-    GatherUnit gather_unit_;
 };
 
 } // namespace camp::sim

@@ -234,3 +234,39 @@ TEST(Runtime, FunctionalPathHandlesExtremeImbalance)
     const Natural b = Natural::random_bits(rng, 40);
     EXPECT_EQ(runtime.mul_functional(a, b), a * b);
 }
+
+TEST(Runtime, MultiplyBatchFoldsIntoLedger)
+{
+    Runtime runtime(Backend::CambriconP);
+    camp::Rng rng(129);
+    std::vector<std::pair<Natural, Natural>> pairs;
+    for (int i = 0; i < 12; ++i)
+        pairs.emplace_back(Natural::random_bits(rng, 1024),
+                           Natural::random_bits(rng, 1024));
+    const camp::sim::BatchResult result = runtime.multiply_batch(pairs);
+    ASSERT_EQ(result.products.size(), pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+        EXPECT_EQ(result.products[i], pairs[i].first * pairs[i].second);
+    EXPECT_EQ(runtime.base_products(), pairs.size());
+    // No injection armed: nothing may be counted as faulty.
+    EXPECT_EQ(runtime.fault_stats().injected, 0u);
+    EXPECT_EQ(runtime.fault_stats().detected, 0u);
+}
+
+TEST(Runtime, MultiplyBatchCountsInjectedFaults)
+{
+    camp::sim::SimConfig config = camp::sim::default_config();
+    config.faults.seed = 77;
+    config.faults.rate_at(camp::FaultSite::IpuAccumulator) = 0.002;
+    Runtime runtime(Backend::CambriconP, config);
+    camp::Rng rng(130);
+    std::vector<std::pair<Natural, Natural>> pairs;
+    for (int i = 0; i < 24; ++i)
+        pairs.emplace_back(Natural::random_bits(rng, 2048),
+                           Natural::random_bits(rng, 2048));
+    const camp::sim::BatchResult result = runtime.multiply_batch(pairs);
+    EXPECT_GT(result.injected, 0u);
+    EXPECT_EQ(runtime.fault_stats().injected, result.injected);
+    EXPECT_EQ(runtime.fault_stats().detected, result.faulty);
+    EXPECT_EQ(runtime.fault_stats().checks, pairs.size());
+}

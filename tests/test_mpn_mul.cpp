@@ -6,16 +6,32 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <vector>
 
 #include "mpn/basic.hpp"
 #include "mpn/mul.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace mpn = camp::mpn;
 using mpn::Limb;
 
 namespace {
+
+/** Effective fuzz seed: CAMP_FUZZ_SEED when set, else the per-test
+ * default. Failures print it for exact replay. */
+std::uint64_t
+fuzz_seed(std::uint64_t fallback)
+{
+    if (const char* env = std::getenv("CAMP_FUZZ_SEED")) {
+        char* end = nullptr;
+        const std::uint64_t seed = std::strtoull(env, &end, 0);
+        if (end != env)
+            return seed;
+    }
+    return fallback;
+}
 
 std::vector<Limb>
 random_limbs(camp::Rng& rng, std::size_t n, bool allow_zero_top = true)
@@ -268,6 +284,105 @@ TEST(MpnMul, AlgorithmNameRespectsThresholds)
     EXPECT_STREQ(mpn::mul_algorithm_name(t.toom4, t), "toom4");
     EXPECT_STREQ(mpn::mul_algorithm_name(t.toom6, t), "toom6");
     EXPECT_STREQ(mpn::mul_algorithm_name(t.ssa, t), "ssa");
+}
+
+TEST(MpnMul, TuningMonotonePredicate)
+{
+    mpn::MulTuning t; // defaults must be monotone
+    EXPECT_TRUE(mpn::mul_tuning_monotone(t));
+    // The active (env-overridden) tuning passed the load-time assert;
+    // re-check the predicate agrees.
+    EXPECT_TRUE(mpn::mul_tuning_monotone(mpn::mul_tuning()));
+
+    t = mpn::MulTuning{};
+    t.toom3 = t.karatsuba; // collision shadows Karatsuba
+    EXPECT_FALSE(mpn::mul_tuning_monotone(t));
+    t = mpn::MulTuning{};
+    t.ssa = t.toom6 - 1; // inversion shadows Toom-6
+    EXPECT_FALSE(mpn::mul_tuning_monotone(t));
+    t = mpn::MulTuning{};
+    t.karatsuba = 1; // below the schoolbook floor
+    EXPECT_FALSE(mpn::mul_tuning_monotone(t));
+}
+
+namespace {
+
+/** RAII: shrink every threshold so small operands traverse the full
+ * schoolbook -> karatsuba -> toom -> SSA ladder and the parallel
+ * fork path engages; restores the tuning on exit. */
+class CompressedTuning
+{
+  public:
+    CompressedTuning() : saved_(mpn::mul_tuning())
+    {
+        auto& t = mpn::mul_tuning();
+        t.karatsuba = 8;
+        t.toom3 = 20;
+        t.toom4 = 40;
+        t.toom6 = 80;
+        t.ssa = 160;
+        t.parallel = 16;
+        EXPECT_TRUE(mpn::mul_tuning_monotone(t));
+    }
+    ~CompressedTuning() { mpn::mul_tuning() = saved_; }
+
+  private:
+    mpn::MulTuning saved_;
+};
+
+} // namespace
+
+TEST(MpnMul, FuzzParallelEqualsSerial)
+{
+    // The pool determinism contract (support/thread_pool.hpp): a
+    // pooled multiplication is bit-identical to the serial one. 1000
+    // pairs with compressed thresholds span every regime from
+    // schoolbook through SSA while keeping the fork threshold low
+    // enough that Karatsuba/Toom/SSA all actually fork when the pool
+    // has workers (CI runs this at CAMP_THREADS=1 and 4).
+    const std::uint64_t seed = fuzz_seed(0x9e3779b97f4a7c15ull);
+    camp::Rng rng(seed);
+    CompressedTuning compressed;
+    for (int iter = 0; iter < 1000; ++iter) {
+        const std::size_t an = 1 + rng.below(400);
+        const std::size_t bn = 1 + rng.below(an);
+        const auto a = random_limbs(rng, an);
+        const auto b = random_limbs(rng, bn);
+        std::vector<Limb> serial(an + bn), pooled(an + bn);
+        {
+            camp::support::SerialGuard guard;
+            mpn::mul(serial.data(), a.data(), an, b.data(), bn);
+        }
+        mpn::mul(pooled.data(), a.data(), an, b.data(), bn);
+        ASSERT_EQ(pooled, serial)
+            << "iter=" << iter << " an=" << an << " bn=" << bn
+            << " CAMP_FUZZ_SEED=" << seed;
+    }
+}
+
+TEST(MpnMul, FuzzParallelEqualsSerialDefaultTuning)
+{
+    // Same contract at production thresholds: large operands that hit
+    // the real Karatsuba/Toom-6/SSA fork points (parallel = 512 limbs).
+    const std::uint64_t seed = fuzz_seed(0xc0ffee1234abcdefull);
+    camp::Rng rng(seed);
+    const mpn::MulTuning& t = mpn::mul_tuning();
+    const std::size_t sizes[] = {t.parallel + 3, 2 * t.parallel + 17,
+                                 t.ssa + 211};
+    for (const std::size_t an : sizes) {
+        const std::size_t bn = an - rng.below(an / 4);
+        const auto a = random_limbs(rng, an);
+        const auto b = random_limbs(rng, bn);
+        std::vector<Limb> serial(an + bn), pooled(an + bn);
+        {
+            camp::support::SerialGuard guard;
+            mpn::mul(serial.data(), a.data(), an, b.data(), bn);
+        }
+        mpn::mul(pooled.data(), a.data(), an, b.data(), bn);
+        ASSERT_EQ(pooled, serial)
+            << "an=" << an << " bn=" << bn
+            << " CAMP_FUZZ_SEED=" << seed;
+    }
 }
 
 TEST(MpnMul, SqrMatchesMulAtAllRegimes)

@@ -1,16 +1,52 @@
 /**
  * @file
  * Batch-engine tests: product correctness across batch shapes, wave
- * accounting vs pooled capacity, and amortized-time behaviour.
+ * accounting vs pooled capacity, amortized-time behaviour, and the
+ * host-parallelism contract — a pooled batch is bit-identical to a
+ * serial one (results and aggregate accounting), and the per-product
+ * fault streams replay deterministically per seed at any parallelism.
  */
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include "sim/analytic_model.hpp"
 #include "sim/batch.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 using namespace camp::sim;
 using camp::mpn::Natural;
+
+namespace {
+
+/** Effective fuzz seed: CAMP_FUZZ_SEED when set, else the per-test
+ * default. Failures print it for exact replay. */
+std::uint64_t
+fuzz_seed(std::uint64_t fallback)
+{
+    if (const char* env = std::getenv("CAMP_FUZZ_SEED")) {
+        char* end = nullptr;
+        const std::uint64_t seed = std::strtoull(env, &end, 0);
+        if (end != env)
+            return seed;
+    }
+    return fallback;
+}
+
+std::vector<std::pair<Natural, Natural>>
+random_batch(camp::Rng& rng, std::size_t count, std::uint64_t max_bits)
+{
+    std::vector<std::pair<Natural, Natural>> pairs;
+    pairs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        pairs.emplace_back(
+            Natural::random_bits(rng, 32 + rng.below(max_bits - 32)),
+            Natural::random_bits(rng, 32 + rng.below(max_bits - 32)));
+    return pairs;
+}
+
+} // namespace
 
 TEST(BatchEngine, ProductsMatchReference)
 {
@@ -77,6 +113,86 @@ TEST(BatchEngine, TaskAndWaveAccountingMatchesModel)
         (result.tasks + default_config().total_ipus() - 1) /
         default_config().total_ipus();
     EXPECT_EQ(result.waves, expect_waves);
+}
+
+TEST(BatchEngine, PooledBatchBitIdenticalToSerial)
+{
+    // The host-parallelism determinism contract: products and every
+    // aggregate counter match the serial run exactly, at any pool
+    // size (CI runs this at CAMP_THREADS=1 and 4).
+    const std::uint64_t seed = fuzz_seed(0xba7c4ull);
+    camp::Rng rng(seed);
+    BatchEngine engine;
+    for (int round = 0; round < 6; ++round) {
+        const auto pairs = random_batch(rng, 3 + rng.below(60), 3000);
+        const BatchResult serial = engine.multiply_batch(pairs, 1);
+        const BatchResult pooled = engine.multiply_batch(pairs, 0);
+        EXPECT_EQ(serial.parallelism, 1u);
+        ASSERT_EQ(pooled.products, serial.products)
+            << "round=" << round << " CAMP_FUZZ_SEED=" << seed;
+        EXPECT_EQ(pooled.tasks, serial.tasks);
+        EXPECT_EQ(pooled.waves, serial.waves);
+        EXPECT_EQ(pooled.bytes, serial.bytes);
+        EXPECT_EQ(pooled.cycles, serial.cycles);
+    }
+}
+
+TEST(BatchEngine, SerialGuardSuppressesForking)
+{
+    BatchEngine engine;
+    camp::Rng rng(154);
+    const auto pairs = random_batch(rng, 8, 1024);
+    camp::support::SerialGuard guard;
+    const BatchResult result = engine.multiply_batch(pairs, 0);
+    EXPECT_EQ(result.parallelism, 1u);
+}
+
+TEST(BatchEngine, FaultStreamsReplayPerSeedAtAnyParallelism)
+{
+    // Product i's fault stream is seeded faults.seed + i, so an armed
+    // batch corrupts *identically* serial vs pooled, run after run —
+    // PR-1's replayable-injection property survives the thread pool.
+    SimConfig config = default_config();
+    config.faults.seed = 0xdeadfa17ull;
+    config.faults.rate_at(camp::FaultSite::IpuAccumulator) =
+        0.002;
+    config.faults.rate_at(camp::FaultSite::GatherCarry) = 0.01;
+    BatchEngine engine(config, /*validate=*/true);
+    camp::Rng rng(fuzz_seed(0xfa177ull));
+    const auto pairs = random_batch(rng, 48, 2048);
+
+    const BatchResult serial = engine.multiply_batch(pairs, 1);
+    const BatchResult pooled = engine.multiply_batch(pairs, 0);
+    const BatchResult replay = engine.multiply_batch(pairs, 0);
+    // Deterministic corruption: the faulty products are byte-equal.
+    ASSERT_EQ(pooled.products, serial.products);
+    ASSERT_EQ(replay.products, serial.products);
+    EXPECT_EQ(pooled.injected, serial.injected);
+    EXPECT_EQ(pooled.faulty, serial.faulty);
+    EXPECT_GT(serial.injected, 0u);
+    // Injection really corrupted something (rates chosen to fire).
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+        if (serial.products[i] != pairs[i].first * pairs[i].second)
+            ++mismatches;
+    EXPECT_EQ(mismatches, serial.faulty);
+}
+
+TEST(BatchEngine, FaultSeedSelectsDifferentStreams)
+{
+    SimConfig config = default_config();
+    config.faults.rate_at(camp::FaultSite::IpuAccumulator) =
+        0.005;
+    camp::Rng rng(155);
+    const auto pairs = random_batch(rng, 32, 2048);
+    config.faults.seed = 1;
+    const BatchResult one =
+        BatchEngine(config, true).multiply_batch(pairs);
+    config.faults.seed = 2;
+    const BatchResult two =
+        BatchEngine(config, true).multiply_batch(pairs);
+    // Different seeds, different injected sequences (overwhelmingly).
+    EXPECT_NE(one.products, two.products);
 }
 
 #include "sim/stream_sim.hpp"
