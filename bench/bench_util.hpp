@@ -13,6 +13,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <utility>
@@ -150,10 +152,148 @@ class BenchJson
         return path;
     }
 
+    const std::vector<Row>& rows() const { return rows_; }
+
   private:
     std::string name_;
     std::vector<Row> rows_;
 };
+
+/** One (op, ns_per_op) pair parsed from a BENCH_<name>.json. */
+struct BaselineRow
+{
+    std::string op;
+    double ns_per_op = 0;
+};
+
+/**
+ * Parse the rows of a BENCH_<name>.json written by
+ * BenchJson::write_file (a tiny scanner over our own fixed format, not
+ * a general JSON parser). Returns an empty vector when the file is
+ * missing or contains no rows.
+ */
+inline std::vector<BaselineRow>
+read_bench_rows(const std::string& path)
+{
+    std::vector<BaselineRow> rows;
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        return rows;
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    // Every row is `{"op": "<name>", ... "ns_per_op": <num>, ...}`.
+    std::size_t pos = 0;
+    while ((pos = text.find("\"op\": \"", pos)) != std::string::npos) {
+        pos += std::strlen("\"op\": \"");
+        const std::size_t end = text.find('"', pos);
+        if (end == std::string::npos)
+            break;
+        BaselineRow row;
+        row.op = text.substr(pos, end - pos);
+        const std::size_t ns = text.find("\"ns_per_op\": ", end);
+        if (ns == std::string::npos)
+            break;
+        row.ns_per_op = std::strtod(
+            text.c_str() + ns + std::strlen("\"ns_per_op\": "),
+            nullptr);
+        rows.push_back(std::move(row));
+        pos = end;
+    }
+    return rows;
+}
+
+/**
+ * Perf-regression gate over @p fresh rows vs a checked-in baseline
+ * file. For every baseline op also present in the fresh run the ratio
+ * fresh/baseline must stay within @p tolerance (a multiplier: 1.5
+ * means "at most 50% slower"); a baseline op missing from the fresh
+ * run fails too (coverage regression). Prints a per-op diff table and
+ * returns true when everything passed. Ops only present in the fresh
+ * run (new benchmarks, no baseline yet) are reported but never fail.
+ */
+inline bool
+gate_rows_against_baseline(const std::vector<BenchJson::Row>& fresh,
+                           const std::string& baseline_path,
+                           double tolerance)
+{
+    const std::vector<BaselineRow> baseline =
+        read_bench_rows(baseline_path);
+    std::printf("\nperf gate: %s (tolerance %.2fx)\n",
+                baseline_path.c_str(), tolerance);
+    if (baseline.empty()) {
+        std::printf("  FAIL: baseline missing or empty\n");
+        return false;
+    }
+    std::printf("  %-24s %14s %14s %8s  %s\n", "op", "baseline ns/op",
+                "fresh ns/op", "ratio", "status");
+    bool ok = true;
+    for (const BaselineRow& base : baseline) {
+        const BenchJson::Row* match = nullptr;
+        for (const BenchJson::Row& row : fresh)
+            if (row.op == base.op) {
+                match = &row;
+                break;
+            }
+        if (match == nullptr) {
+            std::printf("  %-24s %14.1f %14s %8s  FAIL (missing)\n",
+                        base.op.c_str(), base.ns_per_op, "-", "-");
+            ok = false;
+            continue;
+        }
+        const double ratio = base.ns_per_op > 0
+                                 ? match->ns_per_op / base.ns_per_op
+                                 : 0.0;
+        const bool pass = ratio <= tolerance;
+        std::printf("  %-24s %14.1f %14.1f %7.2fx  %s\n",
+                    base.op.c_str(), base.ns_per_op, match->ns_per_op,
+                    ratio, pass ? "ok" : "FAIL");
+        ok = ok && pass;
+    }
+    for (const BenchJson::Row& row : fresh) {
+        bool known = false;
+        for (const BaselineRow& base : baseline)
+            known = known || base.op == row.op;
+        if (!known)
+            std::printf("  %-24s %14s %14.1f %8s  new (no baseline)\n",
+                        row.op.c_str(), "-", row.ns_per_op, "-");
+    }
+    std::printf("perf gate: %s\n", ok ? "PASS" : "FAIL");
+    return ok;
+}
+
+/**
+ * Environment-driven gate for bench main()s: when CAMP_BENCH_GATE=1,
+ * diff @p json against CAMP_BENCH_BASELINE (required) at
+ * CAMP_BENCH_TOLERANCE (default 1.5) and return a process exit code;
+ * otherwise return 0 without gating.
+ */
+inline int
+maybe_gate(const BenchJson& json)
+{
+    const char* gate = std::getenv("CAMP_BENCH_GATE");
+    if (gate == nullptr || std::strcmp(gate, "1") != 0)
+        return 0;
+    const char* baseline = std::getenv("CAMP_BENCH_BASELINE");
+    if (baseline == nullptr || baseline[0] == '\0') {
+        std::printf("perf gate: FAIL (CAMP_BENCH_GATE=1 but "
+                    "CAMP_BENCH_BASELINE unset)\n");
+        return 1;
+    }
+    double tolerance = 1.5;
+    if (const char* tol = std::getenv("CAMP_BENCH_TOLERANCE")) {
+        const double v = std::strtod(tol, nullptr);
+        if (v > 0)
+            tolerance = v;
+    }
+    return gate_rows_against_baseline(json.rows(), baseline, tolerance)
+               ? 0
+               : 1;
+}
 
 } // namespace camp::bench
 

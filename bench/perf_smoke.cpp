@@ -1,26 +1,41 @@
 /**
  * @file
- * CI perf smoke (< 10 s): times the two parallel paths added with the
+ * CI perf smoke (< 10 s): times the parallel paths added with the
  * thread pool — a large monolithic mpn multiplication and a
- * BatchEngine batch — serial (SerialGuard) vs pooled, checks the
- * results are bit-identical, and records machine-readable numbers in
- * BENCH_perf_smoke.json (op, bits, threads, ns/op, GB/s, speedup).
+ * BatchEngine batch — serial (SerialGuard) vs pooled, plus an MPApca
+ * decomposed multiplication (so a CAMP_TRACE run contains spans from
+ * the mpn, sim, and mpapca layers), checks results are bit-identical,
+ * and records machine-readable numbers in BENCH_perf_smoke.json.
  * Speedup tracks the host: on a single-core runner the pooled path is
  * expected near 1.0x and the JSON row is the honest record of that.
+ *
+ * The binary also measures the observability layer itself:
+ *  - trace_off row: cost of a *disabled* trace::Span (the always-paid
+ *    price) scaled by the spans-per-op of the 1-Mbit multiply, as a
+ *    percentage of the op ("overhead_pct" extra; acceptance: < 2%);
+ *  - trace_on row: the same multiply with tracing force-enabled.
+ *
+ * With CAMP_BENCH_GATE=1 the run exits nonzero when any op regresses
+ * beyond CAMP_BENCH_TOLERANCE vs CAMP_BENCH_BASELINE (see bench_util
+ * and ci/run_tests.sh; refresh workflow in README "Performance").
  */
 #include <cstdio>
 #include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "mpapca/runtime.hpp"
 #include "mpn/natural.hpp"
 #include "sim/batch.hpp"
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 using camp::mpn::Natural;
 using namespace camp::bench;
+namespace trace = camp::support::trace;
 
 int
 main()
@@ -33,25 +48,27 @@ main()
     opts.min_seconds = 0.2;
     camp::Rng rng(42);
 
+    const std::uint64_t mul_bits = 1u << 20; // 1 Mbit x 1 Mbit
+    const Natural big_a = Natural::random_bits(rng, mul_bits);
+    const Natural big_b = Natural::random_bits(rng, mul_bits);
+    double mul_serial_s = 0;
+
     section("mpn monolithic multiply, serial vs pooled");
     {
-        const std::uint64_t bits = 1u << 20; // 1 Mbit x 1 Mbit
-        const Natural a = Natural::random_bits(rng, bits);
-        const Natural b = Natural::random_bits(rng, bits);
         Natural serial_prod, pooled_prod;
-        const double serial_s = time_call(
+        mul_serial_s = time_call(
             [&] {
                 camp::support::SerialGuard guard;
-                serial_prod = a * b;
+                serial_prod = big_a * big_b;
             },
             opts);
         const double pooled_s =
-            time_call([&] { pooled_prod = a * b; }, opts);
+            time_call([&] { pooled_prod = big_a * big_b; }, opts);
         CAMP_ASSERT(serial_prod == pooled_prod);
-        const double bytes = 2.0 * (bits / 8.0);
-        json.add("mpn_mul_serial", bits, 1, serial_s, bytes);
-        json.add("mpn_mul_pooled", bits, threads, pooled_s, bytes,
-                 {{"speedup", serial_s / pooled_s}});
+        const double bytes = 2.0 * (mul_bits / 8.0);
+        json.add("mpn_mul_serial", mul_bits, 1, mul_serial_s, bytes);
+        json.add("mpn_mul_pooled", mul_bits, threads, pooled_s, bytes,
+                 {{"speedup", mul_serial_s / pooled_s}});
     }
 
     section("sim batch multiply, serial vs pooled");
@@ -79,6 +96,91 @@ main()
                  pooled_s, bytes, {{"speedup", serial_s / pooled_s}});
     }
 
+    section("tracing overhead");
+    {
+        // Always-paid cost: a disabled Span is one relaxed load.
+        const bool was_enabled = trace::enabled();
+        trace::set_enabled(false);
+        const std::size_t kSpans = 1u << 20;
+        const double batch_s = time_call(
+            [&] {
+                for (std::size_t i = 0; i < kSpans; ++i) {
+                    trace::Span span("bench.noop", "bench");
+                    span.arg("i", static_cast<double>(i));
+                }
+            },
+            opts);
+        const double off_span_ns = batch_s / kSpans * 1e9;
+
+        // Spans the 1-Mbit multiply emits (tracing on, serial so the
+        // count is deterministic), to scale the per-span cost into a
+        // percentage of the real op.
+        trace::set_enabled(true);
+        const std::uint64_t emitted_before = trace::total_emitted();
+        Natural traced_prod;
+        {
+            camp::support::SerialGuard guard;
+            traced_prod = big_a * big_b;
+        }
+        const double spans_per_op = static_cast<double>(
+            trace::total_emitted() - emitted_before);
+        const double off_overhead_pct = mul_serial_s > 0
+            ? spans_per_op * off_span_ns / (mul_serial_s * 1e9) * 100.0
+            : 0.0;
+
+        // And the measured cost of actually recording those spans.
+        const double on_s = time_call(
+            [&] {
+                camp::support::SerialGuard guard;
+                traced_prod = big_a * big_b;
+            },
+            opts);
+        trace::set_enabled(was_enabled);
+        CAMP_ASSERT(traced_prod == big_a * big_b);
+        const double on_overhead_pct = mul_serial_s > 0
+            ? (on_s / mul_serial_s - 1.0) * 100.0
+            : 0.0;
+
+        const double bytes = 2.0 * (mul_bits / 8.0);
+        json.add("trace_off_mul", mul_bits, 1, mul_serial_s, bytes,
+                 {{"span_ns", off_span_ns},
+                  {"spans_per_op", spans_per_op},
+                  {"overhead_pct", off_overhead_pct}});
+        json.add("trace_on_mul", mul_bits, 1, on_s, bytes,
+                 {{"overhead_pct", on_overhead_pct}});
+        CAMP_ASSERT(off_overhead_pct < 2.0);
+    }
+
+    section("mpapca decomposed multiply (runtime + sim + mpn spans)");
+    {
+        // Above the monolithic capability, so mul_functional really
+        // decomposes and every base product routes through sim::Core.
+        camp::mpapca::Runtime runtime(camp::mpapca::Backend::CambriconP);
+        const std::uint64_t cap =
+            runtime.cost_model().config().monolithic_cap_bits;
+        const std::uint64_t bits = 3 * cap;
+        const Natural a = Natural::random_bits(rng, bits);
+        const Natural b = Natural::random_bits(rng, bits);
+        Natural prod;
+        TimingOptions mp_opts = opts;
+        mp_opts.min_seconds = 0.05; // the slowest section; keep < 10 s
+        const double mp_s =
+            time_call([&] { prod = runtime.mul_functional(a, b); },
+                      mp_opts);
+        CAMP_ASSERT(prod == a * b);
+        const double bytes = 2.0 * (bits / 8.0);
+        json.add("mpapca_mul_functional", bits, threads, mp_s, bytes);
+    }
+
+    // A CAMP_TRACE run gets its JSON at exit; always print the
+    // registry so the counters threaded through the layers are visible.
+    section("metrics registry");
+    std::printf(
+        "%s",
+        camp::support::metrics::Registry::instance()
+            .render_table()
+            .c_str());
+
     json.write_file();
-    return 0;
+    return maybe_gate(json);
 }

@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
-# Minimal CI, three passes (fail on the first failing step):
+# Minimal CI (fail on the first failing step):
 #  1. default Release build; ctest at CAMP_THREADS=1 and CAMP_THREADS=4
 #     so the pool's serial-inline and forking paths both run;
-#  2. address+undefined-sanitizer build + ctest
+#  2. perf-regression gate: perf_smoke vs bench/baselines at a generous
+#     machine-portability tolerance, a CAMP_TRACE export smoke-checked
+#     through tools/trace_report, and a negative control (a doctored
+#     baseline MUST fail the gate; skip with CAMP_CI_SKIP_PERF=1);
+#  3. address+undefined-sanitizer build + ctest
 #     (skip with CAMP_CI_SKIP_SANITIZE=1);
-#  3. ThreadSanitizer build (CAMP_SANITIZE=thread) over the
+#  4. ThreadSanitizer build (CAMP_SANITIZE=thread) over the
 #     concurrency-bearing tests — pool, mpn mul, batch, runtime — at
-#     CAMP_THREADS=4 (skip with CAMP_CI_SKIP_SANITIZE=1).
+#     CAMP_THREADS=4 (skip with CAMP_CI_SKIP_SANITIZE=1);
+#  5. report-only coverage summary via gcovr/gcov when available
+#     (opt in with CAMP_CI_COVERAGE=1; never gates).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,6 +35,43 @@ CAMP_THREADS=1 ctest --test-dir build --output-on-failure -j "${JOBS}"
 echo "==== ctest build (CAMP_THREADS=4) ===="
 CAMP_THREADS=4 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+if [[ "${CAMP_CI_SKIP_PERF:-0}" != "1" ]]; then
+    # Perf-regression gate. The tolerance is deliberately loose (4x):
+    # it tolerates host-to-host variation against the checked-in
+    # baseline while still catching order-of-magnitude regressions;
+    # refresh bench/baselines/ when landing intentional perf changes
+    # (see README "Performance").
+    BASELINE="bench/baselines/BENCH_perf_smoke.json"
+    echo "==== perf gate (perf_smoke vs ${BASELINE}) ===="
+    CAMP_TRACE=build/perf_smoke_trace.json \
+        CAMP_BENCH_DIR=build \
+        CAMP_BENCH_GATE=1 \
+        CAMP_BENCH_BASELINE="${BASELINE}" \
+        CAMP_BENCH_TOLERANCE="${CAMP_BENCH_TOLERANCE:-4.0}" \
+        ./build/bench/perf_smoke
+
+    echo "==== trace export smoke (tools/trace_report) ===="
+    ./build/tools/trace_report build/perf_smoke_trace.json
+
+    # Negative control: a doctored baseline (every ns_per_op forced to
+    # 1 ns) must make the gate fail on any machine, proving the gate
+    # actually bites. The freshly written BENCH json is reused so this
+    # step adds no bench runtime.
+    echo "==== perf gate negative control (doctored baseline) ===="
+    awk '{ gsub(/"ns_per_op": [0-9.]+/, "\"ns_per_op\": 1.000"); print }' \
+        "${BASELINE}" > build/doctored_baseline.json
+    if CAMP_BENCH_DIR=build \
+        CAMP_BENCH_GATE=1 \
+        CAMP_BENCH_BASELINE=build/doctored_baseline.json \
+        CAMP_BENCH_TOLERANCE=4.0 \
+        ./build/bench/perf_smoke > build/doctored_gate.log 2>&1; then
+        echo "ERROR: gate passed against a doctored baseline"
+        tail -20 build/doctored_gate.log
+        exit 1
+    fi
+    echo "doctored baseline rejected as expected"
+fi
+
 if [[ "${CAMP_CI_SKIP_SANITIZE:-0}" != "1" ]]; then
     run_pass build-asan \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -49,6 +92,27 @@ if [[ "${CAMP_CI_SKIP_SANITIZE:-0}" != "1" ]]; then
         echo "---- ${t} ----"
         CAMP_THREADS=4 ./build-tsan/tests/"${t}"
     done
+fi
+
+if [[ "${CAMP_CI_COVERAGE:-0}" == "1" ]]; then
+    # Report-only coverage: instrument, run the suite once, summarize.
+    # Never gates — the numbers are a trend signal, not a threshold.
+    echo "==== coverage build (report only) ===="
+    cmake -B build-cov -S . \
+        -DCMAKE_BUILD_TYPE=Debug -DCAMP_COVERAGE=ON
+    cmake --build build-cov -j "${JOBS}"
+    ctest --test-dir build-cov -j "${JOBS}" > /dev/null
+    if command -v gcovr > /dev/null 2>&1; then
+        gcovr --root . --filter 'src/' build-cov \
+            --print-summary || true
+    elif command -v gcov > /dev/null 2>&1; then
+        echo "(gcovr unavailable; raw gcov line summary over src/)"
+        find build-cov -name '*.gcda' -path '*src*' \
+            -exec gcov -n {} + 2> /dev/null |
+            grep -A1 "^File.*src/" | grep -E "^(File|Lines)" || true
+    else
+        echo "gcovr/gcov unavailable; skipping coverage report"
+    fi
 fi
 
 echo "==== all test passes green ===="

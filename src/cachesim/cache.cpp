@@ -2,6 +2,7 @@
 
 #include "support/assert.hpp"
 #include "support/bits.hpp"
+#include "support/metrics.hpp"
 
 namespace camp::cachesim {
 
@@ -16,6 +17,11 @@ CacheLevel::CacheLevel(const LevelConfig& config) : config_(config)
     CAMP_ASSERT(num_sets_ >= 1 && (num_sets_ & (num_sets_ - 1)) == 0);
     line_shift_ = static_cast<unsigned>(floor_log2(config.line_bytes));
     ways_.resize(num_sets_ * config.associativity);
+    namespace metrics = support::metrics;
+    const std::string prefix = "cachesim." + config.name + ".";
+    m_hits_ = &metrics::counter(prefix + "hits");
+    m_misses_ = &metrics::counter(prefix + "misses");
+    m_evictions_ = &metrics::counter(prefix + "evictions");
 }
 
 bool
@@ -33,16 +39,22 @@ CacheLevel::access(std::uint64_t addr)
         if (way.valid && way.tag == tag) {
             way.lru = stamp_;
             ++hits_;
+            m_hits_->add();
             return true;
         }
         if (!way.valid || way.lru < victim->lru ||
             (victim->valid && !way.valid))
             victim = &way;
     }
+    if (victim->valid) {
+        ++evictions_;
+        m_evictions_->add();
+    }
     victim->valid = true;
     victim->tag = tag;
     victim->lru = stamp_;
     ++misses_;
+    m_misses_->add();
     return false;
 }
 
@@ -51,6 +63,7 @@ CacheLevel::reset_counters()
 {
     hits_ = 0;
     misses_ = 0;
+    evictions_ = 0;
 }
 
 Hierarchy

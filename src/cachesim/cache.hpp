@@ -11,6 +11,10 @@
 #include <string>
 #include <vector>
 
+namespace camp::support::metrics {
+class Counter;
+}
+
 namespace camp::cachesim {
 
 /** Static description of one cache level. */
@@ -35,6 +39,8 @@ class CacheLevel
     const LevelConfig& config() const { return config_; }
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+    /** Misses that displaced a valid resident line. */
+    std::uint64_t evictions() const { return evictions_; }
 
     void reset_counters();
 
@@ -53,6 +59,13 @@ class CacheLevel
     std::uint64_t stamp_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+
+    // Registered-once global counters ("cachesim.<name>.hits" etc.);
+    // registry-owned, so copies/moves of the level stay trivial.
+    support::metrics::Counter* m_hits_ = nullptr;
+    support::metrics::Counter* m_misses_ = nullptr;
+    support::metrics::Counter* m_evictions_ = nullptr;
 };
 
 /**

@@ -5,11 +5,49 @@
 #include "profile/profiler.hpp"
 #include "sim/comparators.hpp"
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace camp::mpapca {
 
 using mpn::Natural;
+
+namespace {
+
+/** Registered-once runtime counters: fault recovery plus the
+ * cost-model-vs-measured delta (both sides in nanoseconds, summed
+ * over base products, so `model_ns / measured_ns` is the aggregate
+ * model calibration ratio). */
+struct RuntimeMetrics
+{
+    support::metrics::Counter* base_products;
+    support::metrics::Counter* checks;
+    support::metrics::Counter* retries;
+    support::metrics::Counter* fallbacks;
+    support::metrics::Counter* model_ns;
+    support::metrics::Counter* measured_ns;
+};
+
+RuntimeMetrics&
+runtime_metrics()
+{
+    static RuntimeMetrics* m = [] {
+        namespace metrics = support::metrics;
+        auto* rm = new RuntimeMetrics;
+        rm->base_products =
+            &metrics::counter("mpapca.base_products");
+        rm->checks = &metrics::counter("mpapca.checks");
+        rm->retries = &metrics::counter("mpapca.retries");
+        rm->fallbacks = &metrics::counter("mpapca.fallbacks");
+        rm->model_ns = &metrics::counter("mpapca.model_ns");
+        rm->measured_ns = &metrics::counter("mpapca.measured_ns");
+        return rm;
+    }();
+    return *m;
+}
+
+} // namespace
 
 Runtime::Runtime(Backend backend, const sim::SimConfig& config,
                  const SelfCheckPolicy& self_check)
@@ -84,8 +122,25 @@ Runtime::sync_injected()
 Natural
 Runtime::base_product(const Natural& a, const Natural& b)
 {
+    namespace trace = support::trace;
+    RuntimeMetrics& rm = runtime_metrics();
     ++base_products_;
+    rm.base_products->add();
+
+    // Model-vs-measured calibration: the cost model's simulated-cycle
+    // prediction for this shape next to the wall time the functional
+    // simulation actually took (memoized model, so the lookup is cheap
+    // relative to the multiply it annotates).
+    const double model_cycles = model_.mul(a.bits(), b.bits()).cycles;
+    trace::Span span("mpapca.base_product", "mpapca");
+    span.arg("bits_a", static_cast<double>(a.bits()));
+    span.arg("model_cycles", model_cycles);
+    const std::uint64_t t0 = trace::now_ns();
     Natural product = core_.multiply(a, b).product;
+    rm.measured_ns->add(trace::now_ns() - t0);
+    rm.model_ns->add(static_cast<std::uint64_t>(
+        model_.seconds(model_cycles) * 1e9));
+
     sync_injected();
     if (!check_.enabled)
         return product;
@@ -96,6 +151,7 @@ Runtime::base_product(const Natural& a, const Natural& b)
 
     FaultStats& stats = ledger_.fault_stats();
     ++stats.checks;
+    rm.checks->add();
     const Natural golden = a * b;
     unsigned attempt = 0;
     while (product != golden) {
@@ -111,10 +167,12 @@ Runtime::base_product(const Natural& a, const Natural& b)
         if (out_of_budget) {
             // Graceful degradation: serve the exact CPU product.
             ++stats.fallbacks;
+            rm.fallbacks->add();
             product = golden;
             break;
         }
         ++stats.retried;
+        rm.retries->add();
         ++attempt;
         product = core_.multiply(a, b).product;
         sync_injected();
@@ -148,6 +206,9 @@ Runtime::multiply_batch(
 Natural
 Runtime::mul_functional(const Natural& a, const Natural& b)
 {
+    support::trace::Span span("mpapca.mul_functional", "mpapca");
+    span.arg("bits_a", static_cast<double>(a.bits()));
+    span.arg("bits_b", static_cast<double>(b.bits()));
     if (a.is_zero() || b.is_zero())
         return Natural();
     const std::uint64_t cap = config_.monolithic_cap_bits;

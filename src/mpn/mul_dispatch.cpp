@@ -11,11 +11,62 @@
 #include "mpn/basic.hpp"
 #include "mpn/mul.hpp"
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace camp::mpn {
 
 namespace {
+
+/** Products below this many (smaller-operand) limbs are not observed:
+ * tracing/metrics per schoolbook leaf would dominate the work. */
+constexpr std::size_t kObserveLimbs = 16;
+
+/** Registered-once metric handles for the mul hot path (hot-path cost
+ * after the first call: one static-init guard load + relaxed RMWs). */
+struct MulMetrics
+{
+    support::metrics::Counter* algo[6];
+    support::metrics::Counter* calls;
+    support::metrics::Histogram* bits;
+};
+
+MulMetrics&
+mul_metrics()
+{
+    static MulMetrics* m = [] {
+        namespace metrics = support::metrics;
+        auto* mm = new MulMetrics;
+        mm->algo[0] = &metrics::counter("mpn.mul.algo.schoolbook");
+        mm->algo[1] = &metrics::counter("mpn.mul.algo.karatsuba");
+        mm->algo[2] = &metrics::counter("mpn.mul.algo.toom3");
+        mm->algo[3] = &metrics::counter("mpn.mul.algo.toom4");
+        mm->algo[4] = &metrics::counter("mpn.mul.algo.toom6");
+        mm->algo[5] = &metrics::counter("mpn.mul.algo.ssa");
+        mm->calls = &metrics::counter("mpn.mul.calls");
+        mm->bits = &metrics::histogram("mpn.mul.bits");
+        return mm;
+    }();
+    return *m;
+}
+
+/** Index into MulMetrics::algo, mirroring mul_algorithm_name. */
+int
+algo_index(std::size_t n, const MulTuning& t)
+{
+    if (n < t.karatsuba)
+        return 0;
+    if (n < t.toom3)
+        return 1;
+    if (n < t.toom4)
+        return 2;
+    if (n < t.toom6)
+        return 3;
+    if (n < t.ssa)
+        return 4;
+    return 5;
+}
 
 /** CAMP_MUL_THRESH_<NAME> override in limbs, if set and >= 1. */
 void
@@ -136,6 +187,17 @@ mul(Limb* rp, const Limb* ap, std::size_t an, const Limb* bp, std::size_t bn)
     zero(rp + na + nb, rn - na - nb);
     an = na;
     bn = nb;
+
+    const bool observe = bn >= kObserveLimbs;
+    support::trace::Span span(observe ? "mpn.mul" : nullptr, "mpn");
+    if (observe) {
+        MulMetrics& m = mul_metrics();
+        m.calls->add();
+        m.bits->record(static_cast<std::uint64_t>(an) * kLimbBits);
+        m.algo[algo_index(bn, mul_tuning())]->add();
+        span.arg("bits_a", static_cast<double>(an) * kLimbBits);
+        span.arg("bits_b", static_cast<double>(bn) * kLimbBits);
+    }
 
     if (bn == 1) {
         rp[an] = mul_1(rp, ap, an, bp[0]);

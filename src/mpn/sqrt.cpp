@@ -141,26 +141,35 @@ sqrtrem_rec(Limb* sp, Limb* rp, const Limb* ap, std::size_t n)
     d[sh] = dcarry;
     const std::size_t dn = normalized_size(d.data(), sh + 1);
     std::size_t numn = normalized_size(num.data(), num.size());
-    std::vector<Limb> q(l + 2, 0), u(dn, 0);
+    std::vector<Limb> q(l + 2, 0), u(dn + 1, 0);
     if (numn >= dn) {
         divrem(q.data(), u.data(), num.data(), numn, d.data(), dn);
     } else {
         copy(u.data(), num.data(), numn);
     }
-    const std::size_t qn = normalized_size(q.data(), q.size());
-    const std::size_t un = normalized_size(u.data(), u.size());
+    std::size_t qn = normalized_size(q.data(), q.size());
     CAMP_ASSERT(qn <= l + 1);
+    if (qn == l + 1) {
+        // q == B^l (only possible when r1 == 2*s1 and a1 is large). The
+        // true root's low part is then B^l - 1 — the estimate overshoots
+        // by exactly one — so clamp q and give the division remainder
+        // its unit of the divisor back (r1*B^l + a1 == q*d + u stays an
+        // identity). Propagating a carry into s1 instead would overflow
+        // its sh limbs when s1 is all ones (e.g. a == B^n - 1).
+        CAMP_ASSERT(q[l] == 1);
+        q[l] = 0;
+        for (std::size_t j = 0; j < l; ++j)
+            q[j] = kLimbMax;
+        qn = l;
+        u[dn] = add(u.data(), u.data(), dn, d.data(), dn);
+    }
+    const std::size_t un = normalized_size(u.data(), u.size());
 
-    // s = s1 * B^l + q (q == B^l propagates a carry into s1).
+    // s = s1 * B^l + q.
     copy(sp + l, s1.data(), sh);
     copy(sp, q.data(), std::min(qn, l));
     if (qn < l)
         zero(sp + qn, l - qn);
-    if (qn == l + 1) {
-        CAMP_ASSERT(q[l] == 1);
-        const Limb carry = add_1(sp + l, sp + l, sh, 1);
-        CAMP_ASSERT(carry == 0);
-    }
 
     // r = u * B^l + a0 - q^2, with one downward correction if negative.
     std::vector<Limb> rr(h + 3, 0);

@@ -8,7 +8,9 @@
 #include "sim/memory_agent.hpp"
 #include "support/assert.hpp"
 #include "support/bits.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace camp::sim {
 
@@ -27,6 +29,9 @@ BatchEngine::multiply_one(std::size_t index, const Natural& a,
     // announced to op hooks: it is not application kernel work, and
     // this body runs on pool threads.
     mpn::OpHookSuspend suspend;
+    support::trace::Span span("sim.batch.product", "sim");
+    span.arg("index", static_cast<double>(index));
+    span.arg("bits_a", static_cast<double>(a.bits()));
     ProductOutcome out;
     if (a.is_zero() || b.is_zero())
         return out;
@@ -98,6 +103,9 @@ BatchEngine::multiply_batch(
     const std::vector<std::pair<Natural, Natural>>& pairs,
     unsigned parallelism)
 {
+    namespace metrics = support::metrics;
+    support::trace::Span span("sim.batch.multiply_batch", "sim");
+    span.arg("count", static_cast<double>(pairs.size()));
     BatchResult result;
     const std::size_t count = pairs.size();
     std::vector<ProductOutcome> outcomes(count);
@@ -125,14 +133,23 @@ BatchEngine::multiply_batch(
     // Fold in product order: aggregates are independent of placement.
     std::uint64_t stall_cycles = 0;
     result.products.reserve(count);
+    result.per_product.reserve(count);
     for (ProductOutcome& out : outcomes) {
         result.products.push_back(std::move(out.product));
+        result.per_product.push_back({out.tasks, out.bytes,
+                                      out.stall_cycles, out.injected,
+                                      out.faulty});
         result.tasks += out.tasks;
         result.bytes += out.bytes;
         stall_cycles += out.stall_cycles;
         result.injected += out.injected;
         result.faulty += out.faulty ? 1 : 0;
     }
+    metrics::counter("sim.batch.products").add(count);
+    metrics::counter("sim.batch.faulty").add(result.faulty);
+    metrics::counter("sim.batch.injected").add(result.injected);
+    metrics::gauge("sim.batch.size_max")
+        .update_max(static_cast<std::int64_t>(count));
 
     // Batch scheduling: tasks from independent products pack the whole
     // fabric (no inter-product dependencies), so waves are simply the

@@ -29,10 +29,30 @@
 
 namespace camp::sim {
 
+/** Per-product accounting, exposed so determinism tests can compare
+ * serial and pooled runs element-wise (not just in aggregate). */
+struct BatchProductStats
+{
+    std::uint64_t tasks = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t stall_cycles = 0;
+    std::uint64_t injected = 0; ///< faults injected into this product
+    bool faulty = false;        ///< failed validation (armed runs)
+
+    bool
+    operator==(const BatchProductStats& other) const
+    {
+        return tasks == other.tasks && bytes == other.bytes &&
+               stall_cycles == other.stall_cycles &&
+               injected == other.injected && faulty == other.faulty;
+    }
+};
+
 /** Result of a batch execution. */
 struct BatchResult
 {
     std::vector<mpn::Natural> products;
+    std::vector<BatchProductStats> per_product; ///< aligned with products
     std::uint64_t tasks = 0;
     std::uint64_t waves = 0;
     std::uint64_t cycles = 0;       ///< max(compute, memory)

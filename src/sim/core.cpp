@@ -5,8 +5,75 @@
 #include "sim/memory_agent.hpp"
 #include "support/assert.hpp"
 #include "support/errors.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace camp::sim {
+
+namespace {
+
+/** Registered-once per-stage pipeline counters (the software analogue
+ * of the paper's Fig. 2 stage attribution). */
+struct CoreMetrics
+{
+    support::metrics::Counter* multiplies;
+    support::metrics::Counter* tasks;
+    support::metrics::Counter* waves;
+    support::metrics::Counter* ipu_cycles;
+    support::metrics::Counter* ipu_zero_skips;
+    support::metrics::Counter* converter_cycles;
+    support::metrics::Counter* gu_fa_bit_ops;
+    support::metrics::Counter* gu_latency_parallel;
+    support::metrics::Counter* cma_cycles;
+    support::metrics::Counter* cma_stall_cycles;
+    support::metrics::Counter* cma_bytes;
+};
+
+CoreMetrics&
+core_metrics()
+{
+    static CoreMetrics* m = [] {
+        namespace metrics = support::metrics;
+        auto* cm = new CoreMetrics;
+        cm->multiplies = &metrics::counter("sim.core.multiplies");
+        cm->tasks = &metrics::counter("sim.core.tasks");
+        cm->waves = &metrics::counter("sim.core.waves");
+        cm->ipu_cycles = &metrics::counter("sim.ipu.cycles");
+        cm->ipu_zero_skips = &metrics::counter("sim.ipu.zero_skips");
+        cm->converter_cycles =
+            &metrics::counter("sim.converter.cycles");
+        cm->gu_fa_bit_ops = &metrics::counter("sim.gu.fa_bit_ops");
+        cm->gu_latency_parallel =
+            &metrics::counter("sim.gu.latency_parallel");
+        cm->cma_cycles = &metrics::counter("sim.cma.cycles");
+        cm->cma_stall_cycles =
+            &metrics::counter("sim.cma.stall_cycles");
+        cm->cma_bytes = &metrics::counter("sim.cma.bytes");
+        return cm;
+    }();
+    return *m;
+}
+
+/** Fold one finished operation's stats into the stage counters. */
+void
+record_core_stats(const CoreStats& stats,
+                  std::uint64_t cma_stalls)
+{
+    CoreMetrics& m = core_metrics();
+    m.multiplies->add();
+    m.tasks->add(stats.tasks);
+    m.waves->add(stats.waves);
+    m.ipu_cycles->add(stats.ipu.cycles);
+    m.ipu_zero_skips->add(stats.ipu.zero_skips);
+    m.converter_cycles->add(stats.converter.cycles);
+    m.gu_fa_bit_ops->add(stats.gather.fa_bit_ops);
+    m.gu_latency_parallel->add(stats.gather.latency_parallel);
+    m.cma_cycles->add(stats.memory_cycles);
+    m.cma_stall_cycles->add(cma_stalls);
+    m.cma_bytes->add(stats.bytes);
+}
+
+} // namespace
 
 std::vector<std::uint32_t>
 to_hw_limbs(const mpn::Natural& n, unsigned limb_bits)
@@ -96,6 +163,9 @@ Core::run_work(const IpuWork& work, const std::vector<std::uint32_t>& x,
 MulResult
 Core::multiply(const mpn::Natural& a, const mpn::Natural& b)
 {
+    support::trace::Span span("sim.core.multiply", "sim");
+    span.arg("bits_a", static_cast<double>(a.bits()));
+    span.arg("bits_b", static_cast<double>(b.bits()));
     MulResult result;
     if (a.is_zero() || b.is_zero())
         return result;
@@ -145,6 +215,7 @@ Core::multiply(const mpn::Natural& a, const mpn::Natural& b)
         result.stats.waves * config_.limb_bits;
     result.stats.cycles = std::max(result.stats.compute_cycles,
                                    result.stats.memory_cycles);
+    record_core_stats(result.stats, cma.stall_cycles());
 
     if (validate_) {
         // Cross-check against the software reference (paper §VI-A: "The

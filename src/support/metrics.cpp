@@ -1,0 +1,259 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace camp::support::metrics {
+
+void
+Histogram::record(std::uint64_t v)
+{
+    int b = 0;
+    if (v != 0) {
+        b = 64 - static_cast<int>(__builtin_clzll(v));
+        if (b >= kBuckets)
+            b = kBuckets - 1;
+    }
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v,
+                                       std::memory_order_relaxed))
+        ;
+}
+
+void
+Histogram::reset()
+{
+    for (auto& b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+struct Registry::Entry
+{
+    SnapshotEntry::Kind kind;
+    // Exactly one is non-null, matching kind. unique_ptr gives the
+    // metric a stable address across map growth.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+};
+
+struct Registry::Impl
+{
+    mutable std::mutex mu;
+    // Ordered map: snapshot() comes out sorted by name for free.
+    std::map<std::string, Entry> entries;
+};
+
+Registry::Impl&
+Registry::impl() const
+{
+    static Impl* impl = new Impl; // leaked: atexit reporters need it
+    return *impl;
+}
+
+Registry&
+Registry::instance()
+{
+    static Registry* reg = new Registry;
+    return *reg;
+}
+
+Registry::Entry&
+Registry::find_or_create(const std::string& name,
+                         SnapshotEntry::Kind kind)
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    auto [it, inserted] = im.entries.try_emplace(name);
+    Entry& e = it->second;
+    if (inserted) {
+        e.kind = kind;
+        switch (kind) {
+        case SnapshotEntry::Kind::Counter:
+            e.counter = std::make_unique<Counter>();
+            break;
+        case SnapshotEntry::Kind::Gauge:
+            e.gauge = std::make_unique<Gauge>();
+            break;
+        case SnapshotEntry::Kind::Histogram:
+            e.histogram = std::make_unique<Histogram>();
+            break;
+        }
+    }
+    assert(e.kind == kind && "metric re-registered with another kind");
+    return e;
+}
+
+Counter&
+Registry::counter(const std::string& name)
+{
+    return *find_or_create(name, SnapshotEntry::Kind::Counter).counter;
+}
+
+Gauge&
+Registry::gauge(const std::string& name)
+{
+    return *find_or_create(name, SnapshotEntry::Kind::Gauge).gauge;
+}
+
+Histogram&
+Registry::histogram(const std::string& name)
+{
+    return *find_or_create(name, SnapshotEntry::Kind::Histogram)
+                .histogram;
+}
+
+std::vector<SnapshotEntry>
+Registry::snapshot() const
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    std::vector<SnapshotEntry> out;
+    out.reserve(im.entries.size());
+    for (const auto& [name, e] : im.entries) {
+        SnapshotEntry se;
+        se.name = name;
+        se.kind = e.kind;
+        switch (e.kind) {
+        case SnapshotEntry::Kind::Counter:
+            se.value = static_cast<std::int64_t>(e.counter->value());
+            break;
+        case SnapshotEntry::Kind::Gauge:
+            se.value = e.gauge->value();
+            break;
+        case SnapshotEntry::Kind::Histogram:
+            se.count = e.histogram->count();
+            se.sum = e.histogram->sum();
+            se.max = e.histogram->max();
+            se.mean = e.histogram->mean();
+            break;
+        }
+        out.push_back(std::move(se));
+    }
+    return out;
+}
+
+std::string
+Registry::render_table(const std::string& prefix,
+                       bool include_zero) const
+{
+    const auto snap = snapshot();
+    std::size_t width = 24;
+    for (const auto& e : snap)
+        if (e.name.size() > width &&
+            e.name.compare(0, prefix.size(), prefix) == 0)
+            width = e.name.size();
+    std::string out;
+    char line[256];
+    for (const auto& e : snap) {
+        if (e.name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        switch (e.kind) {
+        case SnapshotEntry::Kind::Counter:
+        case SnapshotEntry::Kind::Gauge:
+            if (e.value == 0 && !include_zero)
+                continue;
+            std::snprintf(line, sizeof line, "%-*s %20lld\n",
+                          static_cast<int>(width), e.name.c_str(),
+                          static_cast<long long>(e.value));
+            break;
+        case SnapshotEntry::Kind::Histogram:
+            if (e.count == 0 && !include_zero)
+                continue;
+            std::snprintf(line, sizeof line,
+                          "%-*s count=%llu mean=%.1f max=%llu\n",
+                          static_cast<int>(width), e.name.c_str(),
+                          static_cast<unsigned long long>(e.count),
+                          e.mean,
+                          static_cast<unsigned long long>(e.max));
+            break;
+        }
+        out += line;
+    }
+    return out;
+}
+
+std::string
+Registry::to_json() const
+{
+    const auto snap = snapshot();
+    std::string out = "{";
+    char buf[256];
+    bool first = true;
+    for (const auto& e : snap) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        switch (e.kind) {
+        case SnapshotEntry::Kind::Counter:
+        case SnapshotEntry::Kind::Gauge:
+            std::snprintf(buf, sizeof buf, "  \"%s\": %lld",
+                          e.name.c_str(),
+                          static_cast<long long>(e.value));
+            break;
+        case SnapshotEntry::Kind::Histogram:
+            std::snprintf(
+                buf, sizeof buf,
+                "  \"%s\": {\"count\": %llu, \"sum\": %llu, "
+                "\"max\": %llu, \"mean\": %.6g}",
+                e.name.c_str(),
+                static_cast<unsigned long long>(e.count),
+                static_cast<unsigned long long>(e.sum),
+                static_cast<unsigned long long>(e.max), e.mean);
+            break;
+        }
+        out += buf;
+    }
+    out += "\n}\n";
+    return out;
+}
+
+void
+Registry::reset()
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    for (auto& [name, e] : im.entries) {
+        switch (e.kind) {
+        case SnapshotEntry::Kind::Counter:
+            e.counter->reset();
+            break;
+        case SnapshotEntry::Kind::Gauge:
+            e.gauge->reset();
+            break;
+        case SnapshotEntry::Kind::Histogram:
+            e.histogram->reset();
+            break;
+        }
+    }
+}
+
+Counter&
+counter(const std::string& name)
+{
+    return Registry::instance().counter(name);
+}
+
+Gauge&
+gauge(const std::string& name)
+{
+    return Registry::instance().gauge(name);
+}
+
+Histogram&
+histogram(const std::string& name)
+{
+    return Registry::instance().histogram(name);
+}
+
+} // namespace camp::support::metrics

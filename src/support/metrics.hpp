@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Hierarchical metrics registry: named counters, gauges, and
+ * fixed-bucket (power-of-two) histograms, shared by every layer of the
+ * stack. Names are dot-separated paths ("sim.ipu.cycles",
+ * "pool.steals") so snapshots group naturally by subsystem.
+ *
+ * Concurrency contract (thread-pool compatible): registration takes a
+ * mutex, but metrics are never removed, so the returned references are
+ * stable for the process lifetime — hot paths register once (typically
+ * via a function-local static reference) and then touch only the
+ * metric's own atomics. All mutating operations are single relaxed
+ * atomic RMWs; reading a snapshot while writers run is safe and sees
+ * each atomic's current value (no cross-metric consistency, which is
+ * fine for monitoring).
+ */
+#ifndef CAMP_SUPPORT_METRICS_HPP
+#define CAMP_SUPPORT_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace camp::support::metrics {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-written / high-water level (e.g. queue depth, arena bytes). */
+class Gauge
+{
+  public:
+    void set(std::int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+    /** Keep the maximum of the current value and @p v. */
+    void
+    update_max(std::int64_t v)
+    {
+        std::int64_t cur = value_.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !value_.compare_exchange_weak(cur, v,
+                                             std::memory_order_relaxed))
+            ;
+    }
+    std::int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/**
+ * Power-of-two-bucket histogram over nonnegative samples: bucket b
+ * counts values in [2^(b-1), 2^b) (bucket 0 counts zero), clamped at
+ * kBuckets - 1. Tracks count/sum/max alongside the buckets.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 48;
+
+    void record(std::uint64_t v);
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t max() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t bucket(int b) const
+    {
+        return buckets_[b].load(std::memory_order_relaxed);
+    }
+    double mean() const
+    {
+        const std::uint64_t n = count();
+        return n == 0 ? 0.0 : static_cast<double>(sum()) / n;
+    }
+    void reset();
+
+  private:
+    std::atomic<std::uint64_t> buckets_[kBuckets]{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+/** Point-in-time copy of one metric, for reporting. */
+struct SnapshotEntry
+{
+    std::string name;
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Histogram
+    } kind = Kind::Counter;
+    std::int64_t value = 0;       ///< counter/gauge value
+    std::uint64_t count = 0;      ///< histogram sample count
+    std::uint64_t sum = 0;        ///< histogram sample sum
+    std::uint64_t max = 0;        ///< histogram sample max
+    double mean = 0;              ///< histogram mean
+};
+
+/** Process-wide registry. */
+class Registry
+{
+  public:
+    static Registry& instance();
+
+    /** Find-or-create; the reference is valid forever. Asking for an
+     * existing name with a different kind is a programming error
+     * (asserted). */
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    /** All metrics, sorted by name. */
+    std::vector<SnapshotEntry> snapshot() const;
+
+    /** Human-readable table of every metric whose name starts with
+     * @p prefix (empty = all), skipping zero-valued entries unless
+     * @p include_zero. */
+    std::string render_table(const std::string& prefix = "",
+                             bool include_zero = false) const;
+
+    /** JSON object {"name": value | {histogram fields}, ...}. */
+    std::string to_json() const;
+
+    /** Zero every registered metric (tests/benches); registrations and
+     * references stay valid. */
+    void reset();
+
+  private:
+    Registry() = default;
+
+    struct Entry;
+    Entry& find_or_create(const std::string& name,
+                          SnapshotEntry::Kind kind);
+
+    struct Impl;
+    Impl& impl() const;
+};
+
+/** Convenience: Registry::instance().counter(name) etc. */
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+} // namespace camp::support::metrics
+
+#endif // CAMP_SUPPORT_METRICS_HPP

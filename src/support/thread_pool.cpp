@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 
 namespace camp::support {
 
@@ -15,6 +16,29 @@ thread_local int t_worker_index = -1;
 
 /** SerialGuard nesting depth. */
 thread_local unsigned t_serial_depth = 0;
+
+/** Registered-once pool metric handles. */
+struct PoolMetrics
+{
+    metrics::Counter* submits;
+    metrics::Counter* steals;
+    metrics::Counter* inject_pops;
+    metrics::Gauge* queue_depth_max;
+};
+
+PoolMetrics&
+pool_metrics()
+{
+    static PoolMetrics* m = [] {
+        auto* pm = new PoolMetrics;
+        pm->submits = &metrics::counter("pool.submits");
+        pm->steals = &metrics::counter("pool.steals");
+        pm->inject_pops = &metrics::counter("pool.inject_pops");
+        pm->queue_depth_max = &metrics::gauge("pool.queue_depth_max");
+        return pm;
+    }();
+    return *m;
+}
 
 } // namespace
 
@@ -74,10 +98,15 @@ ThreadPool::submit(Task task)
     WorkerQueue* queue = &inject_;
     if (t_worker_pool == this && t_worker_index >= 0)
         queue = queues_[static_cast<std::size_t>(t_worker_index)].get();
+    std::size_t depth;
     {
         std::lock_guard<std::mutex> lock(queue->mutex);
         queue->tasks.push_back(std::move(task));
+        depth = queue->tasks.size();
     }
+    PoolMetrics& pm = pool_metrics();
+    pm.submits->add();
+    pm.queue_depth_max->update_max(static_cast<std::int64_t>(depth));
     // Notify under the sleep mutex so a worker cannot scan-empty and
     // fall asleep between our push and our notify.
     std::lock_guard<std::mutex> lock(sleep_mutex_);
@@ -113,6 +142,8 @@ ThreadPool::try_run_one(int self)
                 found = true;
             }
         }
+        if (found)
+            pool_metrics().steals->add();
     }
     if (!found) {
         std::lock_guard<std::mutex> lock(inject_.mutex);
@@ -121,6 +152,8 @@ ThreadPool::try_run_one(int self)
             inject_.tasks.pop_front();
             found = true;
         }
+        if (found)
+            pool_metrics().inject_pops->add();
     }
     if (!found)
         return false;
@@ -248,6 +281,18 @@ ScratchArena::alloc(std::size_t n)
     }
     std::uint64_t* p = blocks_[block_].words.get() + used_;
     used_ += n;
+    // High-water accounting: words live right now = full blocks below
+    // the cursor plus the current block's bump offset. blocks_ stays
+    // tiny (doubling growth), so the walk is a handful of adds.
+    std::size_t live = used_;
+    for (std::size_t i = 0; i < block_; ++i)
+        live += blocks_[i].capacity;
+    if (live > high_water_words_) {
+        high_water_words_ = live;
+        static metrics::Gauge& hw =
+            metrics::gauge("mpn.scratch.high_water_words");
+        hw.update_max(static_cast<std::int64_t>(live));
+    }
     return p;
 }
 

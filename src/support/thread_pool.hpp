@@ -159,6 +159,12 @@ class ScratchArena
     /** Bump-allocate @p n 64-bit words (uninitialized). */
     std::uint64_t* alloc(std::size_t n);
 
+    /** Most words ever simultaneously live in this thread's arena
+     * (block tails wasted by oversize requests included). The global
+     * cross-thread maximum is the "mpn.scratch.high_water_words"
+     * gauge. */
+    std::size_t high_water_words() const { return high_water_words_; }
+
   private:
     friend class ScratchFrame;
 
@@ -183,6 +189,7 @@ class ScratchArena
     std::vector<Block> blocks_;
     std::size_t block_ = 0; ///< current block index
     std::size_t used_ = 0;  ///< words used in current block
+    std::size_t high_water_words_ = 0;
 };
 
 /** RAII LIFO frame over the calling thread's scratch arena. */

@@ -7,7 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "mpf/float.hpp"
 #include "support/rng.hpp"
@@ -25,6 +28,55 @@ expect_close(const Float& a, double expect, double rel = 1e-14)
     const double got = a.to_double();
     EXPECT_NEAR(got, expect,
                 std::abs(expect) * rel + 1e-300);
+}
+
+/** Effective fuzz seed: CAMP_FUZZ_SEED when set, else the per-test
+ * default. Failures print it for exact replay. */
+std::uint64_t
+fuzz_seed(std::uint64_t fallback)
+{
+    if (const char* env = std::getenv("CAMP_FUZZ_SEED")) {
+        char* end = nullptr;
+        const std::uint64_t seed = std::strtoull(env, &end, 0);
+        if (end != env)
+            return seed;
+    }
+    return fallback;
+}
+
+/** Reference for Float::normalize(): truncate toward zero to @p prec
+ * mantissa bits, then strip trailing zero 64-bit limbs — computed
+ * here with raw Natural shifts so Float results can be checked
+ * limb-exactly, not through doubles. */
+std::pair<Natural, std::int64_t>
+ref_normalize(Natural mant, std::int64_t exp, std::uint64_t prec)
+{
+    if (mant.is_zero())
+        return {Natural(), 0};
+    const std::uint64_t bits = mant.bits();
+    if (bits > prec) {
+        mant >>= (bits - prec);
+        exp += static_cast<std::int64_t>(bits - prec);
+    }
+    std::uint64_t tz = 0;
+    while (mant.limb(tz / 64) == 0)
+        tz += 64;
+    if (tz > 0) {
+        mant >>= tz;
+        exp += static_cast<std::int64_t>(tz);
+    }
+    return {std::move(mant), exp};
+}
+
+/** Limb-exact check: @p f's (mantissa, exponent) must equal the raw
+ * pair (@p mant, @p exp) after reference normalization at @p prec. */
+void
+expect_parts(const Float& f, const Natural& mant, std::int64_t exp,
+             std::uint64_t prec)
+{
+    const auto [m, e] = ref_normalize(mant, exp, prec);
+    EXPECT_EQ(f.mantissa(), m);
+    EXPECT_EQ(f.exponent(), e);
 }
 
 } // namespace
@@ -146,6 +198,164 @@ TEST(Float, ToIntegerTruncatesTowardZero)
     EXPECT_EQ(Float::from_double(2.75, 64).to_integer(), Integer(2));
     EXPECT_EQ(Float::from_double(-2.75, 64).to_integer(), Integer(-2));
     EXPECT_EQ(Float().to_integer(), Integer(0));
+}
+
+TEST(Float, EdgeVectorsLimbExact)
+{
+    // Directed edge-case vectors at the exact truncation/absorption
+    // boundaries, checked limb-for-limb against Natural arithmetic
+    // (never through doubles).
+
+    // Carry out of the precision window: (2^64 - 1) + 1 = 2^64 has 65
+    // bits at prec 64 — one bit is truncated away.
+    {
+        const Float ones =
+            Float::from_parts((Natural(1) << 64) - Natural(1), 0,
+                              false, 64);
+        const Float one = Float::from_parts(Natural(1), 0, false, 64);
+        expect_parts(ones + one, Natural(1) << 64, 0, 64);
+    }
+    // Same carry at prec 128: the result 2^128 also crosses a limb
+    // boundary, so the trailing-zero-limb strip kicks in.
+    {
+        const Float ones =
+            Float::from_parts((Natural(1) << 128) - Natural(1), 0,
+                              false, 128);
+        const Float one = Float::from_parts(Natural(1), 0, false, 128);
+        const Float sum = ones + one;
+        expect_parts(sum, Natural(1) << 128, 0, 128);
+        EXPECT_EQ(sum.mantissa(), Natural(1) << 63);
+        EXPECT_EQ(sum.exponent(), 65);
+    }
+    // Catastrophic cancellation across an exponent boundary:
+    // 2^100 - (2^100 - 2^36) = 2^36 exactly, full leading-bit loss.
+    {
+        const Float a = Float::from_parts(Natural(1), 100, false, 64);
+        const Float b = Float::from_parts((Natural(1) << 64) - Natural(1),
+                                          36, false, 64);
+        const Float diff = a - b;
+        EXPECT_FALSE(diff.is_negative());
+        expect_parts(diff, Natural(1), 36, 64);
+        const Float neg = b - a;
+        EXPECT_TRUE(neg.is_negative());
+        expect_parts(neg, Natural(1), 36, 64);
+    }
+    // Absorption boundary (documented GMP-style drop): a magnitude gap
+    // of prec + 3 is discarded entirely; a gap of prec + 2 still
+    // borrows one ulp out of the window on subtraction.
+    {
+        const Float one = Float::from_parts(Natural(1), 0, false, 64);
+        const Float dropped = Float::from_parts(Natural(1), -67, false,
+                                                64);
+        EXPECT_EQ((one - dropped).mantissa(), one.mantissa());
+        EXPECT_EQ((one - dropped).exponent(), one.exponent());
+        const Float kept = Float::from_parts(Natural(1), -66, false, 64);
+        expect_parts(one - kept, (Natural(1) << 66) - Natural(1), -66,
+                     64);
+    }
+    // Multiplication at the precision limit: (2^64 - 1)^2 has 128
+    // bits; exactly the top 64 survive.
+    {
+        const Natural ones = (Natural(1) << 64) - Natural(1);
+        const Float f = Float::from_parts(ones, 0, false, 64);
+        expect_parts(f * f, ones * ones, 0, 64);
+    }
+    // Division rounding at the precision limit: 1/3 truncates the
+    // infinite 0b01 pattern after the prec + 2 guard bits the
+    // implementation documents.
+    {
+        const Float one = Float::from_parts(Natural(1), 0, false, 64);
+        const Float three = Float::from_parts(Natural(3), 0, false, 64);
+        expect_parts(one / three, (Natural(1) << 67) / Natural(3), -67,
+                     64);
+    }
+}
+
+TEST(Float, FuzzLimbExactVsNaturalReference)
+{
+    // >= 1000 randomized cases cross-checking Float arithmetic
+    // limb-exactly against raw Natural computations:
+    //  - subtraction whose exact result fits in prec bits must be
+    //    EXACT (cancellation means truncation cannot fire);
+    //  - addition of a value just inside/outside the absorption
+    //    window matches the documented alignment semantics;
+    //  - multiplication is truncation of the exact Natural product;
+    //  - division matches the documented prec+2-guard-bit scaling.
+    const std::uint64_t seed = fuzz_seed(0xf10a7ull);
+    camp::Rng rng(seed);
+    int cases = 0;
+    while (cases < 1000) {
+        SCOPED_TRACE("cases=" + std::to_string(cases) +
+                     " seed=" + std::to_string(seed) +
+                     " (replay: CAMP_FUZZ_SEED=<seed>)");
+        const std::uint64_t prec = 64 + rng.below(256);
+        const std::int64_t e =
+            static_cast<std::int64_t>(rng.below(400)) - 200;
+        const Natural ma = Natural::random_bits(rng, 1 + rng.below(prec));
+        const Natural mb = Natural::random_bits(rng, 1 + rng.below(prec));
+        const bool neg = rng.below(2) != 0;
+        const Float fa = Float::from_parts(ma, e, neg, prec);
+
+        // Exact-fit subtraction at a shared exponent: |ma - mb| has at
+        // most prec bits, so the Float result must be bit-exact.
+        {
+            const Float fb = Float::from_parts(mb, e, neg, prec);
+            const Float diff = fa - fb;
+            if (ma >= mb)
+                expect_parts(diff, ma - mb, e, prec);
+            else
+                expect_parts(diff, mb - ma, e, prec);
+            if (ma != mb) {
+                EXPECT_EQ(diff.is_negative(), (ma < mb) != neg);
+            }
+        }
+
+        // Absorption window: tiny at gap prec + 3 is dropped; at gap
+        // prec + 2 it aligns into the window (same-sign add appends a
+        // 1 below the mantissa).
+        {
+            const std::int64_t mag =
+                e + static_cast<std::int64_t>(ma.bits()) - 1;
+            const Float dropped = Float::from_parts(
+                Natural(1), mag - static_cast<std::int64_t>(prec) - 3,
+                neg, prec);
+            const Float same = fa + dropped;
+            EXPECT_EQ(same.mantissa(), fa.mantissa());
+            EXPECT_EQ(same.exponent(), fa.exponent());
+            const std::int64_t et =
+                mag - static_cast<std::int64_t>(prec) - 2;
+            const Float kept =
+                Float::from_parts(Natural(1), et, neg, prec);
+            const Natural aligned =
+                ma << static_cast<std::uint64_t>(e - et);
+            expect_parts(fa + kept, aligned + Natural(1), et, prec);
+        }
+
+        // Multiplication: truncation of the exact product.
+        {
+            const Float fb =
+                Float::from_parts(mb, -e / 2, false, prec);
+            expect_parts(fa * fb, ma * mb, e + (-e / 2), prec);
+        }
+
+        // Division: quotient carries prec + 2 bits via the documented
+        // dividend scaling, then truncates.
+        {
+            const std::int64_t e2 =
+                static_cast<std::int64_t>(rng.below(100)) - 50;
+            const Float fb = Float::from_parts(mb, e2, false, prec);
+            const std::int64_t scale =
+                static_cast<std::int64_t>(prec) + 2 +
+                static_cast<std::int64_t>(mb.bits()) -
+                static_cast<std::int64_t>(ma.bits());
+            const std::uint64_t up =
+                scale > 0 ? static_cast<std::uint64_t>(scale) : 0;
+            const Natural q = (ma << up) / mb;
+            expect_parts(fa / fb,  q,
+                         e - e2 - static_cast<std::int64_t>(up), prec);
+        }
+        cases += 5;
+    }
 }
 
 TEST(Float, HighPrecisionNewtonPi)

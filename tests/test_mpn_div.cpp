@@ -6,6 +6,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "mpn/basic.hpp"
@@ -17,6 +20,20 @@ namespace mpn = camp::mpn;
 using mpn::Limb;
 
 namespace {
+
+/** Effective fuzz seed: CAMP_FUZZ_SEED when set, else the per-test
+ * default. Failures print it for exact replay. */
+std::uint64_t
+fuzz_seed(std::uint64_t fallback)
+{
+    if (const char* env = std::getenv("CAMP_FUZZ_SEED")) {
+        char* end = nullptr;
+        const std::uint64_t seed = std::strtoull(env, &end, 0);
+        if (end != env)
+            return seed;
+    }
+    return fallback;
+}
 
 std::vector<Limb>
 random_limbs(camp::Rng& rng, std::size_t n, bool nonzero_top = false)
@@ -188,6 +205,55 @@ TEST(MpnDiv, BurnikelZieglerMatchesKnuth)
         tuning.bz = saved;
         EXPECT_EQ(q1, q2);
         EXPECT_EQ(r1, r2);
+    }
+}
+
+TEST(MpnDiv, DifferentialFuzzKnuthVsBurnikelZiegler)
+{
+    // Property-based differential fuzz (>= 1000 cases): every random
+    // (dividend, divisor) pair is divided twice — Burnikel–Ziegler
+    // forced on (threshold 8) and pure Knuth-D (threshold maxed) —
+    // and the two results must agree limb-for-limb AND satisfy the
+    // multiply-back identity q*d + r == n with r < d. Shapes sweep
+    // from single-limb divisors up through heavily unbalanced and
+    // near-square pairs so both the qhat-correction and the recursive
+    // 2n/n split paths get hit.
+    const std::uint64_t seed = fuzz_seed(0xd1f5eedull);
+    camp::Rng rng(seed);
+    auto& tuning = mpn::div_tuning();
+    const std::size_t saved = tuning.bz;
+    for (int iter = 0; iter < 1000; ++iter) {
+        SCOPED_TRACE("iter=" + std::to_string(iter) +
+                     " seed=" + std::to_string(seed) +
+                     " (replay: CAMP_FUZZ_SEED=<seed>)");
+        const std::size_t dn = 1 + rng.below(96);
+        const std::size_t an = dn + rng.below(160);
+        auto a = random_limbs(rng, an);
+        auto d = random_limbs(rng, dn, true);
+        // A slice of the cases gets adversarial bit patterns: all-ones
+        // dividends and power-of-B divisors stress qhat correction.
+        if (iter % 7 == 0)
+            for (auto& limb : a)
+                limb = mpn::kLimbMax;
+        if (iter % 11 == 0) {
+            std::fill(d.begin(), d.end(), Limb{0});
+            d[dn - 1] = 1 + rng.below(2);
+        }
+
+        std::vector<Limb> q_bz(an - dn + 1), r_bz(dn);
+        std::vector<Limb> q_kn(an - dn + 1), r_kn(dn);
+        tuning.bz = 8; // recursive Burnikel–Ziegler wherever legal
+        mpn::divrem(q_bz.data(), r_bz.data(), a.data(), an, d.data(),
+                    dn);
+        tuning.bz = 1u << 30; // pure Knuth-D
+        mpn::divrem(q_kn.data(), r_kn.data(), a.data(), an, d.data(),
+                    dn);
+        tuning.bz = saved;
+        ASSERT_EQ(q_bz, q_kn);
+        ASSERT_EQ(r_bz, r_kn);
+
+        // Multiply-back identity on the agreed result.
+        check_divrem(a, d);
     }
 }
 

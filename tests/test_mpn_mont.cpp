@@ -5,7 +5,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "mpn/basic.hpp"
@@ -19,6 +21,20 @@ using mpn::MontCtx;
 using mpn::Natural;
 
 namespace {
+
+/** Effective fuzz seed: CAMP_FUZZ_SEED when set, else the per-test
+ * default. Failures print it for exact replay. */
+std::uint64_t
+fuzz_seed(std::uint64_t fallback)
+{
+    if (const char* env = std::getenv("CAMP_FUZZ_SEED")) {
+        char* end = nullptr;
+        const std::uint64_t seed = std::strtoull(env, &end, 0);
+        if (end != env)
+            return seed;
+    }
+    return fallback;
+}
 
 Natural
 mont_mul_via_ctx(const MontCtx& ctx, const Natural& a, const Natural& b)
@@ -76,6 +92,44 @@ TEST(MpnMont, MulMatchesPlainModularMul)
             const Natural b = Natural::random_bits(rng, bits) % m;
             EXPECT_EQ(mont_mul_via_ctx(ctx, a, b), (a * b) % m)
                 << "bits=" << bits;
+        }
+    }
+}
+
+TEST(MpnMont, RoundTripAndModMulFuzz)
+{
+    // >= 1000 cases: for random odd moduli of random width and random
+    // residues a, b < m,
+    //  - to_mont/from_mont round-trips a exactly, and
+    //  - the full Montgomery pipeline (to_mont both, mont-mul, REDC
+    //    back) equals the plain mpn modular product (a * b) mod m.
+    const std::uint64_t seed = fuzz_seed(0x3070601dull);
+    camp::Rng rng(seed);
+    int cases = 0;
+    while (cases < 1000) {
+        const std::uint64_t bits = 64 + rng.below(1024);
+        Natural m = Natural::random_bits(rng, bits);
+        if (!m.is_odd())
+            m += Natural(1);
+        const MontCtx ctx(m.data(), m.size());
+        for (int iter = 0; iter < 8; ++iter) {
+            SCOPED_TRACE("cases=" + std::to_string(cases) +
+                         " bits=" + std::to_string(bits) +
+                         " seed=" + std::to_string(seed) +
+                         " (replay: CAMP_FUZZ_SEED=<seed>)");
+            const Natural a = Natural::random_bits(rng, bits) % m;
+            const Natural b = Natural::random_bits(rng, bits) % m;
+            // Round trip.
+            std::vector<Limb> av(ctx.size(), 0), am(ctx.size()),
+                back(ctx.size());
+            mpn::copy(av.data(), a.data(), a.size());
+            ctx.to_mont(am.data(), av.data());
+            ctx.from_mont(back.data(), am.data());
+            ASSERT_EQ(Natural::from_limbs({back.begin(), back.end()}),
+                      a);
+            // Modular product vs the plain mpn reference.
+            ASSERT_EQ(mont_mul_via_ctx(ctx, a, b), (a * b) % m);
+            cases += 2;
         }
     }
 }

@@ -5,6 +5,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "mpn/basic.hpp"
@@ -18,6 +20,20 @@ using mpn::Limb;
 using mpn::Natural;
 
 namespace {
+
+/** Effective fuzz seed: CAMP_FUZZ_SEED when set, else the per-test
+ * default. Failures print it for exact replay. */
+std::uint64_t
+fuzz_seed(std::uint64_t fallback)
+{
+    if (const char* env = std::getenv("CAMP_FUZZ_SEED")) {
+        char* end = nullptr;
+        const std::uint64_t seed = std::strtoull(env, &end, 0);
+        if (end != env)
+            return seed;
+    }
+    return fallback;
+}
 
 void
 check_sqrt(const Natural& a)
@@ -93,6 +109,62 @@ TEST(MpnSqrt, PowersOfTwo)
         } else {
             EXPECT_EQ(s * s + r, a);
             EXPECT_LE(r, s + s);
+        }
+    }
+}
+
+TEST(MpnSqrt, InvariantFuzzRandomAndBoundary)
+{
+    // >= 1000 cases of the floor-sqrt invariant s*s <= n < (s+1)^2,
+    // mixing uniform random widths with the boundary family around
+    // each width: 0, 1, 2^k, 2^k +- 1, perfect squares, and perfect
+    // squares +- 1 (the values where Zimmermann's recursion switches
+    // remainder normalization).
+    const std::uint64_t seed = fuzz_seed(0x5c47f00dull);
+    camp::Rng rng(seed);
+    check_sqrt(Natural());         // 0
+    check_sqrt(Natural(1));        // 1
+    int cases = 2;
+    while (cases < 1000) {
+        SCOPED_TRACE("cases=" + std::to_string(cases) +
+                     " seed=" + std::to_string(seed) +
+                     " (replay: CAMP_FUZZ_SEED=<seed>)");
+        const std::uint64_t bits = 1 + rng.below(4000);
+        // Random value at this width.
+        check_sqrt(Natural::random_bits(rng, bits));
+        // 2^k and neighbors.
+        const Natural pow2 = Natural(1) << bits;
+        check_sqrt(pow2);
+        check_sqrt(pow2 + Natural(1));
+        check_sqrt(pow2 - Natural(1));
+        // Perfect square and neighbors.
+        const Natural root =
+            Natural::random_bits(rng, (bits + 1) / 2 + 1);
+        const Natural square = root * root;
+        auto [s, r] = Natural::sqrtrem(square);
+        EXPECT_EQ(s, root);
+        EXPECT_TRUE(r.is_zero());
+        check_sqrt(square + Natural(1));
+        if (!square.is_zero())
+            check_sqrt(square - Natural(1));
+        cases += 7;
+    }
+}
+
+TEST(MpnSqrt, AllOnesLimbsHitRootCarryPath)
+{
+    // Regression: a == B^n - 1 drives the Zimmermann recursion into the
+    // q == B^l quotient-overflow case with s1 all ones; the clamped
+    // root's low part is B^l - 1 and the remainder is exactly 2s.
+    for (const std::size_t n : {4u, 5u, 8u, 12u, 33u}) {
+        const Natural a = (Natural(1) << (64 * n)) - Natural(1);
+        auto [s, r] = Natural::sqrtrem(a);
+        EXPECT_EQ(s * s + r, a) << "n=" << n;
+        EXPECT_LE(r, s + s) << "n=" << n;
+        if (n % 2 == 0) {
+            // Even limb count: s == B^(n/2) - 1, r == 2s.
+            EXPECT_EQ(s, (Natural(1) << (32 * n)) - Natural(1));
+            EXPECT_EQ(r, s + s);
         }
     }
 }

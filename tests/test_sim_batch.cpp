@@ -14,6 +14,7 @@
 #include "sim/batch.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 using namespace camp::sim;
 using camp::mpn::Natural;
@@ -135,6 +136,64 @@ TEST(BatchEngine, PooledBatchBitIdenticalToSerial)
         EXPECT_EQ(pooled.bytes, serial.bytes);
         EXPECT_EQ(pooled.cycles, serial.cycles);
     }
+}
+
+TEST(BatchEngine, PerProductStatsDeterministicWithTracing)
+{
+    // Observability must not perturb the simulation: with the tracing
+    // layer force-enabled (spans recording into the ring from every
+    // worker), a pooled batch still reports *per-product* task, byte,
+    // stall-cycle, and fault counters identical to the serial run —
+    // element-wise via BatchResult::per_product, not just in
+    // aggregate. CI runs this at CAMP_THREADS=1 and 4, covering both
+    // pool widths; faults are armed so injected/faulty are nonzero.
+    namespace trace = camp::support::trace;
+    const bool was_enabled = trace::enabled();
+    trace::set_enabled(true);
+    const std::uint64_t seed = fuzz_seed(0xde7e2717ull);
+    camp::Rng rng(seed);
+
+    SimConfig config = default_config();
+    config.faults.seed = seed;
+    config.faults.rate_at(camp::FaultSite::IpuAccumulator) = 0.002;
+    BatchEngine engine(config, /*validate=*/true);
+    std::uint64_t total_injected = 0;
+    for (int round = 0; round < 4; ++round) {
+        const auto pairs = random_batch(rng, 4 + rng.below(48), 2500);
+        const BatchResult serial = engine.multiply_batch(pairs, 1);
+        const BatchResult pooled = engine.multiply_batch(pairs, 0);
+        ASSERT_EQ(serial.per_product.size(), pairs.size());
+        ASSERT_EQ(pooled.per_product.size(), pairs.size());
+        ASSERT_EQ(pooled.products, serial.products)
+            << "round=" << round << " CAMP_FUZZ_SEED=" << seed;
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+            const BatchProductStats& s = serial.per_product[i];
+            const BatchProductStats& p = pooled.per_product[i];
+            EXPECT_TRUE(s == p)
+                << "round=" << round << " product=" << i
+                << " serial{tasks=" << s.tasks << " bytes=" << s.bytes
+                << " stalls=" << s.stall_cycles
+                << " injected=" << s.injected << " faulty=" << s.faulty
+                << "} pooled{tasks=" << p.tasks << " bytes=" << p.bytes
+                << " stalls=" << p.stall_cycles
+                << " injected=" << p.injected << " faulty=" << p.faulty
+                << "} CAMP_FUZZ_SEED=" << seed;
+            total_injected += s.injected;
+        }
+        // The aggregate counters are the fold of per_product.
+        std::uint64_t tasks = 0, injected = 0, faulty = 0;
+        for (const BatchProductStats& s : serial.per_product) {
+            tasks += s.tasks;
+            injected += s.injected;
+            faulty += s.faulty ? 1 : 0;
+        }
+        EXPECT_EQ(tasks, serial.tasks);
+        EXPECT_EQ(injected, serial.injected);
+        EXPECT_EQ(faulty, serial.faulty);
+    }
+    // Rates are chosen so the armed counters actually move.
+    EXPECT_GT(total_injected, 0u);
+    trace::set_enabled(was_enabled);
 }
 
 TEST(BatchEngine, SerialGuardSuppressesForking)

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * trace_report: render a per-stage breakdown table — the software
+ * analogue of the paper's Fig. 2 stage attribution — from a Chrome
+ * tracing JSON produced by the CAMP_TRACE exporter
+ * (support/trace.cpp).
+ *
+ *     CAMP_TRACE=out.json bench-artifacts/perf_smoke
+ *     tools/trace_report out.json
+ *
+ * The parser is a scanner over our own exporter's fixed one-event-
+ * per-line format (name/cat/tid/dur fields), not a general JSON
+ * parser. Events aggregate by span name: count, total/mean/max
+ * duration, share of the summed span time, and the set of threads
+ * that emitted them. Spans nest (e.g. mpapca.mul_functional contains
+ * sim.core.multiply contains mpn.mul), so shares are attribution
+ * within a layer, not a partition of wall time.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct NameStats
+{
+    std::string cat;
+    std::uint64_t count = 0;
+    double total_us = 0;
+    double max_us = 0;
+    std::set<unsigned> tids;
+};
+
+/** Value of `"key": ` in @p line as a double, or @p fallback. */
+double
+field_number(const std::string& line, const char* key, double fallback)
+{
+    const std::string needle = std::string("\"") + key + "\": ";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return fallback;
+    return std::strtod(line.c_str() + pos + needle.size(), nullptr);
+}
+
+/** Value of `"key": "<string>"` in @p line, or empty. */
+std::string
+field_string(const std::string& line, const char* key)
+{
+    const std::string needle = std::string("\"") + key + "\": \"";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return std::string();
+    const std::size_t begin = pos + needle.size();
+    const std::size_t end = line.find('"', begin);
+    if (end == std::string::npos)
+        return std::string();
+    return line.substr(begin, end - begin);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr,
+                     "usage: trace_report <trace.json>\n"
+                     "  (a file written via CAMP_TRACE=<path>)\n");
+        return 2;
+    }
+    std::FILE* f = std::fopen(argv[1], "r");
+    if (f == nullptr) {
+        std::fprintf(stderr, "trace_report: cannot open %s\n", argv[1]);
+        return 1;
+    }
+
+    std::map<std::string, NameStats> by_name;
+    std::uint64_t events = 0;
+    char buf[4096];
+    while (std::fgets(buf, sizeof buf, f) != nullptr) {
+        const std::string line = buf;
+        const std::string name = field_string(line, "name");
+        if (name.empty())
+            continue;
+        const double dur_us = field_number(line, "dur", 0);
+        NameStats& s = by_name[name];
+        s.cat = field_string(line, "cat");
+        ++s.count;
+        s.total_us += dur_us;
+        s.max_us = std::max(s.max_us, dur_us);
+        s.tids.insert(
+            static_cast<unsigned>(field_number(line, "tid", 0)));
+        ++events;
+    }
+    std::fclose(f);
+    if (events == 0) {
+        std::fprintf(stderr, "trace_report: no events in %s\n",
+                     argv[1]);
+        return 1;
+    }
+
+    double grand_total_us = 0;
+    for (const auto& [name, s] : by_name)
+        grand_total_us += s.total_us;
+
+    // Sort stages by total time, heaviest first.
+    std::vector<const std::pair<const std::string, NameStats>*> order;
+    order.reserve(by_name.size());
+    for (const auto& entry : by_name)
+        order.push_back(&entry);
+    std::sort(order.begin(), order.end(), [](auto* a, auto* b) {
+        return a->second.total_us > b->second.total_us;
+    });
+
+    std::printf("%llu events, %zu span names, %.3f ms total span "
+                "time (spans nest; shares are per-layer attribution)\n\n",
+                static_cast<unsigned long long>(events),
+                by_name.size(), grand_total_us / 1e3);
+    std::printf("%-28s %-8s %10s %12s %12s %12s %7s %5s\n", "span",
+                "cat", "count", "total ms", "mean us", "max us",
+                "share", "tids");
+    for (const auto* entry : order) {
+        const NameStats& s = entry->second;
+        std::printf("%-28s %-8s %10llu %12.3f %12.3f %12.3f %6.1f%% "
+                    "%5zu\n",
+                    entry->first.c_str(), s.cat.c_str(),
+                    static_cast<unsigned long long>(s.count),
+                    s.total_us / 1e3,
+                    s.total_us / static_cast<double>(s.count),
+                    s.max_us, s.total_us / grand_total_us * 100.0,
+                    s.tids.size());
+    }
+    return 0;
+}
