@@ -6,15 +6,27 @@
  * This bench runs real batches through the BatchEngine (products
  * verified) and compares amortized time against the CGBN model, plus
  * the generality argument: CGBN cannot run the monolithic mode at all.
+ *
+ * It also measures the exec::SubmitQueue coalescing win: the same
+ * products submitted one flush per product (each paying its own
+ * partial waves) vs buffered and flushed as one coalesced batch that
+ * packs the IPU fabric in shared waves. Rows batch_serial_submit and
+ * batch_coalesce land in BENCH_batch_throughput.json; with
+ * CAMP_BENCH_GATE=1 the run exits nonzero when either regresses beyond
+ * CAMP_BENCH_TOLERANCE vs CAMP_BENCH_BASELINE (see ci/run_tests.sh).
  */
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "exec/queue.hpp"
+#include "exec/registry.hpp"
 #include "mpn/natural.hpp"
 #include "sim/batch.hpp"
 #include "sim/comparators.hpp"
 #include "sim/tech_model.hpp"
+#include "support/assert.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
@@ -62,5 +74,87 @@ main()
                 v100_cgbn().power_w, v100_cgbn().power_w / 3.644);
     std::printf("generality: the same fabric also runs the monolithic "
                 "mode (fig11) that batch-only CGBN cannot express.\n");
-    return 0;
+
+    camp::bench::section(
+        "SubmitQueue coalescing: one flush per product vs one "
+        "coalesced batch (sim backend)");
+    const std::uint64_t q_bits = 2048;
+    const std::size_t q_batch = 128;
+    std::vector<std::pair<Natural, Natural>> q_pairs;
+    q_pairs.reserve(q_batch);
+    std::vector<Natural> golden;
+    golden.reserve(q_batch);
+    for (std::size_t i = 0; i < q_batch; ++i) {
+        q_pairs.emplace_back(Natural::random_bits(rng, q_bits),
+                             Natural::random_bits(rng, q_bits));
+        golden.push_back(q_pairs.back().first *
+                         q_pairs.back().second);
+    }
+
+    const auto device =
+        camp::exec::make_device("sim", default_config());
+    camp::bench::TimingOptions opts;
+    opts.warmup = 1;
+    opts.min_seconds = 0.2;
+
+    // Serial submission: flush after every submit, so every product
+    // runs as its own one-task-deep batch (no wave sharing).
+    std::uint64_t serial_cycles = 0;
+    const double serial_s = camp::bench::time_call(
+        [&] {
+            camp::exec::SubmitQueue queue(*device);
+            for (std::size_t i = 0; i < q_batch; ++i) {
+                auto future = queue.submit(q_pairs[i].first,
+                                           q_pairs[i].second);
+                queue.flush();
+                CAMP_ASSERT(future.get() == golden[i]);
+            }
+            serial_cycles = queue.stats().sim_cycles;
+        },
+        opts);
+
+    // Coalesced: buffer everything, then drain in one shared batch.
+    std::uint64_t coalesced_cycles = 0;
+    const double coalesced_s = camp::bench::time_call(
+        [&] {
+            camp::exec::SubmitQueue queue(*device);
+            std::vector<camp::exec::SubmitQueue::Future> futures;
+            futures.reserve(q_batch);
+            for (const auto& [a, b] : q_pairs)
+                futures.push_back(queue.submit(a, b));
+            queue.flush();
+            for (std::size_t i = 0; i < q_batch; ++i)
+                CAMP_ASSERT(futures[i].get() == golden[i]);
+            coalesced_cycles = queue.stats().sim_cycles;
+        },
+        opts);
+
+    // Cycle counts are deterministic properties of the schedule: the
+    // coalesced batch must beat per-product flushes on the modelled
+    // hardware regardless of host speed.
+    CAMP_ASSERT(serial_cycles > coalesced_cycles);
+    const double sim_speedup =
+        static_cast<double>(serial_cycles) /
+        static_cast<double>(coalesced_cycles);
+    std::printf("%zu products of %llu bits: serial %llu sim cycles, "
+                "coalesced %llu sim cycles -> %.2fx fewer cycles "
+                "(host wall: %.3g s vs %.3g s per batch)\n",
+                q_batch, static_cast<unsigned long long>(q_bits),
+                static_cast<unsigned long long>(serial_cycles),
+                static_cast<unsigned long long>(coalesced_cycles),
+                sim_speedup, serial_s, coalesced_s);
+
+    camp::bench::BenchJson json("batch_throughput");
+    const double bytes_per_op = 2.0 * (q_bits / 8.0);
+    json.add("batch_serial_submit", q_bits, 1, serial_s / q_batch,
+             bytes_per_op,
+             {{"sim_cycles", static_cast<double>(serial_cycles)},
+              {"flushes", static_cast<double>(q_batch)}});
+    json.add("batch_coalesce", q_bits, 1, coalesced_s / q_batch,
+             bytes_per_op,
+             {{"sim_cycles", static_cast<double>(coalesced_cycles)},
+              {"flushes", 1.0},
+              {"sim_speedup", sim_speedup}});
+    json.write_file();
+    return camp::bench::maybe_gate(json);
 }

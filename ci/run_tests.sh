@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Minimal CI (fail on the first failing step):
 #  1. default Release build; ctest at CAMP_THREADS=1 and CAMP_THREADS=4
-#     so the pool's serial-inline and forking paths both run;
-#  2. perf-regression gate: perf_smoke vs bench/baselines at a generous
-#     machine-portability tolerance, a CAMP_TRACE export smoke-checked
-#     through tools/trace_report, and a negative control (a doctored
-#     baseline MUST fail the gate; skip with CAMP_CI_SKIP_PERF=1);
+#     so the pool's serial-inline and forking paths both run, then at
+#     CAMP_BACKEND=cpu and CAMP_BACKEND=sim so the device-registry
+#     default covers both execution backends;
+#  2. perf-regression gate: perf_smoke and batch_throughput vs
+#     bench/baselines at a generous machine-portability tolerance, a
+#     CAMP_TRACE export smoke-checked through tools/trace_report, and a
+#     negative control (a doctored baseline MUST fail the gate; skip
+#     with CAMP_CI_SKIP_PERF=1);
 #  3. address+undefined-sanitizer build + ctest
 #     (skip with CAMP_CI_SKIP_SANITIZE=1);
 #  4. ThreadSanitizer build (CAMP_SANITIZE=thread) over the
@@ -34,6 +37,12 @@ echo "==== ctest build (CAMP_THREADS=1) ===="
 CAMP_THREADS=1 ctest --test-dir build --output-on-failure -j "${JOBS}"
 echo "==== ctest build (CAMP_THREADS=4) ===="
 CAMP_THREADS=4 ctest --test-dir build --output-on-failure -j "${JOBS}"
+# Device-registry passes: CAMP_BACKEND sets the default exec device, so
+# the whole tier-1 suite runs once per shipped backend default.
+echo "==== ctest build (CAMP_BACKEND=cpu) ===="
+CAMP_BACKEND=cpu ctest --test-dir build --output-on-failure -j "${JOBS}"
+echo "==== ctest build (CAMP_BACKEND=sim) ===="
+CAMP_BACKEND=sim ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 if [[ "${CAMP_CI_SKIP_PERF:-0}" != "1" ]]; then
     # Perf-regression gate. The tolerance is deliberately loose (4x):
@@ -52,6 +61,17 @@ if [[ "${CAMP_CI_SKIP_PERF:-0}" != "1" ]]; then
 
     echo "==== trace export smoke (tools/trace_report) ===="
     ./build/tools/trace_report build/perf_smoke_trace.json
+
+    # Coalescing-queue gate: batch_serial_submit / batch_coalesce wall
+    # time plus the deterministic sim_speedup recorded in the JSON (the
+    # binary itself asserts coalesced sim cycles < serial sim cycles).
+    BATCH_BASELINE="bench/baselines/BENCH_batch_throughput.json"
+    echo "==== perf gate (batch_throughput vs ${BATCH_BASELINE}) ===="
+    CAMP_BENCH_DIR=build \
+        CAMP_BENCH_GATE=1 \
+        CAMP_BENCH_BASELINE="${BATCH_BASELINE}" \
+        CAMP_BENCH_TOLERANCE="${CAMP_BENCH_TOLERANCE:-4.0}" \
+        ./build/bench/batch_throughput
 
     # Negative control: a doctored baseline (every ns_per_op forced to
     # 1 ns) must make the gate fail on any machine, proving the gate

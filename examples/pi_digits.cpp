@@ -11,6 +11,7 @@
 #include <string>
 
 #include "apps/pi/chudnovsky.hpp"
+#include "exec/registry.hpp"
 #include "mpapca/runtime.hpp"
 
 int
@@ -25,8 +26,10 @@ main(int argc, char** argv)
     }
 
     std::string pi;
-    camp::mpapca::Runtime cpu(camp::mpapca::Backend::Cpu);
-    camp::mpapca::Runtime accel(camp::mpapca::Backend::CambriconP);
+    // Accelerator backend via the registry (CAMP_BACKEND overrides).
+    camp::mpapca::Runtime cpu("cpu");
+    camp::mpapca::Runtime accel(
+        camp::exec::default_device_name("sim"));
     const auto on_cpu =
         cpu.run("pi", [&] { pi = camp::apps::pi::compute_pi(digits); });
     const auto on_accel = accel.run(
@@ -44,8 +47,8 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(
                     camp::apps::pi::terms_for_digits(digits)));
     std::printf("CPU backend:        %.4g s\n", on_cpu.seconds);
-    std::printf("Cambricon-P backend: %.4g s  (%.2fx, %.3g J)\n",
-                on_accel.seconds, on_cpu.seconds / on_accel.seconds,
-                on_accel.energy_j);
+    std::printf("%s backend: %.4g s  (%.2fx, %.3g J)\n",
+                on_accel.device.c_str(), on_accel.seconds,
+                on_cpu.seconds / on_accel.seconds, on_accel.energy_j);
     return 0;
 }

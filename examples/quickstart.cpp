@@ -13,6 +13,7 @@
  */
 #include <cstdio>
 
+#include "exec/registry.hpp"
 #include "mpapca/runtime.hpp"
 #include "mpn/natural.hpp"
 #include "sim/core.hpp"
@@ -57,13 +58,16 @@ main()
         for (int i = 0; i < 50; ++i)
             acc = (acc * x) % y;
     };
-    camp::mpapca::Runtime cpu(camp::mpapca::Backend::Cpu);
-    camp::mpapca::Runtime accel(camp::mpapca::Backend::CambriconP);
+    // Backends come from the device registry; CAMP_BACKEND swaps the
+    // accelerator side ("sim" by default, "analytic" for the model).
+    camp::mpapca::Runtime cpu("cpu");
+    camp::mpapca::Runtime accel(camp::exec::default_device_name("sim"));
     const auto on_cpu = cpu.run("quickstart", workload);
     const auto on_accel = accel.run("quickstart", workload);
-    std::printf("\nmodular power chain: CPU %.3g s vs Cambricon-P "
+    std::printf("\nmodular power chain: CPU %.3g s vs %s "
                 "%.3g s -> %.1fx speedup\n",
-                on_cpu.seconds, on_accel.seconds,
+                on_cpu.seconds, on_accel.device.c_str(),
+                on_accel.seconds,
                 on_cpu.seconds / on_accel.seconds);
     return 0;
 }

@@ -1,0 +1,82 @@
+#include "exec/cpu_device.hpp"
+
+#include <cmath>
+
+#include "mpn/ophook.hpp"
+#include "sim/comparators.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
+
+namespace camp::exec {
+
+using mpn::Natural;
+
+CpuDevice::CpuDevice(const sim::SimConfig&)
+{
+    tuning_ =
+        apply_device_env_tuning("cpu", mpn::mul_tuning());
+}
+
+MulOutcome
+CpuDevice::mul(const Natural& a, const Natural& b)
+{
+    return MulOutcome{a * b, 0};
+}
+
+sim::BatchResult
+CpuDevice::mul_batch(
+    const std::vector<std::pair<Natural, Natural>>& pairs,
+    unsigned parallelism)
+{
+    support::trace::Span span("exec.cpu.mul_batch", "exec");
+    span.arg("count", static_cast<double>(pairs.size()));
+    sim::BatchResult result;
+    const std::size_t count = pairs.size();
+    result.products.resize(count);
+    result.per_product.resize(count);
+    result.tasks = count;
+
+    support::ThreadPool& pool = support::ThreadPool::global();
+    const bool fork = parallelism != 1 && count > 1 && pool.parallel() &&
+                      support::parallel_allowed();
+    result.parallelism = fork ? pool.executors() : 1;
+    const auto one = [&pairs, &result](std::size_t i) {
+        // Pool-side arithmetic must not be announced to op hooks
+        // (ledger/profiler assume one logical app thread).
+        mpn::OpHookSuspend suspend;
+        result.products[i] = pairs[i].first * pairs[i].second;
+    };
+    if (fork) {
+        support::TaskGroup group(pool);
+        for (std::size_t i = 1; i < count; ++i)
+            group.run([&one, i] { one(i); });
+        one(0);
+        group.wait();
+    } else {
+        for (std::size_t i = 0; i < count; ++i)
+            one(i);
+    }
+    // Host products carry no simulated accounting: cycles stay zero
+    // (the Fig. 13 methodology measures host time with the profiler).
+    return result;
+}
+
+CostEstimate
+CpuDevice::cost(std::uint64_t bits_a, std::uint64_t bits_b) const
+{
+    // Calibration constant: ~2 ns per Karatsuba-exponent limb op puts
+    // a 1-Mbit balanced product near 10 ms, the right order for the
+    // mpn kernels on a contemporary core.
+    constexpr double kSecondsPerLimbOp = 2e-9;
+    const double la =
+        std::max<double>(1.0, static_cast<double>(bits_a) / 64.0);
+    const double lb =
+        std::max<double>(1.0, static_cast<double>(bits_b) / 64.0);
+    CostEstimate estimate;
+    estimate.seconds =
+        kSecondsPerLimbOp * std::pow(std::sqrt(la * lb), 1.585);
+    estimate.energy_j = estimate.seconds * sim::skylake_cpu().power_w;
+    return estimate;
+}
+
+} // namespace camp::exec

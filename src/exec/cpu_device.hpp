@@ -1,0 +1,47 @@
+/**
+ * @file
+ * CpuDevice: the host backend — base products execute through the mpn
+ * kernels (the same code path the applications use directly), batches
+ * fan out across the global thread pool. This is the reference
+ * machine every other backend is checked against, so its products are
+ * golden by construction.
+ */
+#ifndef CAMP_EXEC_CPU_DEVICE_HPP
+#define CAMP_EXEC_CPU_DEVICE_HPP
+
+#include "exec/device.hpp"
+#include "sim/config.hpp"
+
+namespace camp::exec {
+
+class CpuDevice : public Device
+{
+  public:
+    explicit CpuDevice(const sim::SimConfig& config =
+                           sim::default_config());
+
+    const char* name() const override { return "cpu"; }
+    DeviceKind kind() const override { return DeviceKind::Host; }
+    std::uint64_t base_cap_bits() const override { return 0; }
+
+    MulOutcome mul(const mpn::Natural& a,
+                   const mpn::Natural& b) override;
+
+    sim::BatchResult
+    mul_batch(const std::vector<std::pair<mpn::Natural,
+                                          mpn::Natural>>& pairs,
+              unsigned parallelism = 0) override;
+
+    /**
+     * Rough host-time model: c * n^1.585 limb operations (the
+     * Karatsuba exponent) at a fixed per-op constant, energy at the
+     * Table III SkyLake busy power. Good enough for placement
+     * decisions; the Fig. 13 methodology always *measures* the CPU.
+     */
+    CostEstimate cost(std::uint64_t bits_a,
+                      std::uint64_t bits_b) const override;
+};
+
+} // namespace camp::exec
+
+#endif // CAMP_EXEC_CPU_DEVICE_HPP

@@ -1,0 +1,65 @@
+#include "exec/device.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace camp::exec {
+
+const char*
+device_kind_name(DeviceKind kind)
+{
+    switch (kind) {
+    case DeviceKind::Host: return "host";
+    case DeviceKind::Accelerator: return "accelerator";
+    case DeviceKind::Model: return "model";
+    }
+    return "?";
+}
+
+mpn::MulTuning
+retuned_for_cap(std::uint64_t cap_bits)
+{
+    mpn::MulTuning t;
+    // The hardware executes everything up to the base case
+    // monolithically, so the first software algorithm (Karatsuba)
+    // engages only above it and Toom-3 above six base cases — the
+    // same "fast algorithms delayed accordingly" policy the cost
+    // model uses (paper §VII-B, 35904-bit base case).
+    const std::uint64_t cap_limbs =
+        std::max<std::uint64_t>(2, cap_bits / mpn::kLimbBits);
+    t.karatsuba = static_cast<std::size_t>(cap_limbs);
+    t.toom3 = static_cast<std::size_t>(6 * cap_limbs);
+    t.toom4 = 4 * t.toom3;
+    t.toom6 = 4 * t.toom4;
+    t.ssa = 4 * t.toom6;
+    return t;
+}
+
+mpn::MulTuning
+apply_device_env_tuning(const char* device_name, mpn::MulTuning tuning)
+{
+    std::string prefix = "CAMP_";
+    for (const char* p = device_name; *p != '\0'; ++p)
+        prefix += static_cast<char>(
+            std::toupper(static_cast<unsigned char>(*p)));
+    prefix += "_MUL_THRESH_";
+    const auto apply = [&prefix](const char* field, std::size_t& value) {
+        const std::string name = prefix + field;
+        if (const char* env = std::getenv(name.c_str())) {
+            const long long v = std::strtoll(env, nullptr, 10);
+            if (v >= 1)
+                value = static_cast<std::size_t>(v);
+        }
+    };
+    apply("KARATSUBA", tuning.karatsuba);
+    apply("TOOM3", tuning.toom3);
+    apply("TOOM4", tuning.toom4);
+    apply("TOOM6", tuning.toom6);
+    apply("SSA", tuning.ssa);
+    apply("PARALLEL", tuning.parallel);
+    return tuning;
+}
+
+} // namespace camp::exec

@@ -1,0 +1,171 @@
+#include "exec/queue.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
+namespace camp::exec {
+
+using mpn::Natural;
+
+bool
+SubmitQueue::Future::ready() const
+{
+    CAMP_ASSERT(slot_ != nullptr);
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return slot_->ready;
+}
+
+const Natural&
+SubmitQueue::Future::get()
+{
+    CAMP_ASSERT(slot_ != nullptr);
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    while (!slot_->ready) {
+        // Somebody has to run the batch; on a serial host that
+        // somebody is us. If a flush is already in flight on another
+        // thread, wait for it to publish (our slot may be part of it;
+        // if not, the next loop iteration flushes the remainder).
+        if (state_->flushing)
+            state_->cv.wait(lock);
+        else
+            queue_->flush_locked(lock);
+    }
+    return slot_->product;
+}
+
+std::uint64_t
+SubmitQueue::Future::injected() const
+{
+    CAMP_ASSERT(slot_ != nullptr);
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    CAMP_ASSERT(slot_->ready);
+    return slot_->injected;
+}
+
+bool
+SubmitQueue::Future::faulty() const
+{
+    CAMP_ASSERT(slot_ != nullptr);
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    CAMP_ASSERT(slot_->ready);
+    return slot_->faulty;
+}
+
+SubmitQueue::SubmitQueue(Device& device, std::size_t max_pending,
+                         unsigned parallelism)
+    : device_(device), max_pending_(max_pending),
+      parallelism_(parallelism), state_(std::make_shared<State>())
+{
+}
+
+SubmitQueue::Future
+SubmitQueue::submit(const Natural& a, const Natural& b)
+{
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->pending.emplace_back(a, b);
+    auto slot = std::make_shared<Slot>();
+    state_->slots.push_back(slot);
+    ++state_->stats.submitted;
+    if (max_pending_ != 0 && state_->pending.size() >= max_pending_ &&
+        !state_->flushing)
+        flush_locked(lock);
+    return Future(this, state_, std::move(slot));
+}
+
+std::size_t
+SubmitQueue::flush()
+{
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    if (state_->flushing) {
+        // A drain is in flight; its batch already owns everything we
+        // could flush at the time it started. Wait for it instead of
+        // racing a second batch.
+        state_->cv.wait(lock, [this] { return !state_->flushing; });
+        return 0;
+    }
+    return flush_locked(lock);
+}
+
+void
+SubmitQueue::wait_all()
+{
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    for (;;) {
+        if (state_->flushing) {
+            state_->cv.wait(lock,
+                            [this] { return !state_->flushing; });
+            continue;
+        }
+        if (state_->pending.empty())
+            return;
+        flush_locked(lock);
+    }
+}
+
+std::size_t
+SubmitQueue::pending() const
+{
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->pending.size();
+}
+
+QueueStats
+SubmitQueue::stats() const
+{
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->stats;
+}
+
+std::size_t
+SubmitQueue::flush_locked(std::unique_lock<std::mutex>& lock)
+{
+    CAMP_ASSERT(lock.owns_lock() && !state_->flushing);
+    std::vector<std::pair<Natural, Natural>> pairs;
+    std::vector<std::shared_ptr<Slot>> slots;
+    pairs.swap(state_->pending);
+    slots.swap(state_->slots);
+    if (pairs.empty())
+        return 0;
+    state_->flushing = true;
+    lock.unlock();
+
+    // Run the coalesced batch outside the lock: submissions arriving
+    // meanwhile buffer for the next flush.
+    sim::BatchResult result;
+    {
+        support::trace::Span span("exec.queue.flush", "exec");
+        span.arg("count", static_cast<double>(pairs.size()));
+        result = device_.mul_batch(pairs, parallelism_);
+    }
+    CAMP_ASSERT(result.products.size() == slots.size() &&
+                result.per_product.size() == slots.size());
+
+    lock.lock();
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        slots[i]->product = std::move(result.products[i]);
+        slots[i]->injected = result.per_product[i].injected;
+        slots[i]->faulty = result.per_product[i].faulty;
+        slots[i]->ready = true;
+    }
+    QueueStats& stats = state_->stats;
+    ++stats.flushes;
+    stats.largest_batch =
+        std::max<std::uint64_t>(stats.largest_batch, slots.size());
+    stats.sim_cycles += result.cycles;
+    stats.sim_tasks += result.tasks;
+    stats.injected += result.injected;
+    stats.faulty += result.faulty;
+    namespace metrics = support::metrics;
+    metrics::counter("exec.queue.flushes").add();
+    metrics::counter("exec.queue.coalesced").add(slots.size());
+    metrics::gauge("exec.queue.batch_max")
+        .update_max(static_cast<std::int64_t>(slots.size()));
+    state_->flushing = false;
+    state_->cv.notify_all();
+    return slots.size();
+}
+
+} // namespace camp::exec

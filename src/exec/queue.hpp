@@ -1,0 +1,137 @@
+/**
+ * @file
+ * SubmitQueue: asynchronous base-product submission with batch
+ * coalescing. Independently submitted multiplications buffer in the
+ * queue and execute together through Device::mul_batch, so tasks from
+ * unrelated products pack the simulated IPU fabric in shared waves —
+ * the batch-mode win of paper §V-B3 — instead of each product paying
+ * its own partial waves. Futures resolve lazily: the first get() (or
+ * an explicit flush) drains everything buffered so far in one
+ * coalesced batch, which keeps the design deadlock-free even on a
+ * serial (CAMP_THREADS=1) host.
+ */
+#ifndef CAMP_EXEC_QUEUE_HPP
+#define CAMP_EXEC_QUEUE_HPP
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "exec/device.hpp"
+
+namespace camp::exec {
+
+/** Aggregate accounting of a queue's lifetime. */
+struct QueueStats
+{
+    std::uint64_t submitted = 0;   ///< products submitted
+    std::uint64_t flushes = 0;     ///< coalesced batches executed
+    std::uint64_t largest_batch = 0;
+    std::uint64_t sim_cycles = 0;  ///< sum of coalesced batch cycles
+    std::uint64_t sim_tasks = 0;   ///< sum of coalesced IPU tasks
+    std::uint64_t injected = 0;    ///< faults injected (armed runs)
+    std::uint64_t faulty = 0;      ///< products failing validation
+};
+
+class SubmitQueue
+{
+    struct Slot
+    {
+        mpn::Natural product;
+        std::uint64_t injected = 0;
+        bool faulty = false;
+        bool ready = false;
+    };
+
+    struct State
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::vector<std::pair<mpn::Natural, mpn::Natural>> pending;
+        std::vector<std::shared_ptr<Slot>> slots;
+        bool flushing = false;
+        QueueStats stats;
+    };
+
+  public:
+    /** Handle to one submitted product. get() blocks until the product
+     * is available, triggering a flush of the owning queue if nothing
+     * else already did — so a Future can always be resolved, even on a
+     * single-threaded host with no background drain. */
+    class Future
+    {
+      public:
+        Future() = default;
+
+        bool valid() const { return slot_ != nullptr; }
+
+        /** True once the product has been computed (non-blocking). */
+        bool ready() const;
+
+        const mpn::Natural& get();
+
+        /** Faults injected into this product (valid after get()). */
+        std::uint64_t injected() const;
+
+        /** Product failed device validation (valid after get();
+         * armed-fault batches only — see BatchResult::faulty). */
+        bool faulty() const;
+
+      private:
+        friend class SubmitQueue;
+        Future(SubmitQueue* queue, std::shared_ptr<State> state,
+               std::shared_ptr<Slot> slot)
+            : queue_(queue), state_(std::move(state)),
+              slot_(std::move(slot))
+        {
+        }
+
+        SubmitQueue* queue_ = nullptr;
+        std::shared_ptr<State> state_;
+        std::shared_ptr<Slot> slot_;
+    };
+
+    /**
+     * @p device executes the coalesced batches (not owned; must
+     * outlive the queue). @p max_pending > 0 auto-flushes whenever
+     * that many products are buffered; 0 buffers without bound until
+     * a get()/flush(). @p parallelism is forwarded to mul_batch
+     * (0 = auto).
+     */
+    explicit SubmitQueue(Device& device, std::size_t max_pending = 0,
+                         unsigned parallelism = 0);
+
+    /** Enqueue one product a*b; does not execute anything yet (unless
+     * the max_pending watermark is crossed). */
+    Future submit(const mpn::Natural& a, const mpn::Natural& b);
+
+    /** Execute everything buffered as one coalesced batch. Returns the
+     * number of products flushed (0 if the buffer was empty). Safe to
+     * call concurrently with submit()/get(). */
+    std::size_t flush();
+
+    /** Flush until no submission is pending or in flight. */
+    void wait_all();
+
+    /** Buffered (not yet executed) submissions. */
+    std::size_t pending() const;
+
+    QueueStats stats() const;
+
+    Device& device() { return device_; }
+
+  private:
+    /** Drain the buffer under @p lock; re-acquires before returning. */
+    std::size_t flush_locked(std::unique_lock<std::mutex>& lock);
+
+    Device& device_;
+    std::size_t max_pending_;
+    unsigned parallelism_;
+    std::shared_ptr<State> state_;
+};
+
+} // namespace camp::exec
+
+#endif // CAMP_EXEC_QUEUE_HPP

@@ -1,0 +1,111 @@
+#include "exec/registry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "exec/analytic_device.hpp"
+#include "exec/cpu_device.hpp"
+#include "exec/sim_device.hpp"
+#include "support/errors.hpp"
+
+namespace camp::exec {
+
+DeviceRegistry::DeviceRegistry()
+{
+    factories_.emplace_back("cpu", [](const sim::SimConfig& config) {
+        return std::make_unique<CpuDevice>(config);
+    });
+    factories_.emplace_back("sim", [](const sim::SimConfig& config) {
+        return std::make_unique<SimDevice>(config);
+    });
+    factories_.emplace_back(
+        "analytic", [](const sim::SimConfig& config) {
+            return std::make_unique<AnalyticDevice>(config);
+        });
+}
+
+DeviceRegistry&
+DeviceRegistry::instance()
+{
+    static DeviceRegistry* registry = new DeviceRegistry;
+    return *registry;
+}
+
+void
+DeviceRegistry::add(const std::string& name, DeviceFactory factory)
+{
+    if (name.empty())
+        throw InvalidArgument("device name must be non-empty");
+    if (!factory)
+        throw InvalidArgument("device factory for '" + name +
+                              "' is null");
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [existing, unused] : factories_)
+        if (existing == name)
+            throw InvalidArgument("device '" + name +
+                                  "' is already registered");
+    factories_.emplace_back(name, std::move(factory));
+}
+
+bool
+DeviceRegistry::contains(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [existing, unused] : factories_)
+        if (existing == name)
+            return true;
+    return false;
+}
+
+std::vector<std::string>
+DeviceRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [name, unused] : factories_)
+        out.push_back(name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::unique_ptr<Device>
+DeviceRegistry::create(const std::string& name,
+                       const sim::SimConfig& config) const
+{
+    DeviceFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& [existing, candidate] : factories_)
+            if (existing == name)
+                factory = candidate;
+    }
+    if (!factory) {
+        std::ostringstream message;
+        message << "unknown execution backend '" << name
+                << "' (available:";
+        for (const std::string& known : names())
+            message << ' ' << known;
+        message << ")";
+        throw InvalidArgument(message.str());
+    }
+    return factory(sim::validated(config));
+}
+
+std::string
+default_device_name(const char* fallback)
+{
+    const char* env = std::getenv("CAMP_BACKEND");
+    if (env != nullptr && env[0] != '\0')
+        return env;
+    return fallback;
+}
+
+std::unique_ptr<Device>
+make_device(const std::string& name, const sim::SimConfig& config)
+{
+    return DeviceRegistry::instance().create(name, config);
+}
+
+} // namespace camp::exec

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * DeviceRegistry: string-keyed factories for execution backends. The
+ * three built-ins ("cpu", "sim", "analytic") register on first use;
+ * applications and benches pick one at runtime via CAMP_BACKEND
+ * without recompiling — the MPApca dispatch plane's device table.
+ */
+#ifndef CAMP_EXEC_REGISTRY_HPP
+#define CAMP_EXEC_REGISTRY_HPP
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/device.hpp"
+#include "sim/config.hpp"
+
+namespace camp::exec {
+
+/** Builds a fresh device for a (validated-on-entry) configuration. */
+using DeviceFactory =
+    std::function<std::unique_ptr<Device>(const sim::SimConfig&)>;
+
+class DeviceRegistry
+{
+  public:
+    /** Process-wide registry with the built-ins pre-registered. */
+    static DeviceRegistry& instance();
+
+    /** Register a backend. Throws camp::InvalidArgument on an empty
+     * name, a null factory, or a duplicate registration. */
+    void add(const std::string& name, DeviceFactory factory);
+
+    bool contains(const std::string& name) const;
+
+    /** Registered backend names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Instantiate a backend. Throws camp::InvalidArgument naming the
+     * available backends when @p name is unknown. */
+    std::unique_ptr<Device>
+    create(const std::string& name,
+           const sim::SimConfig& config = sim::default_config()) const;
+
+  private:
+    DeviceRegistry();
+
+    mutable std::mutex mutex_;
+    std::vector<std::pair<std::string, DeviceFactory>> factories_;
+};
+
+/** CAMP_BACKEND environment override, else @p fallback. The name is
+ * not validated here — create() reports unknown names with context. */
+std::string default_device_name(const char* fallback = "cpu");
+
+/** Convenience: instance().create(name, config). */
+std::unique_ptr<Device>
+make_device(const std::string& name,
+            const sim::SimConfig& config = sim::default_config());
+
+} // namespace camp::exec
+
+#endif // CAMP_EXEC_REGISTRY_HPP

@@ -1,0 +1,54 @@
+#include "exec/sim_device.hpp"
+
+namespace camp::exec {
+
+using mpn::Natural;
+
+SimDevice::SimDevice(const sim::SimConfig& config)
+    : config_(sim::validated(config)),
+      core_(config_, sim::Fidelity::Fast, /*validate=*/false),
+      analytic_(config_),
+      energy_(sim::cambricon_p_energy(config_))
+{
+    tuning_ = apply_device_env_tuning(
+        "sim", retuned_for_cap(config_.monolithic_cap_bits));
+}
+
+MulOutcome
+SimDevice::mul(const Natural& a, const Natural& b)
+{
+    MulOutcome outcome;
+    outcome.product = core_.multiply(a, b).product;
+    if (const FaultEngine* engine = core_.fault_engine()) {
+        const std::uint64_t now = engine->total_injected();
+        outcome.injected = now - injected_seen_;
+        injected_seen_ = now;
+    }
+    return outcome;
+}
+
+sim::BatchResult
+SimDevice::mul_batch(
+    const std::vector<std::pair<Natural, Natural>>& pairs,
+    unsigned parallelism)
+{
+    // Validation always on: without faults it asserts exactness
+    // (library bug otherwise); with faults armed mismatching products
+    // are the expected detection path, counted in BatchResult::faulty.
+    sim::BatchEngine engine(config_, /*validate=*/true);
+    return engine.multiply_batch(pairs, parallelism);
+}
+
+CostEstimate
+SimDevice::cost(std::uint64_t bits_a, std::uint64_t bits_b) const
+{
+    const sim::CoreStats stats =
+        analytic_.multiply_stats(bits_a, bits_b);
+    CostEstimate estimate;
+    estimate.cycles = static_cast<double>(stats.cycles);
+    estimate.seconds = stats.seconds(config_);
+    estimate.energy_j = energy_.energy(stats, config_);
+    return estimate;
+}
+
+} // namespace camp::exec

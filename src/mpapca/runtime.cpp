@@ -1,7 +1,8 @@
 #include "mpapca/runtime.hpp"
 
-#include <sstream>
+#include <utility>
 
+#include "exec/registry.hpp"
 #include "profile/profiler.hpp"
 #include "sim/comparators.hpp"
 #include "support/assert.hpp"
@@ -15,16 +16,14 @@ using mpn::Natural;
 
 namespace {
 
-/** Registered-once runtime counters: fault recovery plus the
+/** Registered-once runtime counters: base-product issue rate plus the
  * cost-model-vs-measured delta (both sides in nanoseconds, summed
  * over base products, so `model_ns / measured_ns` is the aggregate
- * model calibration ratio). */
+ * model calibration ratio). Recovery counters live with the checked
+ * device (exec.checked.*). */
 struct RuntimeMetrics
 {
     support::metrics::Counter* base_products;
-    support::metrics::Counter* checks;
-    support::metrics::Counter* retries;
-    support::metrics::Counter* fallbacks;
     support::metrics::Counter* model_ns;
     support::metrics::Counter* measured_ns;
 };
@@ -37,9 +36,6 @@ runtime_metrics()
         auto* rm = new RuntimeMetrics;
         rm->base_products =
             &metrics::counter("mpapca.base_products");
-        rm->checks = &metrics::counter("mpapca.checks");
-        rm->retries = &metrics::counter("mpapca.retries");
-        rm->fallbacks = &metrics::counter("mpapca.fallbacks");
         rm->model_ns = &metrics::counter("mpapca.model_ns");
         rm->measured_ns = &metrics::counter("mpapca.measured_ns");
         return rm;
@@ -49,35 +45,72 @@ runtime_metrics()
 
 } // namespace
 
-Runtime::Runtime(Backend backend, const sim::SimConfig& config,
+const char*
+backend_device_name(Backend backend)
+{
+    return backend == Backend::Cpu ? "cpu" : "sim";
+}
+
+Runtime::Runtime(const std::string& device_name,
+                 const sim::SimConfig& config,
                  const SelfCheckPolicy& self_check)
-    : backend_(backend),
-      config_(sim::validated(config)),
-      model_(config_),
-      ledger_(model_),
-      core_(config_, sim::Fidelity::Fast, /*validate=*/false),
-      check_(self_check),
-      check_rng_(self_check.seed)
+    : config_(sim::validated(config)), model_(config_), ledger_(model_)
 {
     // Armed fault injection without self-checking would silently
     // return corrupted products; default to full-coverage checking.
-    if (config_.faults.enabled() && !check_.enabled) {
-        check_.enabled = true;
-        check_.sample_rate = 1.0;
+    SelfCheckPolicy policy = self_check;
+    if (config_.faults.enabled() && !policy.enabled) {
+        policy.enabled = true;
+        policy.sample_rate = 1.0;
     }
+    device_ = std::make_unique<exec::CheckedDevice>(
+        exec::make_device(device_name, config_), policy);
+    device_->set_diagnostic_sink([this](const std::string& diag) {
+        ledger_.record_fault_diagnostic(diag);
+    });
+
+    cap_bits_ = device_->base_cap_bits();
+    // Decomposition gates follow the device's tuning: by default the
+    // seed policy (Toom-3 above six base capabilities), but a device
+    // whose toom3 threshold was retuned — CAMP_<DEV>_MUL_THRESH_TOOM3
+    // or set_tuning — moves the gate with it.
+    toom3_engage_bits_ = 6 * cap_bits_;
+    if (cap_bits_ != 0) {
+        const mpn::MulTuning defaults =
+            exec::retuned_for_cap(cap_bits_);
+        if (device_->tuning().toom3 != defaults.toom3)
+            toom3_engage_bits_ =
+                static_cast<std::uint64_t>(device_->tuning().toom3) *
+                mpn::kLimbBits;
+    }
+}
+
+Runtime::Runtime(Backend backend, const sim::SimConfig& config,
+                 const SelfCheckPolicy& self_check)
+    : Runtime(backend_device_name(backend), config, self_check)
+{
+}
+
+Backend
+Runtime::backend() const
+{
+    return device_->kind() == exec::DeviceKind::Host
+               ? Backend::Cpu
+               : Backend::CambriconP;
 }
 
 AppReport
 Runtime::run(const std::string& label, const std::function<void()>& app)
 {
     AppReport report;
-    report.backend = backend_;
+    report.backend = backend();
+    report.device = device_->name();
     profile::ProfileSession profile_session;
     auto& profiler = profile::Profiler::instance();
 
     const double cpu_power = sim::skylake_cpu().power_w;
 
-    if (backend_ == Backend::Cpu) {
+    if (device_->kind() == exec::DeviceKind::Host) {
         app();
         report.kernel_seconds =
             profiler.seconds(profile::Category::KernelMul) +
@@ -91,9 +124,9 @@ Runtime::run(const std::string& label, const std::function<void()>& app)
     } else {
         LedgerSession ledger_session(ledger_);
         app();
-        // Kernel + low-level operators execute on Cambricon-P (their
-        // simulated time replaces the measured CPU time); the host
-        // keeps the high-level and auxiliary shares (paper §V-C).
+        // Kernel + low-level operators execute on the accelerator
+        // (their simulated time replaces the measured CPU time); the
+        // host keeps the high-level and auxiliary shares (paper §V-C).
         report.kernel_seconds = ledger_.total_seconds();
         report.host_seconds =
             profiler.seconds(profile::Category::HighLevel) +
@@ -108,15 +141,15 @@ Runtime::run(const std::string& label, const std::function<void()>& app)
 }
 
 void
-Runtime::sync_injected()
+Runtime::fold_check_stats()
 {
-    const sim::Core& core = core_;
-    const FaultEngine* engine = core.fault_engine();
-    if (engine == nullptr)
-        return;
-    const std::uint64_t now = engine->total_injected();
-    ledger_.fault_stats().injected += now - injected_seen_;
-    injected_seen_ = now;
+    const exec::CheckStats& now = device_->stats();
+    FaultStats& stats = ledger_.fault_stats();
+    stats.checks += now.checks - folded_.checks;
+    stats.detected += now.detected - folded_.detected;
+    stats.retried += now.retried - folded_.retried;
+    stats.fallbacks += now.fallbacks - folded_.fallbacks;
+    folded_ = now;
 }
 
 Natural
@@ -128,74 +161,38 @@ Runtime::base_product(const Natural& a, const Natural& b)
     rm.base_products->add();
 
     // Model-vs-measured calibration: the cost model's simulated-cycle
-    // prediction for this shape next to the wall time the functional
-    // simulation actually took (memoized model, so the lookup is cheap
-    // relative to the multiply it annotates).
+    // prediction for this shape next to the wall time the device
+    // actually took (memoized model, so the lookup is cheap relative
+    // to the multiply it annotates).
     const double model_cycles = model_.mul(a.bits(), b.bits()).cycles;
     trace::Span span("mpapca.base_product", "mpapca");
     span.arg("bits_a", static_cast<double>(a.bits()));
     span.arg("model_cycles", model_cycles);
     const std::uint64_t t0 = trace::now_ns();
-    Natural product = core_.multiply(a, b).product;
+    exec::MulOutcome outcome = device_->mul(a, b);
     rm.measured_ns->add(trace::now_ns() - t0);
     rm.model_ns->add(static_cast<std::uint64_t>(
         model_.seconds(model_cycles) * 1e9));
 
-    sync_injected();
-    if (!check_.enabled)
-        return product;
-    const bool sampled = check_.sample_rate >= 1.0 ||
-                         check_rng_.uniform() < check_.sample_rate;
-    if (!sampled)
-        return product;
-
-    FaultStats& stats = ledger_.fault_stats();
-    ++stats.checks;
-    rm.checks->add();
-    const Natural golden = a * b;
-    unsigned attempt = 0;
-    while (product != golden) {
-        ++stats.detected;
-        std::ostringstream diag;
-        diag << "base product " << a.bits() << "x" << b.bits()
-             << " bits: hardware/golden mismatch (attempt " << attempt
-             << ")";
-        const bool out_of_budget = attempt >= check_.retry_budget;
-        diag << (out_of_budget ? "; retry budget exhausted, CPU fallback"
-                               : "; retrying");
-        ledger_.record_fault_diagnostic(diag.str());
-        if (out_of_budget) {
-            // Graceful degradation: serve the exact CPU product.
-            ++stats.fallbacks;
-            rm.fallbacks->add();
-            product = golden;
-            break;
-        }
-        ++stats.retried;
-        rm.retries->add();
-        ++attempt;
-        product = core_.multiply(a, b).product;
-        sync_injected();
-    }
-    return product;
+    ledger_.fault_stats().injected += outcome.injected;
+    fold_check_stats();
+    return std::move(outcome.product);
 }
 
 sim::BatchResult
 Runtime::multiply_batch(
     const std::vector<std::pair<Natural, Natural>>& pairs)
 {
-    // Self-checking policy carries over: checked batches validate every
-    // product against the golden model (mismatches are counted, not
-    // fatal, when injection is armed — see BatchEngine).
-    sim::BatchEngine engine(config_, /*validate=*/check_.enabled ||
-                                         !config_.faults.enabled());
     const unsigned parallelism =
         pairs.size() >= 2
             ? support::ThreadPool::global().executors()
             : 1;
-    const sim::BatchResult result =
-        engine.multiply_batch(pairs, parallelism);
+    sim::BatchResult result =
+        device_->mul_batch(pairs, parallelism);
     base_products_ += result.products.size();
+    // Batch products validate per product inside the device's engine
+    // (mismatches are counted, not fatal, when injection is armed —
+    // see sim::BatchEngine); fold the outcome into the ledger.
     ledger_.fault_stats().injected += result.injected;
     ledger_.fault_stats().detected += result.faulty;
     if (config_.faults.enabled())
@@ -211,8 +208,9 @@ Runtime::mul_functional(const Natural& a, const Natural& b)
     span.arg("bits_b", static_cast<double>(b.bits()));
     if (a.is_zero() || b.is_zero())
         return Natural();
-    const std::uint64_t cap = config_.monolithic_cap_bits;
-    if (a.bits() <= cap && b.bits() <= cap)
+    const std::uint64_t cap = cap_bits_;
+    // An unlimited device (the host) takes everything monolithically.
+    if (cap == 0 || (a.bits() <= cap && b.bits() <= cap))
         return base_product(a, b);
     // Order so a is the wider operand.
     if (a.bits() < b.bits())
@@ -232,7 +230,7 @@ Runtime::mul_functional(const Natural& a, const Natural& b)
         }
         return result;
     }
-    if (a.bits() > 6 * cap && 3 * b.bits() > 2 * a.bits())
+    if (a.bits() > toom3_engage_bits_ && 3 * b.bits() > 2 * a.bits())
         return mul_toom3_functional(a, b);
     // Karatsuba split at half the wider operand.
     const std::uint64_t half = a.bits() / 2;
@@ -251,7 +249,7 @@ Runtime::mul_toom3_functional(const Natural& a, const Natural& b)
 {
     // Toom-3 over the nonnegative points {0, 1, 2, 3, inf} (the same
     // construction as mpn::mul_toom, lifted to Natural so that every
-    // pointwise product routes back through the simulated hardware).
+    // pointwise product routes back through the executing device).
     const std::uint64_t part = (a.bits() + 2) / 3;
     const Natural mask = (Natural(1) << part) - Natural(1);
     const Natural a0 = a & mask, a1 = (a >> part) & mask,

@@ -2,44 +2,59 @@
  * @file
  * The MPApca runtime library (paper §V-C and Figure 1): the layer that
  * replaces the CPU for kernel operators. It offers
- *  - backend-dispatched application runs: the same application code
- *    executes on the Cpu backend (measured wall time) or the CambriconP
- *    backend (kernel operators charged to the simulated accelerator,
- *    host categories measured) — this is the Fig. 13 methodology;
- *  - a functional multiplication path that really decomposes oversized
- *    operands in software and drives the simulated Core for every base
- *    product, validating the decomposition end to end;
- *  - a self-checking mode that cross-checks hardware base products
- *    against the mpn golden model and degrades gracefully — bounded
- *    hardware retries, then the CPU path — so mul_functional returns
- *    the exact product even with datapath fault injection armed.
+ *  - device-dispatched application runs: the same application code
+ *    executes on any registered exec::Device — the host backend
+ *    (measured wall time) or an accelerator/model backend (kernel
+ *    operators charged to the simulated accelerator, host categories
+ *    measured) — this is the Fig. 13 methodology;
+ *  - a functional multiplication path that really decomposes operands
+ *    beyond the device's base capability in software and drives the
+ *    device for every base product, validating the decomposition end
+ *    to end;
+ *  - golden-model self-checking by composition: every runtime device
+ *    is wrapped in an exec::CheckedDevice, which cross-checks hardware
+ *    base products against the mpn golden model and degrades
+ *    gracefully — bounded hardware retries, then the CPU path — so
+ *    mul_functional returns the exact product even with datapath fault
+ *    injection armed.
+ *
+ * Backends are string-keyed through exec::DeviceRegistry ("cpu",
+ * "sim", "analytic", plus anything registered at runtime) with the
+ * CAMP_BACKEND environment default; the Backend enum remains as a thin
+ * compatibility alias over the two canonical choices.
  */
 #ifndef CAMP_MPAPCA_RUNTIME_HPP
 #define CAMP_MPAPCA_RUNTIME_HPP
 
 #include <functional>
+#include <memory>
 #include <string>
 
+#include "exec/checked.hpp"
+#include "exec/device.hpp"
 #include "mpapca/cost_model.hpp"
 #include "mpapca/ledger.hpp"
 #include "mpn/natural.hpp"
 #include "sim/batch.hpp"
-#include "sim/core.hpp"
-#include "support/rng.hpp"
 
 namespace camp::mpapca {
 
-/** Which machine executes the kernel operators. */
+/** Which machine executes the kernel operators (compatibility alias
+ * over the device registry: Cpu = "cpu", CambriconP = "sim"). */
 enum class Backend
 {
     Cpu,
     CambriconP,
 };
 
+/** Registry name of a compatibility backend. */
+const char* backend_device_name(Backend backend);
+
 /** Outcome of one application run. */
 struct AppReport
 {
     Backend backend = Backend::Cpu;
+    std::string device;    ///< registry name of the executing device
     double seconds = 0;    ///< end-to-end app time on this backend
     double energy_j = 0;   ///< energy model for this backend
     double host_seconds = 0;    ///< non-offloaded host share
@@ -49,36 +64,50 @@ struct AppReport
 };
 
 /**
- * Golden-model self-checking policy for hardware base products.
- * Auto-enabled (full sampling) whenever the SimConfig arms fault
- * injection; sample_rate < 1 trades coverage for check overhead
- * (see bench/ablation_fault.cpp for the measured trade-off).
+ * Golden-model self-checking policy for hardware base products
+ * (exec::CheckPolicy). Auto-enabled (full sampling) whenever the
+ * SimConfig arms fault injection; sample_rate < 1 trades coverage for
+ * check overhead (see bench/ablation_fault.cpp for the measured
+ * trade-off).
  */
-struct SelfCheckPolicy
-{
-    bool enabled = false;
-    double sample_rate = 1.0;  ///< fraction of base products checked
-    unsigned retry_budget = 2; ///< hardware retries before CPU fallback
-    std::uint64_t seed = 0x5e1fc4ecull; ///< sampling RNG seed
-};
+using SelfCheckPolicy = exec::CheckPolicy;
 
 /** MPApca runtime. */
 class Runtime
 {
   public:
     /**
-     * Throws camp::ConfigError on a non-buildable @p config. When
-     * @p config arms fault injection and @p self_check leaves checking
-     * disabled, full-sampling self-checking is switched on so
-     * mul_functional stays exact under injected faults.
+     * Run on a registry backend. Throws camp::ConfigError on a
+     * non-buildable @p config and camp::InvalidArgument on an unknown
+     * @p device_name. When @p config arms fault injection and
+     * @p self_check leaves checking disabled, full-sampling
+     * self-checking is switched on so mul_functional stays exact under
+     * injected faults. The default backend honours CAMP_BACKEND
+     * (falling back to "sim", the paper's machine).
      */
+    explicit Runtime(const std::string& device_name,
+                     const sim::SimConfig& config = sim::default_config(),
+                     const SelfCheckPolicy& self_check = SelfCheckPolicy{});
+
+    /** Compatibility entry point: Backend::Cpu = "cpu",
+     * Backend::CambriconP = "sim". */
     explicit Runtime(Backend backend,
                      const sim::SimConfig& config = sim::default_config(),
                      const SelfCheckPolicy& self_check = SelfCheckPolicy{});
 
-    Backend backend() const { return backend_; }
+    /** Compatibility view of the executing device's kind. */
+    Backend backend() const;
+
+    /** The executing device (self-checking wrapper around the registry
+     * backend; inner() reaches the wrapped device). */
+    exec::CheckedDevice& device() { return *device_; }
+    const exec::CheckedDevice& device() const { return *device_; }
+
     const CostModel& cost_model() const { return model_; }
-    const SelfCheckPolicy& self_check() const { return check_; }
+    const SelfCheckPolicy& self_check() const
+    {
+        return device_->policy();
+    }
 
     /** Fault/recovery counters accumulated by the self-checking path
      * (reset at the start of every run()). */
@@ -100,25 +129,26 @@ class Runtime
                   const std::function<void()>& app);
 
     /**
-     * Functional multiplication through the simulated hardware:
-     * operands beyond the monolithic capability are decomposed in
-     * software — block decomposition for skinny shapes, Toom-3 for
-     * large balanced operands, Karatsuba (Toom-2) otherwise — and
-     * every base product executes on sim::Core. Returns the exact
+     * Functional multiplication through the executing device: operands
+     * beyond the device's base capability are decomposed in software —
+     * block decomposition for skinny shapes, Toom-3 for large balanced
+     * operands, Karatsuba (Toom-2) otherwise — and every base product
+     * executes on the device. A device with unlimited capability (the
+     * host) takes every product monolithically. Returns the exact
      * product.
      */
     mpn::Natural mul_functional(const mpn::Natural& a,
                                 const mpn::Natural& b);
 
-    /** Hardware base products issued by mul_functional so far. */
+    /** Device base products issued by mul_functional so far. */
     std::uint64_t base_products() const { return base_products_; }
 
     /**
-     * Multiply many independent pairs through the simulated batch
-     * fabric (sim::BatchEngine). The runtime picks the host-side
-     * parallelism: batches of at least two products fork across the
-     * global thread pool, single products and CAMP_THREADS=1 runs
-     * stay serial; products are bit-identical either way. Injected
+     * Multiply many independent pairs through the device's batch path
+     * (sim::BatchEngine on the simulated backend). The runtime picks
+     * the host-side parallelism: batches of at least two products fork
+     * across the global thread pool, single products and CAMP_THREADS=1
+     * runs stay serial; products are bit-identical either way. Injected
      * faults and validation mismatches are folded into the ledger's
      * FaultStats (injected / detected), keeping the PR-1 diagnostics
      * surface authoritative for batch work too.
@@ -131,25 +161,24 @@ class Runtime
     mpn::Natural mul_toom3_functional(const mpn::Natural& a,
                                       const mpn::Natural& b);
 
-    /** One hardware base product, guarded by the self-check policy:
-     * cross-check a sample against the mpn golden model; on mismatch
-     * record a diagnostic, retry within the budget, then fall back to
-     * the CPU path so the result is always exact. */
+    /** One device base product through the self-checking wrapper, with
+     * model-vs-measured calibration metrics. */
     mpn::Natural base_product(const mpn::Natural& a,
                               const mpn::Natural& b);
 
-    /** Fold newly injected engine faults into the ledger counters. */
-    void sync_injected();
+    /** Fold the checked device's cumulative recovery counters into the
+     * ledger as deltas (the ledger resets per run(), the device does
+     * not). */
+    void fold_check_stats();
 
-    Backend backend_;
     sim::SimConfig config_;
     CostModel model_;
     Ledger ledger_;
-    sim::Core core_;
-    SelfCheckPolicy check_;
-    Rng check_rng_;
+    std::unique_ptr<exec::CheckedDevice> device_;
+    exec::CheckStats folded_; ///< device counters already in the ledger
     std::uint64_t base_products_ = 0;
-    std::uint64_t injected_seen_ = 0;
+    std::uint64_t cap_bits_ = 0;          ///< 0 = unlimited
+    std::uint64_t toom3_engage_bits_ = 0; ///< Toom-3 decomposition gate
 };
 
 } // namespace camp::mpapca

@@ -2,8 +2,10 @@
 
 #include <array>
 #include <cstddef>
+#include <string>
 
 #include "support/assert.hpp"
+#include "support/errors.hpp"
 
 namespace camp::mpn {
 
@@ -37,7 +39,15 @@ op_kind_name(OpKind kind)
 void
 add_op_hook(OpHook* hook)
 {
-    CAMP_ASSERT(g_hook_count < g_hooks.size());
+    // The table is a fixed array so announcing an op stays a plain
+    // loop on the hot path; registration beyond it is a caller bug
+    // that must not pass silently (in release builds the old assert
+    // compiled out and the write ran off the array).
+    if (g_hook_count >= g_hooks.size())
+        throw ResourceExhausted(
+            "add_op_hook: hook table full (" +
+            std::to_string(g_hooks.size()) +
+            " hooks registered); remove one first");
     g_hooks[g_hook_count++] = hook;
 }
 

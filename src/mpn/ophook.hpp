@@ -45,7 +45,8 @@ class OpHook
 };
 
 /** Register / unregister a hook (max 4; not thread safe by design —
- * instrumented runs are single threaded like the paper's baseline). */
+ * instrumented runs are single threaded like the paper's baseline).
+ * Registration beyond the table throws camp::ResourceExhausted. */
 void add_op_hook(OpHook* hook);
 void remove_op_hook(OpHook* hook);
 

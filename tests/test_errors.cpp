@@ -13,6 +13,7 @@
 #include "mpf/float.hpp"
 #include "mpn/mont.hpp"
 #include "mpn/natural.hpp"
+#include "mpn/ophook.hpp"
 #include "mpn/newton.hpp"
 #include "mpq/rational.hpp"
 #include "mpz/integer.hpp"
@@ -135,4 +136,36 @@ TEST(ParseNegativePaths, MalformedStringsRejected)
     EXPECT_THROW(Natural::from_hex(""), std::invalid_argument);
     EXPECT_THROW(Natural::from_hex("g0"), std::invalid_argument);
     EXPECT_THROW(Integer::from_decimal(""), std::invalid_argument);
+}
+
+TEST(OpHookNegativePaths, RegistrationBeyondTableThrows)
+{
+    // The hook table holds four entries; a fifth registration must be
+    // rejected loudly (it used to be a debug-only assert, i.e. a
+    // silent out-of-bounds write in release builds). The table must
+    // stay fully usable afterwards.
+    struct NullHook : camp::mpn::OpHook
+    {
+        void on_enter(camp::mpn::OpKind, std::uint64_t,
+                      std::uint64_t) override
+        {
+        }
+        void on_exit(camp::mpn::OpKind) override {}
+    };
+    NullHook hooks[5];
+    for (int i = 0; i < 4; ++i)
+        ASSERT_NO_THROW(camp::mpn::add_op_hook(&hooks[i]));
+    EXPECT_THROW(camp::mpn::add_op_hook(&hooks[4]),
+                 camp::ResourceExhausted);
+    try {
+        camp::mpn::add_op_hook(&hooks[4]);
+    } catch (const camp::Error& e) {
+        EXPECT_EQ(e.code(), camp::ErrorCode::ResourceExhausted);
+    }
+    for (int i = 0; i < 4; ++i)
+        camp::mpn::remove_op_hook(&hooks[i]);
+    EXPECT_FALSE(camp::mpn::op_hooks_active());
+    // A freed slot accepts a new registration.
+    ASSERT_NO_THROW(camp::mpn::add_op_hook(&hooks[4]));
+    camp::mpn::remove_op_hook(&hooks[4]);
 }

@@ -7,10 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "mpn/basic.hpp"
 #include "mpn/mul.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
@@ -394,5 +396,70 @@ TEST(MpnMul, SqrMatchesMulAtAllRegimes)
         mpn::sqr(s.data(), a.data(), n);
         mpn::mul(m.data(), a.data(), n, a.data(), n);
         EXPECT_EQ(s, m) << "n=" << n;
+    }
+}
+
+TEST(MpnMul, DispatchMatchesRecordedAlgorithmAtThresholds)
+{
+    // Drift guard: mul_algorithm_name() (the public predictor) and the
+    // dispatcher's metrics-recorded algorithm share the threshold
+    // table; if one is edited without the other, boundary sizes are
+    // where they disagree first. At each threshold n and at n-1, one
+    // balanced product must bump the predicted algorithm's counter and
+    // must never touch a counter above it (recursion only descends).
+    namespace metrics = camp::support::metrics;
+    static const char* const kAlgoMetric[] = {
+        "mpn.mul.algo.schoolbook", "mpn.mul.algo.karatsuba",
+        "mpn.mul.algo.toom3",      "mpn.mul.algo.toom4",
+        "mpn.mul.algo.toom6",      "mpn.mul.algo.ssa",
+    };
+    constexpr int kAlgos = 6;
+    const auto algo_of = [](const char* name) {
+        for (int i = 0; i < kAlgos; ++i)
+            if (std::string(kAlgoMetric[i]).substr(13) == name)
+                return i;
+        ADD_FAILURE() << "unknown algorithm name " << name;
+        return 0;
+    };
+
+    const mpn::MulTuning& t = mpn::mul_tuning();
+    camp::Rng rng(fuzz_seed(0xd15bada11ull));
+    std::vector<std::size_t> boundaries;
+    for (const std::size_t n :
+         {t.karatsuba, t.toom3, t.toom4, t.toom6, t.ssa}) {
+        boundaries.push_back(n);
+        if (n > 0)
+            boundaries.push_back(n - 1);
+    }
+    for (const std::size_t n : boundaries) {
+        if (n < 16)
+            continue; // below kObserveLimbs: dispatch is unrecorded
+        const char* predicted = mpn::mul_algorithm_name(n, t);
+        const int expected = algo_of(predicted);
+        std::uint64_t before[kAlgos];
+        for (int i = 0; i < kAlgos; ++i)
+            before[i] = metrics::counter(kAlgoMetric[i]).value();
+
+        const auto a = random_limbs(rng, n, /*allow_zero_top=*/false);
+        const auto b = random_limbs(rng, n, /*allow_zero_top=*/false);
+        std::vector<Limb> r(2 * n);
+        {
+            camp::support::SerialGuard guard;
+            mpn::mul(r.data(), a.data(), n, b.data(), n);
+        }
+
+        for (int i = 0; i < kAlgos; ++i) {
+            const std::uint64_t delta =
+                metrics::counter(kAlgoMetric[i]).value() - before[i];
+            if (i == expected)
+                EXPECT_GE(delta, 1u)
+                    << "n=" << n << " limbs: predicted '" << predicted
+                    << "' but its counter did not move";
+            else if (i > expected)
+                EXPECT_EQ(delta, 0u)
+                    << "n=" << n << " limbs: predicted '" << predicted
+                    << "' but " << kAlgoMetric[i]
+                    << " moved (dispatch drift)";
+        }
     }
 }
