@@ -22,6 +22,7 @@
 #include "bench_util.hpp"
 #include "exec/queue.hpp"
 #include "exec/registry.hpp"
+#include "exec/scheduler.hpp"
 #include "mpn/natural.hpp"
 #include "sim/batch.hpp"
 #include "sim/comparators.hpp"
@@ -144,8 +145,73 @@ main()
                 static_cast<unsigned long long>(coalesced_cycles),
                 sim_speedup, serial_s, coalesced_s);
 
+    camp::bench::section(
+        "Shard scaling: the same wave across 1..8 sim shards "
+        "(ShardedScheduler, cost-balanced LPT partitioning)");
+    const std::uint64_t s_bits = 2048;
+    const std::size_t s_batch = 256;
+    std::vector<std::pair<Natural, Natural>> s_pairs;
+    s_pairs.reserve(s_batch);
+    for (std::size_t i = 0; i < s_batch; ++i)
+        s_pairs.emplace_back(Natural::random_bits(rng, s_bits),
+                             Natural::random_bits(rng, s_bits));
+
+    camp::bench::TimingOptions s_opts;
+    s_opts.warmup = 1;
+    s_opts.min_seconds = 0.1;
+    Table scaling({"shards", "wave cycles", "wall/batch (s)",
+                   "cycle scaling"});
+    std::vector<std::pair<unsigned, double>> shard_rows;
+    std::uint64_t cycles_1 = 0, cycles_4 = 0, prev_cycles = 0;
+    for (const unsigned shards : {1u, 2u, 4u, 8u}) {
+        camp::exec::ShardPolicy policy;
+        policy.shards = shards;
+        policy.drain_fault_threshold = 0;
+        camp::exec::ShardedScheduler scheduler(default_config(),
+                                               policy);
+        std::uint64_t cycles = 0;
+        const double wall = camp::bench::time_call(
+            [&] {
+                const BatchResult result =
+                    scheduler.mul_batch(s_pairs);
+                CAMP_ASSERT(result.products.size() == s_batch);
+                cycles = result.cycles;
+            },
+            s_opts);
+        if (shards == 1)
+            cycles_1 = cycles;
+        if (shards == 4)
+            cycles_4 = cycles;
+        // The wave's aggregate cycle count is the max over the
+        // concurrent shards — a deterministic property of the LPT
+        // schedule, so the curve must be monotone non-increasing
+        // (wall clock depends on host cores and may saturate).
+        if (prev_cycles != 0)
+            CAMP_ASSERT(cycles <= prev_cycles);
+        prev_cycles = cycles;
+        scaling.add_row(
+            {std::to_string(shards),
+             std::to_string(cycles), Table::fmt(wall),
+             Table::fmt(static_cast<double>(cycles_1) /
+                            static_cast<double>(cycles),
+                        3) +
+                 "x"});
+        shard_rows.emplace_back(shards, wall);
+    }
+    scaling.print();
+    CAMP_ASSERT(cycles_4 < cycles_1);
+    std::printf("1 -> 4 shards: %.2fx fewer wave cycles "
+                "(deterministic schedule property)\n",
+                static_cast<double>(cycles_1) /
+                    static_cast<double>(cycles_4));
+
     camp::bench::BenchJson json("batch_throughput");
     const double bytes_per_op = 2.0 * (q_bits / 8.0);
+    for (const auto& [shards, wall] : shard_rows)
+        json.add("batch_shard_scaling_" + std::to_string(shards),
+                 s_bits, shards, wall / s_batch,
+                 2.0 * (s_bits / 8.0),
+                 {{"shards", static_cast<double>(shards)}});
     json.add("batch_serial_submit", q_bits, 1, serial_s / q_batch,
              bytes_per_op,
              {{"sim_cycles", static_cast<double>(serial_cycles)},

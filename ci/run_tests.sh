@@ -3,7 +3,10 @@
 #  1. default Release build; ctest at CAMP_THREADS=1 and CAMP_THREADS=4
 #     so the pool's serial-inline and forking paths both run, then at
 #     CAMP_BACKEND=cpu and CAMP_BACKEND=sim so the device-registry
-#     default covers both execution backends;
+#     default covers both execution backends, then at
+#     CAMP_BACKEND=sharded with CAMP_SHARDS=1 and =4 so the whole
+#     suite also runs through the multi-device scheduler's
+#     single-shard and fanned-out paths;
 #  2. perf-regression gate: perf_smoke and batch_throughput vs
 #     bench/baselines at a generous machine-portability tolerance, a
 #     CAMP_TRACE export smoke-checked through tools/trace_report, and a
@@ -12,8 +15,9 @@
 #  3. address+undefined-sanitizer build + ctest
 #     (skip with CAMP_CI_SKIP_SANITIZE=1);
 #  4. ThreadSanitizer build (CAMP_SANITIZE=thread) over the
-#     concurrency-bearing tests — pool, mpn mul, batch, runtime — at
-#     CAMP_THREADS=4 (skip with CAMP_CI_SKIP_SANITIZE=1);
+#     concurrency-bearing tests — pool, mpn mul, batch, runtime,
+#     sharded scheduler — at CAMP_THREADS=4 (skip with
+#     CAMP_CI_SKIP_SANITIZE=1);
 #  5. report-only coverage summary via gcovr/gcov when available
 #     (opt in with CAMP_CI_COVERAGE=1; never gates).
 set -euo pipefail
@@ -43,6 +47,15 @@ echo "==== ctest build (CAMP_BACKEND=cpu) ===="
 CAMP_BACKEND=cpu ctest --test-dir build --output-on-failure -j "${JOBS}"
 echo "==== ctest build (CAMP_BACKEND=sim) ===="
 CAMP_BACKEND=sim ctest --test-dir build --output-on-failure -j "${JOBS}"
+# Sharded-scheduler matrix: the full suite through the multi-device
+# scheduler at one shard (pass-through partitioning) and four (LPT
+# fan-out on the pool) — products must stay bit-identical either way.
+echo "==== ctest build (CAMP_BACKEND=sharded, CAMP_SHARDS=1) ===="
+CAMP_BACKEND=sharded CAMP_SHARDS=1 \
+    ctest --test-dir build --output-on-failure -j "${JOBS}"
+echo "==== ctest build (CAMP_BACKEND=sharded, CAMP_SHARDS=4) ===="
+CAMP_BACKEND=sharded CAMP_SHARDS=4 \
+    ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 if [[ "${CAMP_CI_SKIP_PERF:-0}" != "1" ]]; then
     # Perf-regression gate. The tolerance is deliberately loose (4x):
@@ -62,9 +75,12 @@ if [[ "${CAMP_CI_SKIP_PERF:-0}" != "1" ]]; then
     echo "==== trace export smoke (tools/trace_report) ===="
     ./build/tools/trace_report build/perf_smoke_trace.json
 
-    # Coalescing-queue gate: batch_serial_submit / batch_coalesce wall
-    # time plus the deterministic sim_speedup recorded in the JSON (the
-    # binary itself asserts coalesced sim cycles < serial sim cycles).
+    # Coalescing-queue + shard-scaling gate: batch_serial_submit /
+    # batch_coalesce wall time plus the batch_shard_scaling_{1,2,4,8}
+    # rows (the binary itself asserts coalesced sim cycles < serial
+    # sim cycles and that wave cycles decrease monotonically 1 -> 8
+    # shards — the deterministic schedule property; wall clock may
+    # saturate on few-core hosts).
     BATCH_BASELINE="bench/baselines/BENCH_batch_throughput.json"
     echo "==== perf gate (batch_throughput vs ${BATCH_BASELINE}) ===="
     CAMP_BENCH_DIR=build \
@@ -106,9 +122,11 @@ if [[ "${CAMP_CI_SKIP_SANITIZE:-0}" != "1" ]]; then
         -DCAMP_SANITIZE="thread"
     echo "==== build build-tsan ===="
     cmake --build build-tsan -j "${JOBS}" --target \
-        test_thread_pool test_mpn_mul test_sim_batch test_mpapca
+        test_thread_pool test_mpn_mul test_sim_batch test_mpapca \
+        test_scheduler
     echo "==== tsan tests (CAMP_THREADS=4) ===="
-    for t in test_thread_pool test_mpn_mul test_sim_batch test_mpapca; do
+    for t in test_thread_pool test_mpn_mul test_sim_batch test_mpapca \
+             test_scheduler; do
         echo "---- ${t} ----"
         CAMP_THREADS=4 ./build-tsan/tests/"${t}"
     done

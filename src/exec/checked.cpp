@@ -98,6 +98,14 @@ CheckedDevice::mul_batch(
     return inner_->mul_batch(pairs, parallelism);
 }
 
+sim::BatchResult
+CheckedDevice::mul_batch_indexed(
+    const std::vector<std::pair<Natural, Natural>>& pairs,
+    const std::vector<std::uint64_t>& indices, unsigned parallelism)
+{
+    return inner_->mul_batch_indexed(pairs, indices, parallelism);
+}
+
 CostEstimate
 CheckedDevice::cost(std::uint64_t bits_a, std::uint64_t bits_b) const
 {

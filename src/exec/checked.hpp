@@ -86,6 +86,12 @@ class CheckedDevice : public Device
                                           mpn::Natural>>& pairs,
               unsigned parallelism = 0) override;
 
+    sim::BatchResult
+    mul_batch_indexed(const std::vector<std::pair<mpn::Natural,
+                                                  mpn::Natural>>& pairs,
+                      const std::vector<std::uint64_t>& indices,
+                      unsigned parallelism = 0) override;
+
     CostEstimate cost(std::uint64_t bits_a,
                       std::uint64_t bits_b) const override;
 

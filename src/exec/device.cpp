@@ -5,7 +5,18 @@
 #include <cstdlib>
 #include <string>
 
+#include "support/assert.hpp"
+
 namespace camp::exec {
+
+sim::BatchResult
+Device::mul_batch_indexed(
+    const std::vector<std::pair<mpn::Natural, mpn::Natural>>& pairs,
+    const std::vector<std::uint64_t>& indices, unsigned parallelism)
+{
+    CAMP_ASSERT(indices.size() == pairs.size());
+    return mul_batch(pairs, parallelism);
+}
 
 const char*
 device_kind_name(DeviceKind kind)

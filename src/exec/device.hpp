@@ -109,6 +109,23 @@ class Device
                                           mpn::Natural>>& pairs,
               unsigned parallelism = 0) = 0;
 
+    /**
+     * mul_batch with explicit per-product fault-seed indices: product
+     * i draws its fault stream from seed index @p indices[i] instead
+     * of its position in @p pairs. A scheduler that splits one logical
+     * wave across several devices passes the wave-global indices so
+     * every product's fault stream is invariant under the split (the
+     * resharding-determinism contract). The default implementation
+     * ignores the indices and delegates to mul_batch — correct for
+     * any device without per-product fault streams (cpu, analytic).
+     * @p indices must be pairs.size() long.
+     */
+    virtual sim::BatchResult
+    mul_batch_indexed(const std::vector<std::pair<mpn::Natural,
+                                                  mpn::Natural>>& pairs,
+                      const std::vector<std::uint64_t>& indices,
+                      unsigned parallelism = 0);
+
     /** Cost/energy estimate for one base product of this shape. */
     virtual CostEstimate cost(std::uint64_t bits_a,
                               std::uint64_t bits_b) const = 0;

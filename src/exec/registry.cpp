@@ -6,6 +6,7 @@
 
 #include "exec/analytic_device.hpp"
 #include "exec/cpu_device.hpp"
+#include "exec/scheduler.hpp"
 #include "exec/sim_device.hpp"
 #include "support/errors.hpp"
 
@@ -22,6 +23,14 @@ DeviceRegistry::DeviceRegistry()
     factories_.emplace_back(
         "analytic", [](const sim::SimConfig& config) {
             return std::make_unique<AnalyticDevice>(config);
+        });
+    // The scheduler builds its shards through this registry; create()
+    // invokes factories outside the lock, so the nested create() calls
+    // are safe.
+    factories_.emplace_back(
+        "sharded", [](const sim::SimConfig& config) {
+            return std::make_unique<ShardedScheduler>(
+                config, shard_policy_from_env());
         });
 }
 

@@ -39,6 +39,15 @@ SimDevice::mul_batch(
     return engine.multiply_batch(pairs, parallelism);
 }
 
+sim::BatchResult
+SimDevice::mul_batch_indexed(
+    const std::vector<std::pair<Natural, Natural>>& pairs,
+    const std::vector<std::uint64_t>& indices, unsigned parallelism)
+{
+    sim::BatchEngine engine(config_, /*validate=*/true);
+    return engine.multiply_batch(pairs, parallelism, &indices);
+}
+
 CostEstimate
 SimDevice::cost(std::uint64_t bits_a, std::uint64_t bits_b) const
 {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "exec/registry.hpp"
+#include "exec/scheduler.hpp"
 #include "profile/profiler.hpp"
 #include "sim/comparators.hpp"
 #include "support/assert.hpp"
@@ -58,16 +59,27 @@ Runtime::Runtime(const std::string& device_name,
 {
     // Armed fault injection without self-checking would silently
     // return corrupted products; default to full-coverage checking.
+    // A ShardedScheduler self-checks per shard (its constructor arms
+    // the same policy), so the outer wrapper stays transparent there —
+    // double-checking every product would only double the golden cost.
     SelfCheckPolicy policy = self_check;
-    if (config_.faults.enabled() && !policy.enabled) {
+    auto inner = exec::make_device(device_name, config_);
+    scheduler_ = dynamic_cast<exec::ShardedScheduler*>(inner.get());
+    if (config_.faults.enabled() && !policy.enabled &&
+        scheduler_ == nullptr) {
         policy.enabled = true;
         policy.sample_rate = 1.0;
     }
-    device_ = std::make_unique<exec::CheckedDevice>(
-        exec::make_device(device_name, config_), policy);
+    device_ = std::make_unique<exec::CheckedDevice>(std::move(inner),
+                                                    policy);
     device_->set_diagnostic_sink([this](const std::string& diag) {
         ledger_.record_fault_diagnostic(diag);
     });
+    if (scheduler_ != nullptr)
+        scheduler_->set_diagnostic_sink(
+            [this](const std::string& diag) {
+                ledger_.record_fault_diagnostic(diag);
+            });
 
     cap_bits_ = device_->base_cap_bits();
     // Decomposition gates follow the device's tuning: by default the
@@ -150,6 +162,22 @@ Runtime::fold_check_stats()
     stats.retried += now.retried - folded_.retried;
     stats.fallbacks += now.fallbacks - folded_.fallbacks;
     folded_ = now;
+    if (scheduler_ != nullptr) {
+        // The scheduler's recovery path runs through its shards' own
+        // CheckedDevices (and the host CPU as last resort); fold those
+        // cumulative counters as deltas too, so FaultStats stays the
+        // authoritative per-run diagnostics surface.
+        const exec::CheckStats shards = scheduler_->check_stats();
+        stats.checks += shards.checks - folded_shards_.checks;
+        stats.detected += shards.detected - folded_shards_.detected;
+        stats.retried += shards.retried - folded_shards_.retried;
+        stats.fallbacks +=
+            shards.fallbacks - folded_shards_.fallbacks;
+        folded_shards_ = shards;
+        const std::uint64_t cpu = scheduler_->stats().cpu_fallbacks;
+        stats.fallbacks += cpu - folded_cpu_fallbacks_;
+        folded_cpu_fallbacks_ = cpu;
+    }
 }
 
 Natural
@@ -197,6 +225,9 @@ Runtime::multiply_batch(
     ledger_.fault_stats().detected += result.faulty;
     if (config_.faults.enabled())
         ledger_.fault_stats().checks += result.products.size();
+    // Scheduler-backed batches may have recovered faulty products on
+    // peer shards; pick up those retry/fallback deltas.
+    fold_check_stats();
     return result;
 }
 

@@ -37,6 +37,10 @@
 #include "mpn/natural.hpp"
 #include "sim/batch.hpp"
 
+namespace camp::exec {
+class ShardedScheduler;
+} // namespace camp::exec
+
 namespace camp::mpapca {
 
 /** Which machine executes the kernel operators (compatibility alias
@@ -102,6 +106,16 @@ class Runtime
      * backend; inner() reaches the wrapped device). */
     exec::CheckedDevice& device() { return *device_; }
     const exec::CheckedDevice& device() const { return *device_; }
+
+    /** Non-null when the executing device is a ShardedScheduler (the
+     * "sharded" backend). The scheduler self-checks per shard, so the
+     * outer wrapper stays transparent and this runtime folds the
+     * scheduler's aggregate recovery counters instead. */
+    exec::ShardedScheduler* scheduler() { return scheduler_; }
+    const exec::ShardedScheduler* scheduler() const
+    {
+        return scheduler_;
+    }
 
     const CostModel& cost_model() const { return model_; }
     const SelfCheckPolicy& self_check() const
@@ -175,7 +189,10 @@ class Runtime
     CostModel model_;
     Ledger ledger_;
     std::unique_ptr<exec::CheckedDevice> device_;
+    exec::ShardedScheduler* scheduler_ = nullptr; ///< borrowed view
     exec::CheckStats folded_; ///< device counters already in the ledger
+    exec::CheckStats folded_shards_; ///< scheduler shard counters folded
+    std::uint64_t folded_cpu_fallbacks_ = 0;
     std::uint64_t base_products_ = 0;
     std::uint64_t cap_bits_ = 0;          ///< 0 = unlimited
     std::uint64_t toom3_engage_bits_ = 0; ///< Toom-3 decomposition gate

@@ -15,6 +15,11 @@ newton_reciprocal(const Natural& d, std::uint64_t extra)
     const std::uint64_t bits = d.bits();
     const std::uint64_t m = bits + extra;
 
+    // A power-of-two divisor (including d == 1) has the exact
+    // reciprocal 2^(m - (bits-1)) — no iteration, no division.
+    if ((d & (d - Natural(1))).is_zero())
+        return Natural(1) << (m - (bits - 1));
+
     // Small targets: direct division is cheaper than iterating.
     if (extra < 64 || bits <= 64) {
         return ((Natural(1) << m) / d);
@@ -71,6 +76,17 @@ divrem_newton(const Natural& a, const Natural& d)
         throw std::invalid_argument("divrem_newton: division by zero");
     if (a < d)
         return {Natural(), a};
+    // Power-of-two divisors (including d == 1) are a pure shift/mask;
+    // the reciprocal route would build a 2^(bits(a)+3)-sized
+    // intermediate only to shift it away again.
+    if ((d & (d - Natural(1))).is_zero()) {
+        const std::uint64_t k = d.bits() - 1;
+        if (k == 0)
+            return {a, Natural()}; // d == 1
+        Natural q = a >> k;
+        Natural r = a & ((Natural(1) << k) - Natural(1));
+        return {std::move(q), std::move(r)};
+    }
     const std::uint64_t extra = a.bits() - d.bits() + 3;
     const Natural x = newton_reciprocal(d, extra);
     Natural q = (a * x) >> (d.bits() + extra);

@@ -22,7 +22,7 @@ BatchEngine::BatchEngine(const SimConfig& config, bool validate)
 }
 
 BatchEngine::ProductOutcome
-BatchEngine::multiply_one(std::size_t index, const Natural& a,
+BatchEngine::multiply_one(std::uint64_t seed_index, const Natural& a,
                           const Natural& b) const
 {
     // Sim-internal arithmetic (gathering, golden checks) must not be
@@ -30,7 +30,7 @@ BatchEngine::multiply_one(std::size_t index, const Natural& a,
     // this body runs on pool threads.
     mpn::OpHookSuspend suspend;
     support::trace::Span span("sim.batch.product", "sim");
-    span.arg("index", static_cast<double>(index));
+    span.arg("index", static_cast<double>(seed_index));
     span.arg("bits_a", static_cast<double>(a.bits()));
     ProductOutcome out;
     if (a.is_zero() || b.is_zero())
@@ -43,7 +43,7 @@ BatchEngine::multiply_one(std::size_t index, const Natural& a,
     std::unique_ptr<FaultEngine> faults;
     if (config_.faults.enabled()) {
         FaultConfig fc = config_.faults;
-        fc.seed += static_cast<std::uint64_t>(index);
+        fc.seed += seed_index;
         faults = std::make_unique<FaultEngine>(fc);
     }
 
@@ -101,14 +101,21 @@ BatchEngine::multiply_one(std::size_t index, const Natural& a,
 BatchResult
 BatchEngine::multiply_batch(
     const std::vector<std::pair<Natural, Natural>>& pairs,
-    unsigned parallelism)
+    unsigned parallelism, const std::vector<std::uint64_t>* seed_indices)
 {
     namespace metrics = support::metrics;
     support::trace::Span span("sim.batch.multiply_batch", "sim");
     span.arg("count", static_cast<double>(pairs.size()));
     BatchResult result;
     const std::size_t count = pairs.size();
+    CAMP_ASSERT(seed_indices == nullptr ||
+                seed_indices->size() == count);
     std::vector<ProductOutcome> outcomes(count);
+    const auto seed_of = [seed_indices](std::size_t i) {
+        return seed_indices == nullptr
+                   ? static_cast<std::uint64_t>(i)
+                   : (*seed_indices)[i];
+    };
 
     support::ThreadPool& pool = support::ThreadPool::global();
     const bool fork = parallelism != 1 && count > 1 && pool.parallel() &&
@@ -117,17 +124,17 @@ BatchEngine::multiply_batch(
     if (fork) {
         support::TaskGroup group(pool);
         for (std::size_t i = 1; i < count; ++i)
-            group.run([this, &outcomes, &pairs, i] {
-                outcomes[i] = multiply_one(i, pairs[i].first,
+            group.run([this, &outcomes, &pairs, &seed_of, i] {
+                outcomes[i] = multiply_one(seed_of(i), pairs[i].first,
                                            pairs[i].second);
             });
         outcomes[0] =
-            multiply_one(0, pairs[0].first, pairs[0].second);
+            multiply_one(seed_of(0), pairs[0].first, pairs[0].second);
         group.wait();
     } else {
         for (std::size_t i = 0; i < count; ++i)
-            outcomes[i] =
-                multiply_one(i, pairs[i].first, pairs[i].second);
+            outcomes[i] = multiply_one(seed_of(i), pairs[i].first,
+                                       pairs[i].second);
     }
 
     // Fold in product order: aggregates are independent of placement.

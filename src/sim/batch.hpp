@@ -91,6 +91,14 @@ class BatchEngine
      * calling thread, >= 2 = fork (actual concurrency is bounded by
      * the pool). Products are bit-identical across all settings.
      *
+     * @p seed_indices, when non-null, gives each product's fault-seed
+     * offset (seed = faults.seed + seed_indices[i]) instead of its
+     * position i. A scheduler splitting one logical wave across
+     * several engine instances passes the wave-global indices so the
+     * per-product fault stream is invariant under the split (the
+     * resharding-determinism contract of exec::ShardedScheduler).
+     * Must be pairs.size() long when given.
+     *
      * Without fault injection a validation mismatch aborts (library
      * bug); with any fault site armed, mismatching products are
      * *expected* and only counted in BatchResult::faulty — recovery
@@ -99,7 +107,9 @@ class BatchEngine
     BatchResult
     multiply_batch(const std::vector<std::pair<mpn::Natural,
                                                mpn::Natural>>& pairs,
-                   unsigned parallelism = 0);
+                   unsigned parallelism = 0,
+                   const std::vector<std::uint64_t>* seed_indices =
+                       nullptr);
 
   private:
     /** Everything one product contributes to the aggregate. */
@@ -113,7 +123,7 @@ class BatchEngine
         bool faulty = false;
     };
 
-    ProductOutcome multiply_one(std::size_t index,
+    ProductOutcome multiply_one(std::uint64_t seed_index,
                                 const mpn::Natural& a,
                                 const mpn::Natural& b) const;
 

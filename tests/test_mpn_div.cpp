@@ -9,11 +9,14 @@
 #include <algorithm>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mpn/basic.hpp"
 #include "mpn/div.hpp"
 #include "mpn/mul.hpp"
+#include "mpn/natural.hpp"
+#include "mpn/newton.hpp"
 #include "support/rng.hpp"
 
 namespace mpn = camp::mpn;
@@ -255,6 +258,71 @@ TEST(MpnDiv, DifferentialFuzzKnuthVsBurnikelZiegler)
         // Multiply-back identity on the agreed result.
         check_divrem(a, d);
     }
+}
+
+TEST(MpnDiv, NewtonMatchesKnuthDifferential)
+{
+    // Regression suite for divrem_newton's degenerate shapes (a < d,
+    // d == 1, power-of-two divisors, all-ones operands) plus a
+    // >= 1000-case random differential against pure Knuth-D: quotient
+    // and remainder must agree exactly and satisfy the Euclidean
+    // invariant.
+    using camp::mpn::Natural;
+    const std::uint64_t seed = fuzz_seed(0x0e37700ull);
+    camp::Rng rng(seed);
+    auto& tuning = mpn::div_tuning();
+    const std::size_t saved = tuning.bz;
+    tuning.bz = 1u << 30; // the reference divides with pure Knuth-D
+    for (int iter = 0; iter < 1200; ++iter) {
+        SCOPED_TRACE("iter=" + std::to_string(iter) +
+                     " seed=" + std::to_string(seed) +
+                     " (replay: CAMP_FUZZ_SEED=<seed>)");
+        Natural a = Natural::random_bits(rng, 1 + rng.below(6000));
+        Natural d = Natural::random_bits(rng, 1 + rng.below(4000));
+        switch (iter % 8) {
+        case 0: // a < d: quotient must be zero, remainder a
+            if (a > d)
+                std::swap(a, d);
+            break;
+        case 1: // d == 1: previously built a 2^(bits(a)+3) temporary
+            d = Natural(1);
+            break;
+        case 2: // power-of-two divisor: pure shift/mask path
+            d = Natural(1) << rng.below(3000);
+            break;
+        case 3: // all-ones operands stress the final correction
+            a = (Natural(1) << (1 + rng.below(5000))) - Natural(1);
+            d = (Natural(1) << (1 + rng.below(3000))) - Natural(1);
+            break;
+        case 4: // exact multiples: remainder must be exactly zero
+            a = a * d;
+            break;
+        case 5: // a == d
+            a = d;
+            break;
+        default:
+            break;
+        }
+        if (d.is_zero())
+            d = Natural(1);
+        const auto [q, r] = mpn::divrem_newton(a, d);
+        const auto [qk, rk] = Natural::divrem(a, d);
+        ASSERT_EQ(q, qk);
+        ASSERT_EQ(r, rk);
+        ASSERT_TRUE(r < d);
+        ASSERT_EQ(q * d + r, a);
+    }
+    tuning.bz = saved;
+
+    EXPECT_THROW(mpn::divrem_newton(Natural(5), Natural()),
+                 std::invalid_argument);
+    EXPECT_THROW(mpn::newton_reciprocal(Natural(), 64),
+                 std::invalid_argument);
+    // The power-of-two reciprocal short-circuit stays exact.
+    // floor(2^(bits(d) + extra) / 2^k) with bits(d) = k + 1.
+    for (std::uint64_t k : {0u, 1u, 63u, 64u, 500u})
+        EXPECT_EQ(mpn::newton_reciprocal(Natural(1) << k, 200),
+                  Natural(1) << 201);
 }
 
 TEST(MpnDiv, UnnormalizedDividendHighZeros)

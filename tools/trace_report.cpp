@@ -15,6 +15,13 @@
  * that emitted them. Spans nest (e.g. mpapca.mul_functional contains
  * sim.core.multiply contains mpn.mul), so shares are attribution
  * within a layer, not a partition of wall time.
+ *
+ * Spans carrying a "shard" argument (exec.shard.wave and friends from
+ * exec::ShardedScheduler) additionally aggregate into a per-shard
+ * table — waves, products, total/mean/max busy time and each shard's
+ * share of the busiest shard — so wave imbalance across a
+ * CAMP_SHARDS deployment is visible straight from a CAMP_TRACE
+ * export.
  */
 #include <algorithm>
 #include <cstdio>
@@ -34,6 +41,15 @@ struct NameStats
     double total_us = 0;
     double max_us = 0;
     std::set<unsigned> tids;
+};
+
+/** Aggregate over every span that names a shard ordinal. */
+struct ShardStats
+{
+    std::uint64_t spans = 0;    ///< shard-tagged spans (waves, drains)
+    std::uint64_t products = 0; ///< sum of the spans' "count" args
+    double total_us = 0;
+    double max_us = 0;
 };
 
 /** Value of `"key": ` in @p line as a double, or @p fallback. */
@@ -80,6 +96,7 @@ main(int argc, char** argv)
     }
 
     std::map<std::string, NameStats> by_name;
+    std::map<unsigned, ShardStats> by_shard;
     std::uint64_t events = 0;
     char buf[4096];
     while (std::fgets(buf, sizeof buf, f) != nullptr) {
@@ -96,6 +113,17 @@ main(int argc, char** argv)
         s.tids.insert(
             static_cast<unsigned>(field_number(line, "tid", 0)));
         ++events;
+        // Shard-tagged spans (exec.shard.wave etc.) also roll up by
+        // shard ordinal so wave imbalance is visible per shard.
+        const double shard = field_number(line, "shard", -1);
+        if (shard >= 0) {
+            ShardStats& sh = by_shard[static_cast<unsigned>(shard)];
+            ++sh.spans;
+            sh.products += static_cast<std::uint64_t>(
+                field_number(line, "count", 0));
+            sh.total_us += dur_us;
+            sh.max_us = std::max(sh.max_us, dur_us);
+        }
     }
     std::fclose(f);
     if (events == 0) {
@@ -134,6 +162,34 @@ main(int argc, char** argv)
                     s.total_us / static_cast<double>(s.count),
                     s.max_us, s.total_us / grand_total_us * 100.0,
                     s.tids.size());
+    }
+
+    if (!by_shard.empty()) {
+        // Shard ordinals come from ShardedScheduler's span args; the
+        // "of busiest" column is each shard's busy time relative to
+        // the most loaded shard, so LPT imbalance reads directly.
+        double busiest_us = 0;
+        for (const auto& [ordinal, sh] : by_shard)
+            busiest_us = std::max(busiest_us, sh.total_us);
+        std::printf("\nper-shard wave breakdown (%zu shards; spans "
+                    "carrying a \"shard\" arg)\n",
+                    by_shard.size());
+        std::printf("%-6s %10s %10s %12s %12s %12s %11s\n", "shard",
+                    "spans", "products", "total ms", "mean us",
+                    "max us", "of busiest");
+        for (const auto& [ordinal, sh] : by_shard)
+            std::printf("%-6u %10llu %10llu %12.3f %12.3f %12.3f "
+                        "%10.1f%%\n",
+                        ordinal,
+                        static_cast<unsigned long long>(sh.spans),
+                        static_cast<unsigned long long>(sh.products),
+                        sh.total_us / 1e3,
+                        sh.total_us /
+                            static_cast<double>(sh.spans),
+                        sh.max_us,
+                        busiest_us > 0
+                            ? sh.total_us / busiest_us * 100.0
+                            : 0.0);
     }
     return 0;
 }
