@@ -11,13 +11,16 @@
 #     bench/baselines at a generous machine-portability tolerance, a
 #     CAMP_TRACE export smoke-checked through tools/trace_report, and a
 #     negative control (a doctored baseline MUST fail the gate; skip
-#     with CAMP_CI_SKIP_PERF=1);
+#     with CAMP_CI_SKIP_PERF=1), plus the short serving soak —
+#     bench/serve_soak with fault injection armed, which self-checks
+#     zero wrong results, conservation, bounded p99, and exact ledger
+#     accounting before the perf gate even runs;
 #  3. address+undefined-sanitizer build + ctest
 #     (skip with CAMP_CI_SKIP_SANITIZE=1);
 #  4. ThreadSanitizer build (CAMP_SANITIZE=thread) over the
 #     concurrency-bearing tests — pool, mpn mul, batch, runtime,
-#     sharded scheduler — at CAMP_THREADS=4 (skip with
-#     CAMP_CI_SKIP_SANITIZE=1);
+#     sharded scheduler, serving layer (concurrent ledger folding) —
+#     at CAMP_THREADS=4 (skip with CAMP_CI_SKIP_SANITIZE=1);
 #  5. report-only coverage summary via gcovr/gcov when available
 #     (opt in with CAMP_CI_COVERAGE=1; never gates).
 set -euo pipefail
@@ -89,6 +92,22 @@ if [[ "${CAMP_CI_SKIP_PERF:-0}" != "1" ]]; then
         CAMP_BENCH_TOLERANCE="${CAMP_BENCH_TOLERANCE:-4.0}" \
         ./build/bench/batch_throughput
 
+    # Serving soak, short mode: 400 requests of the mixed multi-tenant
+    # workload against a breaker-guarded SimDevice with fault
+    # injection armed. The binary exits nonzero on any wrong result,
+    # broken conservation identity, unbounded p99, or ledger
+    # mismatch — the perf gate on top only catches throughput
+    # regressions. The shed/timeout sets are deterministic for the
+    # default seed (override with CAMP_FUZZ_SEED to replay a failure).
+    SOAK_BASELINE="bench/baselines/BENCH_serve_soak.json"
+    echo "==== serve soak (short, faults armed) vs ${SOAK_BASELINE} ===="
+    CAMP_SERVE_REQUESTS=400 \
+        CAMP_BENCH_DIR=build \
+        CAMP_BENCH_GATE=1 \
+        CAMP_BENCH_BASELINE="${SOAK_BASELINE}" \
+        CAMP_BENCH_TOLERANCE="${CAMP_BENCH_TOLERANCE:-4.0}" \
+        ./build/bench/serve_soak
+
     # Negative control: a doctored baseline (every ns_per_op forced to
     # 1 ns) must make the gate fail on any machine, proving the gate
     # actually bites. The freshly written BENCH json is reused so this
@@ -123,10 +142,10 @@ if [[ "${CAMP_CI_SKIP_SANITIZE:-0}" != "1" ]]; then
     echo "==== build build-tsan ===="
     cmake --build build-tsan -j "${JOBS}" --target \
         test_thread_pool test_mpn_mul test_sim_batch test_mpapca \
-        test_scheduler
+        test_scheduler test_serve
     echo "==== tsan tests (CAMP_THREADS=4) ===="
     for t in test_thread_pool test_mpn_mul test_sim_batch test_mpapca \
-             test_scheduler; do
+             test_scheduler test_serve; do
         echo "---- ${t} ----"
         CAMP_THREADS=4 ./build-tsan/tests/"${t}"
     done

@@ -33,7 +33,18 @@ SubmitQueue::Future::get()
         else
             queue_->flush_locked(lock);
     }
+    if (slot_->error != ErrorCode::Ok)
+        throw_error(slot_->error, slot_->error_message);
     return slot_->product;
+}
+
+ErrorCode
+SubmitQueue::Future::error() const
+{
+    CAMP_ASSERT(slot_ != nullptr);
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    CAMP_ASSERT(slot_->ready);
+    return slot_->error;
 }
 
 std::uint64_t
@@ -133,12 +144,38 @@ SubmitQueue::flush_locked(std::unique_lock<std::mutex>& lock)
     lock.unlock();
 
     // Run the coalesced batch outside the lock: submissions arriving
-    // meanwhile buffer for the next flush.
+    // meanwhile buffer for the next flush. A device throw must not
+    // strand the waiters (or leave `flushing` latched): the error is
+    // recorded on every slot of this flush, category preserved, and
+    // each Future rethrows it typed from get().
     sim::BatchResult result;
+    ErrorCode error = ErrorCode::Ok;
+    std::string error_message;
     {
         support::trace::Span span("exec.queue.flush", "exec");
         span.arg("count", static_cast<double>(pairs.size()));
-        result = device_.mul_batch(pairs, parallelism_);
+        try {
+            result = device_.mul_batch(pairs, parallelism_);
+        } catch (const std::exception& e) {
+            error = error_code_of(e);
+            error_message = e.what();
+        }
+    }
+    if (error != ErrorCode::Ok) {
+        lock.lock();
+        for (const std::shared_ptr<Slot>& slot : slots) {
+            slot->error = error;
+            slot->error_message = error_message;
+            slot->ready = true;
+        }
+        QueueStats& stats = state_->stats;
+        ++stats.flushes;
+        stats.failed += slots.size();
+        support::metrics::counter("exec.queue.failed")
+            .add(slots.size());
+        state_->flushing = false;
+        state_->cv.notify_all();
+        return slots.size();
     }
     CAMP_ASSERT(result.products.size() == slots.size() &&
                 result.per_product.size() == slots.size());

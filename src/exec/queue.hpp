@@ -16,10 +16,12 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "exec/device.hpp"
+#include "support/errors.hpp"
 
 namespace camp::exec {
 
@@ -33,6 +35,7 @@ struct QueueStats
     std::uint64_t sim_tasks = 0;   ///< sum of coalesced IPU tasks
     std::uint64_t injected = 0;    ///< faults injected (armed runs)
     std::uint64_t faulty = 0;      ///< products failing validation
+    std::uint64_t failed = 0;      ///< products whose flush threw
 };
 
 class SubmitQueue
@@ -43,6 +46,8 @@ class SubmitQueue
         std::uint64_t injected = 0;
         bool faulty = false;
         bool ready = false;
+        ErrorCode error = ErrorCode::Ok; ///< set when the flush threw
+        std::string error_message;
     };
 
     struct State
@@ -67,10 +72,25 @@ class SubmitQueue
 
         bool valid() const { return slot_ != nullptr; }
 
-        /** True once the product has been computed (non-blocking). */
+        /** True once the product (or its failure) is available
+         * (non-blocking). */
         bool ready() const;
 
+        /**
+         * The product, flushing the owning queue if needed. When the
+         * device threw during the flush that owned this product, the
+         * original error *category* is preserved: get() rethrows the
+         * typed camp exception (camp::HardwareFault,
+         * camp::InvalidArgument, ...) reconstructed from the recorded
+         * ErrorCode — so a retry policy above the queue can
+         * distinguish retryable faults from fatal caller errors.
+         */
         const mpn::Natural& get();
+
+        /** Error category of this product's flush (valid after
+         * ready(); ErrorCode::Ok when the flush succeeded). Lets
+         * callers poll for failure without catching. */
+        ErrorCode error() const;
 
         /** Faults injected into this product (valid after get()). */
         std::uint64_t injected() const;

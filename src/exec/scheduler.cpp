@@ -416,6 +416,15 @@ ShardedScheduler::mul(const Natural& a, const Natural& b)
             outcome = shard.device->mul(a, b);
         } catch (const std::exception&) {
             drain_shard(i, "mul threw");
+            // The product moves to the next candidate — same
+            // redistribution accounting as the batch drain path.
+            {
+                std::lock_guard<std::mutex> lock(state_mutex_);
+                ++shard.stats.redistributed;
+                ++stats_.redistributed;
+            }
+            shard.metrics->redistributed->add();
+            scheduler_metrics().redistributed->add();
             continue;
         }
         {

@@ -62,8 +62,29 @@ Ledger::reset()
 void
 Ledger::record_fault_diagnostic(std::string diagnostic)
 {
+    // Diagnostic sinks fire from concurrent shard recoveries / serve
+    // workers; retention stays capped and the push is serialized.
+    std::lock_guard<std::mutex> lock(fault_mutex_);
     if (diagnostics_.size() < kMaxFaultDiagnostics)
         diagnostics_.push_back(std::move(diagnostic));
+}
+
+void
+Ledger::fold_fault_stats(const FaultStats& delta)
+{
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    faults_.injected += delta.injected;
+    faults_.checks += delta.checks;
+    faults_.detected += delta.detected;
+    faults_.retried += delta.retried;
+    faults_.fallbacks += delta.fallbacks;
+}
+
+FaultStats
+Ledger::fault_stats_snapshot() const
+{
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    return faults_;
 }
 
 double

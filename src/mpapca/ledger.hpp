@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -68,9 +69,26 @@ class Ledger : public mpn::OpHook
 
     const LedgerEntry& entry(mpn::OpKind kind) const;
 
-    /** Fault-and-recovery counters (mutated by the runtime). */
+    /** Fault-and-recovery counters (mutated by the runtime).
+     * Single-writer view — concurrent writers must go through
+     * fold_fault_stats() instead. */
     FaultStats& fault_stats() { return faults_; }
     const FaultStats& fault_stats() const { return faults_; }
+
+    /**
+     * Fold a delta of fault/recovery counters into this ledger,
+     * thread-safely: any number of runtimes / serve workers may fold
+     * concurrently into one shared ledger without losing counts (the
+     * serving layer folds once per completed wave). Mixing
+     * fold_fault_stats() with direct fault_stats() writes from other
+     * threads is NOT synchronized — concurrent producers must all use
+     * the fold path.
+     */
+    void fold_fault_stats(const FaultStats& delta);
+
+    /** Locked copy of the fault counters, safe to call while other
+     * threads fold. */
+    FaultStats fault_stats_snapshot() const;
 
     /** Record one human-readable fault diagnostic; retention is capped
      * at kMaxFaultDiagnostics (the counters always stay exact). */
@@ -93,6 +111,9 @@ class Ledger : public mpn::OpHook
     FaultStats faults_;
     std::vector<std::string> diagnostics_;
     int depth_ = 0;
+    /** Serializes fold_fault_stats / fault_stats_snapshot /
+     * record_fault_diagnostic against each other. */
+    mutable std::mutex fault_mutex_;
 };
 
 /** RAII: attach a ledger to the op-hook list. */

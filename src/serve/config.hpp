@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Serving-layer configuration: admission limits, deadlines, the retry
+ * policy, and the circuit-breaker thresholds. Every knob has a
+ * `CAMP_SERVE_*` environment override (serve_config_from_env) so soak
+ * runs and CI legs can reshape the server without recompiling —
+ * mirroring the exec plane's CAMP_SHARDS/CAMP_BACKEND convention.
+ */
+#ifndef CAMP_SERVE_CONFIG_HPP
+#define CAMP_SERVE_CONFIG_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace camp::serve {
+
+/** Per-tenant admission and retry bounds. */
+struct TenantLimits
+{
+    /** Bounded admission queue: an arriving request finding this many
+     * of its tenant's requests already queued is shed. */
+    std::size_t max_queue_depth = 64;
+
+    /** Retries the tenant may spend across a whole workload; once
+     * exhausted, retryable failures go straight to the CPU path. */
+    std::uint64_t retry_budget = 64;
+};
+
+/** Per-device circuit breaker thresholds (see serve/breaker.hpp). */
+struct BreakerPolicy
+{
+    /** Consecutive failure events (thrown batch = 1, each
+     * detected-faulty product = 1) that trip Closed -> Open. */
+    unsigned open_threshold = 4;
+
+    /** Fallback products served while Open before the breaker moves to
+     * HalfOpen and probes the device again. */
+    std::uint64_t probe_after = 32;
+};
+
+/** The server's complete policy surface. */
+struct ServeConfig
+{
+    TenantLimits limits;
+
+    /** Global backlog bound, in virtual microseconds of estimated
+     * device time: when the queued work exceeds this, load is shed —
+     * lowest priority first. */
+    double max_inflight_us = 50000.0;
+
+    /** Requests dispatched per coalesced device wave. */
+    std::size_t wave_size = 16;
+
+    /** Deadline assigned at admission to requests that carry none
+     * (microseconds after arrival); 0 = no implicit deadline. */
+    std::uint64_t default_deadline_us = 0;
+
+    /** Exponential backoff base: retry attempt n waits
+     * backoff_base_us * 2^(n-1) virtual microseconds. */
+    std::uint64_t backoff_base_us = 100;
+
+    /** Dispatch attempts per request (first try included). */
+    unsigned max_attempts = 3;
+
+    /** Treat a detected-faulty product as a retryable failure (the
+     * soak's recovery path); when false the flagged product is
+     * delivered and only counted. */
+    bool retry_on_faulty = true;
+
+    BreakerPolicy breaker;
+};
+
+/**
+ * Defaults overridden by the environment: CAMP_SERVE_DEPTH,
+ * CAMP_SERVE_RETRY_BUDGET, CAMP_SERVE_INFLIGHT_US, CAMP_SERVE_WAVE,
+ * CAMP_SERVE_DEADLINE_US, CAMP_SERVE_BACKOFF_US, CAMP_SERVE_ATTEMPTS,
+ * CAMP_SERVE_BREAKER_THRESHOLD, CAMP_SERVE_BREAKER_PROBE. Junk values
+ * throw camp::InvalidArgument naming the variable.
+ */
+ServeConfig serve_config_from_env();
+
+} // namespace camp::serve
+
+#endif // CAMP_SERVE_CONFIG_HPP

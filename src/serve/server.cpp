@@ -1,0 +1,670 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "exec/queue.hpp"
+#include "support/assert.hpp"
+#include "support/metrics.hpp"
+#include "support/table.hpp"
+#include "support/trace.hpp"
+
+namespace camp::serve {
+
+using mpn::Natural;
+
+namespace metrics = support::metrics;
+
+const char*
+request_status_name(RequestStatus status)
+{
+    switch (status) {
+    case RequestStatus::Completed: return "completed";
+    case RequestStatus::ShedAdmission: return "shed-admission";
+    case RequestStatus::ShedEvicted: return "shed-evicted";
+    case RequestStatus::RejectedDeadline: return "rejected-deadline";
+    case RequestStatus::TimedOut: return "timed-out";
+    case RequestStatus::Failed: return "failed";
+    }
+    return "unknown";
+}
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/** Nearest-rank percentile of a sorted sample. */
+std::uint64_t
+percentile(const std::vector<std::uint64_t>& sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    return sorted[std::min(sorted.size(), std::max<std::size_t>(
+                                              1, rank)) -
+                  1];
+}
+
+} // namespace
+
+const TenantReport*
+ServeReport::tenant(const std::string& name) const
+{
+    for (const TenantReport& report : tenants)
+        if (report.name == name)
+            return &report;
+    return nullptr;
+}
+
+namespace {
+
+bool
+counters_conserved(const TenantCounters& c)
+{
+    return c.submitted == c.admitted + c.shed_admission +
+                              c.rejected_deadline &&
+           c.admitted == c.completed + c.shed_evicted + c.timeouts +
+                             c.failed;
+}
+
+} // namespace
+
+bool
+ServeReport::conserved() const
+{
+    if (!counters_conserved(totals))
+        return false;
+    for (const TenantReport& report : tenants)
+        if (!counters_conserved(report.counters))
+            return false;
+    return true;
+}
+
+std::string
+ServeReport::table() const
+{
+    Table table({"tenant", "prio", "submitted", "completed", "shed",
+                 "timeout", "failed", "retries", "fallbacks", "p50 us",
+                 "p99 us"});
+    for (const TenantReport& report : tenants) {
+        const TenantCounters& c = report.counters;
+        table.add_row({report.name, priority_name(report.priority),
+                       std::to_string(c.submitted),
+                       std::to_string(c.completed),
+                       std::to_string(c.shed_admission +
+                                      c.shed_evicted),
+                       std::to_string(c.timeouts +
+                                      c.rejected_deadline),
+                       std::to_string(c.failed),
+                       std::to_string(c.retries),
+                       std::to_string(c.fallbacks),
+                       std::to_string(report.p50_us),
+                       std::to_string(report.p99_us)});
+    }
+    std::ostringstream out;
+    out << "== serving report ==\n"
+        << table.to_string() << "waves: " << waves
+        << ", virtual end: " << virtual_end_us << " us, conserved: "
+        << (conserved() ? "yes" : "NO") << "\n";
+    return out.str();
+}
+
+Server::Server(ServeConfig config, exec::Device& device,
+               mpapca::Ledger* fault_sink)
+    : config_(std::move(config)), device_(device),
+      fault_sink_(fault_sink)
+{
+    if (config_.wave_size == 0)
+        throw InvalidArgument("wave_size must be >= 1");
+    if (config_.max_attempts == 0)
+        throw InvalidArgument("max_attempts must be >= 1");
+    if (!(config_.max_inflight_us > 0.0))
+        throw InvalidArgument("max_inflight_us must be positive");
+    if (config_.limits.max_queue_depth == 0)
+        throw InvalidArgument("max_queue_depth must be >= 1");
+    if (config_.backoff_base_us == 0)
+        throw InvalidArgument("backoff_base_us must be >= 1");
+}
+
+namespace {
+
+/** One admitted request travelling through the server. */
+struct Entry
+{
+    std::size_t index = 0; ///< workload position
+    const Request* req = nullptr;
+    std::size_t tenant = 0;          ///< tenant-state index
+    std::uint64_t deadline_us = 0;   ///< effective (default applied)
+    double cost_us = 1.0;            ///< device estimate
+    unsigned attempts = 0;
+    double ready_us = 0.0;           ///< earliest dispatch (retries)
+    bool faulty_seen = false;
+};
+
+/** Outcome of one entry's pass through the device. */
+struct ExecResult
+{
+    Natural product;
+    ErrorCode error = ErrorCode::Ok;
+    bool faulty = false;
+    std::uint64_t injected = 0;
+};
+
+struct Wave
+{
+    std::vector<Entry> entries;
+    std::vector<ExecResult> results;
+    double completion_us = 0.0;
+    std::uint64_t injected = 0;
+};
+
+struct TenantState
+{
+    std::string name;
+    Priority priority = Priority::Normal;
+    TenantCounters counters;
+    std::uint64_t retry_budget = 0;
+    std::size_t queued = 0; ///< entries in the ready set
+    std::vector<std::uint64_t> latencies_us;
+};
+
+/** Dispatch/eviction ordering: priority class first, then FIFO. The
+ * triple is unique per request (ids are), so every ordering decision
+ * is total — the determinism the shed-set contract rides on. */
+struct EntryKey
+{
+    int priority;
+    std::uint64_t arrival;
+    std::uint64_t id;
+
+    bool
+    operator<(const EntryKey& other) const
+    {
+        if (priority != other.priority)
+            return priority < other.priority;
+        if (arrival != other.arrival)
+            return arrival < other.arrival;
+        return id < other.id;
+    }
+};
+
+EntryKey
+key_of(const Entry& entry)
+{
+    return {static_cast<int>(entry.req->priority),
+            entry.req->arrival_us, entry.req->id};
+}
+
+} // namespace
+
+ServeReport
+Server::process(const std::vector<Request>& workload)
+{
+    support::trace::Span process_span("serve.process", "serve");
+    process_span.arg("requests",
+                     static_cast<double>(workload.size()));
+
+    ServeReport report;
+    report.outcomes.resize(workload.size());
+
+    std::vector<TenantState> tenants;
+    std::unordered_map<std::string, std::size_t> tenant_index;
+    const auto tenant_of = [&](const Request& req) -> std::size_t {
+        auto [it, inserted] =
+            tenant_index.emplace(req.tenant, tenants.size());
+        if (inserted) {
+            TenantState state;
+            state.name = req.tenant;
+            state.priority = req.priority;
+            state.retry_budget = config_.limits.retry_budget;
+            tenants.push_back(std::move(state));
+        }
+        return it->second;
+    };
+
+    // Arrival order is the event order; require it sorted so virtual
+    // time never runs backwards.
+    for (std::size_t i = 1; i < workload.size(); ++i)
+        if (workload[i].arrival_us < workload[i - 1].arrival_us)
+            throw InvalidArgument(
+                "workload must be sorted by arrival time");
+
+    exec::SubmitQueue queue(device_);
+    const std::uint64_t cap_bits = device_.base_cap_bits();
+
+    std::vector<Entry> ready;
+    double queued_cost_us = 0.0;
+    std::optional<Wave> inflight;
+    std::size_t next_arrival = 0;
+    double vnow = 0.0;
+    double virtual_end = 0.0;
+
+    const auto cost_estimate = [&](const Request& req) {
+        const double seconds =
+            device_
+                .cost(std::max<std::uint64_t>(1, req.a.bits()),
+                      std::max<std::uint64_t>(1, req.b.bits()))
+                .seconds;
+        return std::max(1.0, seconds * 1e6);
+    };
+
+    const auto settle = [&](const Entry& entry, RequestStatus status,
+                            ErrorCode error, double when,
+                            Natural product = Natural(),
+                            bool fallback = false,
+                            std::uint64_t retry_after = 0) {
+        Outcome& outcome = report.outcomes[entry.index];
+        outcome.id = entry.req->id;
+        outcome.status = status;
+        outcome.error = error;
+        outcome.retry_after_us = retry_after;
+        outcome.attempts = entry.attempts;
+        outcome.fallback = fallback;
+        outcome.faulty_seen = entry.faulty_seen;
+        virtual_end = std::max(virtual_end, when);
+        TenantState& tenant = tenants[entry.tenant];
+        TenantCounters& c = tenant.counters;
+        switch (status) {
+        case RequestStatus::Completed: {
+            const std::uint64_t latency =
+                static_cast<std::uint64_t>(when) -
+                entry.req->arrival_us;
+            outcome.latency_us = latency;
+            outcome.product = std::move(product);
+            tenant.latencies_us.push_back(latency);
+            ++c.completed;
+            break;
+        }
+        case RequestStatus::ShedAdmission:
+            ++c.shed_admission;
+            report.shed_ids.push_back(entry.req->id);
+            break;
+        case RequestStatus::ShedEvicted:
+            ++c.shed_evicted;
+            report.shed_ids.push_back(entry.req->id);
+            break;
+        case RequestStatus::RejectedDeadline:
+            ++c.rejected_deadline;
+            report.timeout_ids.push_back(entry.req->id);
+            break;
+        case RequestStatus::TimedOut:
+            ++c.timeouts;
+            report.timeout_ids.push_back(entry.req->id);
+            break;
+        case RequestStatus::Failed:
+            ++c.failed;
+            break;
+        }
+        // Counts CPU products *computed*, not just delivered — a
+        // fallback that lands past its deadline still did the work, and
+        // the ledger fold (which sees every fallback) must agree with
+        // the report exactly.
+        if (fallback)
+            ++c.fallbacks;
+    };
+
+    /** Backlog-drain hint for Unavailable outcomes. */
+    const auto retry_after_hint = [&]() -> std::uint64_t {
+        double wait = queued_cost_us;
+        if (inflight && inflight->completion_us > vnow)
+            wait += inflight->completion_us - vnow;
+        return std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(wait));
+    };
+
+    // --- admission -------------------------------------------------
+    const auto admit = [&](std::size_t index) {
+        const Request& req = workload[index];
+        const std::size_t t = tenant_of(req);
+        TenantState& tenant = tenants[t];
+        ++tenant.counters.submitted;
+
+        Entry entry;
+        entry.index = index;
+        entry.req = &req;
+        entry.tenant = t;
+        entry.cost_us = cost_estimate(req);
+        entry.deadline_us = req.deadline_us;
+        if (entry.deadline_us == 0 && config_.default_deadline_us != 0)
+            entry.deadline_us =
+                req.arrival_us + config_.default_deadline_us;
+
+        // Deadline feasibility: a request that cannot finish by its
+        // deadline even on an idle device is refused outright — never
+        // silently computed.
+        if (entry.deadline_us != 0 &&
+            (static_cast<double>(req.arrival_us) + entry.cost_us >
+             static_cast<double>(entry.deadline_us))) {
+            settle(entry, RequestStatus::RejectedDeadline,
+                   ErrorCode::DeadlineExceeded, vnow);
+            return;
+        }
+
+        // Bounded per-tenant queue.
+        if (tenant.queued >= config_.limits.max_queue_depth) {
+            settle(entry, RequestStatus::ShedAdmission,
+                   ErrorCode::Unavailable, vnow, Natural(), false,
+                   retry_after_hint());
+            return;
+        }
+
+        // Global backlog bound: over the limit, evict strictly
+        // lower-priority queued work first (worst class, youngest
+        // arrival); if no such victim frees enough room, shed the
+        // arrival itself.
+        while (queued_cost_us + entry.cost_us >
+               config_.max_inflight_us) {
+            std::size_t victim = ready.size();
+            for (std::size_t i = 0; i < ready.size(); ++i) {
+                if (key_of(ready[i]).priority <=
+                    static_cast<int>(req.priority))
+                    continue; // only strictly lower classes evict
+                if (victim == ready.size() ||
+                    key_of(ready[victim]) < key_of(ready[i]))
+                    victim = i;
+            }
+            if (victim == ready.size())
+                break;
+            const Entry evicted = ready[victim];
+            ready.erase(ready.begin() +
+                        static_cast<std::ptrdiff_t>(victim));
+            queued_cost_us -= evicted.cost_us;
+            --tenants[evicted.tenant].queued;
+            settle(evicted, RequestStatus::ShedEvicted,
+                   ErrorCode::Unavailable, vnow, Natural(), false,
+                   retry_after_hint());
+        }
+        if (queued_cost_us + entry.cost_us > config_.max_inflight_us) {
+            settle(entry, RequestStatus::ShedAdmission,
+                   ErrorCode::Unavailable, vnow, Natural(), false,
+                   retry_after_hint());
+            return;
+        }
+
+        ++tenant.counters.admitted;
+        ++tenant.queued;
+        queued_cost_us += entry.cost_us;
+        ready.push_back(std::move(entry));
+    };
+
+    // --- retry / fallback ------------------------------------------
+    std::uint64_t wave_retries = 0;
+    std::uint64_t wave_fallbacks = 0;
+
+    const auto complete_exact = [&](Entry& entry, Natural product,
+                                    double when, bool fallback) {
+        if (entry.deadline_us != 0 &&
+            when > static_cast<double>(entry.deadline_us)) {
+            // Cooperative cancellation: the product exists but arrived
+            // late; the client sees a timeout, never a stale answer.
+            settle(entry, RequestStatus::TimedOut,
+                   ErrorCode::DeadlineExceeded, when, Natural(),
+                   fallback);
+            return;
+        }
+        settle(entry, RequestStatus::Completed, ErrorCode::Ok, when,
+               std::move(product), fallback);
+    };
+
+    const auto cpu_fallback = [&](Entry& entry, double when) {
+        ++wave_fallbacks;
+        complete_exact(entry, entry.req->a * entry.req->b, when,
+                       /*fallback=*/true);
+    };
+
+    const auto retry_or_fallback = [&](Entry& entry, double when) {
+        TenantState& tenant = tenants[entry.tenant];
+        if (entry.attempts < config_.max_attempts &&
+            tenant.retry_budget > 0) {
+            const double backoff =
+                static_cast<double>(config_.backoff_base_us) *
+                static_cast<double>(1ull << (entry.attempts - 1));
+            const double ready_at = when + backoff;
+            if (entry.deadline_us == 0 ||
+                ready_at < static_cast<double>(entry.deadline_us)) {
+                --tenant.retry_budget;
+                ++tenant.counters.retries;
+                ++wave_retries;
+                entry.ready_us = ready_at;
+                ++tenant.queued;
+                queued_cost_us += entry.cost_us;
+                ready.push_back(entry);
+                return;
+            }
+            // A backoff that outlives the deadline is pointless;
+            // serve the exact product now instead.
+        }
+        cpu_fallback(entry, when);
+    };
+
+    // --- dispatch --------------------------------------------------
+    const auto dispatch = [&]() {
+        // Select up to wave_size dispatchable entries in key order.
+        std::vector<std::size_t> picked;
+        while (picked.size() < config_.wave_size) {
+            std::size_t best = ready.size();
+            for (std::size_t i = 0; i < ready.size(); ++i) {
+                if (ready[i].ready_us > vnow)
+                    continue;
+                if (std::find(picked.begin(), picked.end(), i) !=
+                    picked.end())
+                    continue;
+                if (best == ready.size() ||
+                    key_of(ready[i]) < key_of(ready[best]))
+                    best = i;
+            }
+            if (best == ready.size())
+                break;
+            picked.push_back(best);
+        }
+        CAMP_ASSERT(!picked.empty());
+        std::sort(picked.begin(), picked.end());
+        Wave wave;
+        for (auto it = picked.rbegin(); it != picked.rend(); ++it) {
+            wave.entries.push_back(std::move(ready[*it]));
+            ready.erase(ready.begin() +
+                        static_cast<std::ptrdiff_t>(*it));
+        }
+        std::reverse(wave.entries.begin(), wave.entries.end());
+        std::sort(wave.entries.begin(), wave.entries.end(),
+                  [](const Entry& a, const Entry& b) {
+                      return key_of(a) < key_of(b);
+                  });
+
+        double wave_cost = 0.0;
+        std::vector<Entry> dispatched;
+        for (Entry& entry : wave.entries) {
+            --tenants[entry.tenant].queued;
+            queued_cost_us -= entry.cost_us;
+            // Deadline gate at dispatch: expired work is dropped, not
+            // computed.
+            if (entry.deadline_us != 0 &&
+                static_cast<double>(entry.deadline_us) <= vnow) {
+                settle(entry, RequestStatus::TimedOut,
+                       ErrorCode::DeadlineExceeded, vnow);
+                continue;
+            }
+            // Capability gate: an oversized operand would poison the
+            // whole coalesced batch with InvalidArgument; fail it
+            // individually instead.
+            if (cap_bits != 0 && (entry.req->a.bits() > cap_bits ||
+                                  entry.req->b.bits() > cap_bits)) {
+                settle(entry, RequestStatus::Failed,
+                       ErrorCode::InvalidArgument, vnow);
+                continue;
+            }
+            ++entry.attempts;
+            wave_cost += entry.cost_us;
+            dispatched.push_back(std::move(entry));
+        }
+        wave.entries = std::move(dispatched);
+        if (wave.entries.empty())
+            return; // everything expired; no device work
+
+        support::trace::Span span("serve.wave", "serve");
+        span.arg("count", static_cast<double>(wave.entries.size()));
+        span.arg("cost_us", wave_cost);
+
+        // Real execution through the coalescing queue: the typed-error
+        // futures of satellite PR work are the actual failure channel.
+        std::vector<exec::SubmitQueue::Future> futures;
+        futures.reserve(wave.entries.size());
+        for (const Entry& entry : wave.entries)
+            futures.push_back(
+                queue.submit(entry.req->a, entry.req->b));
+        queue.flush();
+        wave.results.resize(wave.entries.size());
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+            ExecResult& res = wave.results[i];
+            res.error = futures[i].error();
+            if (res.error == ErrorCode::Ok) {
+                res.product = futures[i].get();
+                res.faulty = futures[i].faulty();
+                res.injected = futures[i].injected();
+                wave.injected += res.injected;
+            }
+        }
+        wave.completion_us = vnow + std::max(1.0, wave_cost);
+        ++report.waves;
+        metrics::counter("serve.waves").add();
+        inflight = std::move(wave);
+    };
+
+    // --- wave completion -------------------------------------------
+    const auto complete_wave = [&]() {
+        Wave wave = std::move(*inflight);
+        inflight.reset();
+        wave_retries = 0;
+        wave_fallbacks = 0;
+        std::uint64_t wave_faulty = 0;
+        const double when = wave.completion_us;
+        for (std::size_t i = 0; i < wave.entries.size(); ++i) {
+            Entry& entry = wave.entries[i];
+            ExecResult& res = wave.results[i];
+            if (res.error != ErrorCode::Ok) {
+                if (error_retryable(res.error))
+                    retry_or_fallback(entry, when);
+                else
+                    settle(entry, RequestStatus::Failed, res.error,
+                           when);
+                continue;
+            }
+            if (res.faulty) {
+                ++wave_faulty;
+                entry.faulty_seen = true;
+                ++tenants[entry.tenant].counters.faulty_results;
+                if (config_.retry_on_faulty) {
+                    retry_or_fallback(entry, when);
+                    continue;
+                }
+            }
+            complete_exact(entry, std::move(res.product), when,
+                           /*fallback=*/false);
+        }
+        if (fault_sink_ != nullptr) {
+            mpapca::FaultStats delta;
+            delta.injected = wave.injected;
+            delta.checks = wave.results.size();
+            delta.detected = wave_faulty;
+            delta.retried = wave_retries;
+            delta.fallbacks = wave_fallbacks;
+            fault_sink_->fold_fault_stats(delta);
+        }
+    };
+
+    // --- the virtual-time event loop -------------------------------
+    for (;;) {
+        if (!inflight) {
+            bool dispatchable = false;
+            for (const Entry& entry : ready)
+                if (entry.ready_us <= vnow) {
+                    dispatchable = true;
+                    break;
+                }
+            if (dispatchable) {
+                dispatch();
+                continue;
+            }
+        }
+        double t_next = kInfinity;
+        if (next_arrival < workload.size())
+            t_next = std::min(
+                t_next, static_cast<double>(
+                            workload[next_arrival].arrival_us));
+        if (inflight)
+            t_next = std::min(t_next, inflight->completion_us);
+        else
+            for (const Entry& entry : ready)
+                t_next = std::min(t_next, entry.ready_us);
+        if (t_next == kInfinity)
+            break;
+        vnow = std::max(vnow, t_next);
+        if (inflight && inflight->completion_us <= vnow)
+            complete_wave();
+        while (next_arrival < workload.size() &&
+               static_cast<double>(
+                   workload[next_arrival].arrival_us) <= vnow)
+            admit(next_arrival++);
+    }
+    CAMP_ASSERT(ready.empty() && !inflight &&
+                next_arrival == workload.size());
+
+    // --- report assembly -------------------------------------------
+    report.virtual_end_us = static_cast<std::uint64_t>(virtual_end);
+    std::sort(report.shed_ids.begin(), report.shed_ids.end());
+    std::sort(report.timeout_ids.begin(), report.timeout_ids.end());
+    for (TenantState& tenant : tenants) {
+        TenantReport tenant_report;
+        tenant_report.name = tenant.name;
+        tenant_report.priority = tenant.priority;
+        tenant_report.counters = tenant.counters;
+        std::sort(tenant.latencies_us.begin(),
+                  tenant.latencies_us.end());
+        tenant_report.latencies_us = std::move(tenant.latencies_us);
+        tenant_report.p50_us =
+            percentile(tenant_report.latencies_us, 0.50);
+        tenant_report.p95_us =
+            percentile(tenant_report.latencies_us, 0.95);
+        tenant_report.p99_us =
+            percentile(tenant_report.latencies_us, 0.99);
+
+        const TenantCounters& c = tenant_report.counters;
+        const std::string prefix = "serve.tenant." + tenant.name + ".";
+        metrics::counter(prefix + "submitted").add(c.submitted);
+        metrics::counter(prefix + "admitted").add(c.admitted);
+        metrics::counter(prefix + "completed").add(c.completed);
+        metrics::counter(prefix + "shed")
+            .add(c.shed_admission + c.shed_evicted);
+        metrics::counter(prefix + "timeouts")
+            .add(c.timeouts + c.rejected_deadline);
+        metrics::counter(prefix + "failed").add(c.failed);
+        metrics::counter(prefix + "retries").add(c.retries);
+        metrics::counter(prefix + "fallbacks").add(c.fallbacks);
+        metrics::Histogram& latency =
+            metrics::histogram(prefix + "latency_us");
+        for (const std::uint64_t sample : tenant_report.latencies_us)
+            latency.record(sample);
+
+        report.totals.submitted += c.submitted;
+        report.totals.admitted += c.admitted;
+        report.totals.completed += c.completed;
+        report.totals.shed_admission += c.shed_admission;
+        report.totals.shed_evicted += c.shed_evicted;
+        report.totals.rejected_deadline += c.rejected_deadline;
+        report.totals.timeouts += c.timeouts;
+        report.totals.failed += c.failed;
+        report.totals.retries += c.retries;
+        report.totals.fallbacks += c.fallbacks;
+        report.totals.faulty_results += c.faulty_results;
+        report.tenants.push_back(std::move(tenant_report));
+    }
+    return report;
+}
+
+} // namespace camp::serve

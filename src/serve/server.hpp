@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The resilient serving front-end over the exec plane: multi-tenant
+ * admission control with bounded per-tenant queues and deterministic
+ * priority-ordered load-shedding, per-request deadlines with
+ * cooperative cancellation, a retry policy with per-tenant budgets and
+ * exponential backoff over the typed camp::Error taxonomy, and exact
+ * CPU fallback as the terminal recovery step.
+ *
+ * Determinism contract: all serving *decisions* (admit / shed / evict /
+ * dispatch order / deadline / retry / fallback) are computed in virtual
+ * time — a single-threaded event clock advanced by request arrival
+ * stamps and by the device's own cost estimates — never by wall-clock
+ * or thread timing. Products are still genuinely computed by the
+ * device (through a coalescing exec::SubmitQueue, so the typed-error
+ * futures are consumed for real), and the exec plane's bit-identity and
+ * position-seeded fault-stream contracts make the full outcome — the
+ * shed set included — identical at any CAMP_THREADS or CAMP_SHARDS.
+ */
+#ifndef CAMP_SERVE_SERVER_HPP
+#define CAMP_SERVE_SERVER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/device.hpp"
+#include "mpapca/ledger.hpp"
+#include "serve/config.hpp"
+#include "serve/workload.hpp"
+#include "support/errors.hpp"
+
+namespace camp::serve {
+
+/** Terminal disposition of one request. */
+enum class RequestStatus
+{
+    Completed,        ///< exact product delivered before the deadline
+    ShedAdmission,    ///< refused at admission (queue/backlog full)
+    ShedEvicted,      ///< admitted, then evicted for higher priority
+    RejectedDeadline, ///< deadline infeasible at admission
+    TimedOut,         ///< dropped at dispatch or completed too late
+    Failed,           ///< fatal (non-retryable) error
+};
+
+const char* request_status_name(RequestStatus status);
+
+/** Per-request result record, in workload order. */
+struct Outcome
+{
+    std::uint64_t id = 0;
+    RequestStatus status = RequestStatus::Completed;
+    ErrorCode error = ErrorCode::Ok;
+    /** Hint attached to shed outcomes: virtual microseconds until a
+     * retry is likely to be admitted. */
+    std::uint64_t retry_after_us = 0;
+    std::uint64_t latency_us = 0; ///< completion - arrival (virtual)
+    unsigned attempts = 0;        ///< device dispatches consumed
+    bool fallback = false;        ///< served by the exact CPU path
+    bool faulty_seen = false;     ///< a device answer failed validation
+    mpn::Natural product;         ///< set only when Completed
+};
+
+/** Per-tenant conservation counters. */
+struct TenantCounters
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed_admission = 0;
+    std::uint64_t shed_evicted = 0;
+    std::uint64_t rejected_deadline = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t retries = 0;        ///< budgeted re-dispatches
+    std::uint64_t fallbacks = 0;      ///< exact-CPU products computed
+                                      ///< (even if delivered late)
+    std::uint64_t faulty_results = 0; ///< device answers flagged faulty
+};
+
+/** One tenant's report: counters plus the latency distribution of its
+ * completed requests (virtual microseconds, nearest-rank percentiles). */
+struct TenantReport
+{
+    std::string name;
+    Priority priority = Priority::Normal;
+    TenantCounters counters;
+    std::vector<std::uint64_t> latencies_us; ///< sorted
+    std::uint64_t p50_us = 0;
+    std::uint64_t p95_us = 0;
+    std::uint64_t p99_us = 0;
+};
+
+/** Everything Server::process observed. */
+struct ServeReport
+{
+    std::vector<Outcome> outcomes; ///< workload order
+    std::vector<TenantReport> tenants;
+    TenantCounters totals;
+    std::vector<std::uint64_t> shed_ids;    ///< admission + evicted
+    std::vector<std::uint64_t> timeout_ids; ///< rejected + timed out
+    std::uint64_t waves = 0;
+    std::uint64_t virtual_end_us = 0; ///< clock when the last request
+                                      ///< settled
+
+    const TenantReport* tenant(const std::string& name) const;
+
+    /** The ledger identities that make the accounting trustworthy:
+     * submitted == admitted + shed_admission + rejected_deadline and
+     * admitted == completed + shed_evicted + timeouts + failed, per
+     * tenant and in total. */
+    bool conserved() const;
+
+    /** Human-readable per-tenant summary table. */
+    std::string table() const;
+};
+
+class Server
+{
+  public:
+    /**
+     * @p device executes every wave (not owned; must outlive the
+     * server). @p fault_sink, when given, receives a thread-safe fold
+     * of the fault/recovery counters after every wave
+     * (Ledger::fold_fault_stats), so several servers may share one
+     * ledger.
+     */
+    explicit Server(ServeConfig config, exec::Device& device,
+                    mpapca::Ledger* fault_sink = nullptr);
+
+    /** Serve @p workload (already sorted by arrival; generate_workload
+     * output qualifies) to completion and report. Deterministic for
+     * equal (config, workload, device config) triples. */
+    ServeReport process(const std::vector<Request>& workload);
+
+    const ServeConfig& config() const { return config_; }
+
+  private:
+    ServeConfig config_;
+    exec::Device& device_;
+    mpapca::Ledger* fault_sink_;
+};
+
+} // namespace camp::serve
+
+#endif // CAMP_SERVE_SERVER_HPP

@@ -15,6 +15,7 @@
 #ifndef CAMP_SUPPORT_ERRORS_HPP
 #define CAMP_SUPPORT_ERRORS_HPP
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -28,6 +29,9 @@ enum class ErrorCode
     ConfigError,       ///< configuration cannot describe buildable hardware
     HardwareFault,     ///< the (simulated) datapath produced a wrong result
     ResourceExhausted, ///< a bounded budget (retries, capacity) ran out
+    DeadlineExceeded,  ///< the request's deadline passed before completion
+    Unavailable,       ///< load was shed; retry later (carries a hint)
+    Internal,          ///< an unclassified failure crossed an API boundary
 };
 
 inline const char*
@@ -39,8 +43,21 @@ error_code_name(ErrorCode code)
     case ErrorCode::ConfigError: return "ConfigError";
     case ErrorCode::HardwareFault: return "HardwareFault";
     case ErrorCode::ResourceExhausted: return "ResourceExhausted";
+    case ErrorCode::DeadlineExceeded: return "DeadlineExceeded";
+    case ErrorCode::Unavailable: return "Unavailable";
+    case ErrorCode::Internal: return "Internal";
     }
     return "Unknown";
+}
+
+/** A retry (with backoff) can plausibly succeed: the failure is a
+ * transient property of the datapath or of current load, not of the
+ * request itself. */
+inline bool
+error_retryable(ErrorCode code)
+{
+    return code == ErrorCode::HardwareFault ||
+           code == ErrorCode::Unavailable;
 }
 
 /** Base of the typed runtime errors (everything except InvalidArgument). */
@@ -102,6 +119,68 @@ class ResourceExhausted : public Error
     {
     }
 };
+
+/** The request's deadline passed before it could complete. */
+class DeadlineExceeded : public Error
+{
+  public:
+    explicit DeadlineExceeded(const std::string& what)
+        : Error(ErrorCode::DeadlineExceeded, what)
+    {
+    }
+};
+
+/** Load was shed (admission control); retry_after_us() hints when a
+ * retry is likely to be admitted (0 = no estimate). */
+class Unavailable : public Error
+{
+  public:
+    explicit Unavailable(const std::string& what,
+                         std::uint64_t retry_after_us = 0)
+        : Error(ErrorCode::Unavailable, what),
+          retry_after_us_(retry_after_us)
+    {
+    }
+
+    std::uint64_t retry_after_us() const { return retry_after_us_; }
+
+  private:
+    std::uint64_t retry_after_us_ = 0;
+};
+
+/**
+ * Classify any in-flight exception by error code, so a layer that must
+ * marshal failures across a queue/future boundary (exec::SubmitQueue)
+ * can preserve the category instead of flattening everything into a
+ * generic std::runtime_error.
+ */
+inline ErrorCode
+error_code_of(const std::exception& error)
+{
+    if (const auto* typed = dynamic_cast<const Error*>(&error))
+        return typed->code();
+    if (dynamic_cast<const std::invalid_argument*>(&error) != nullptr)
+        return ErrorCode::InvalidArgument;
+    return ErrorCode::Internal;
+}
+
+/** Rethrow a marshalled (code, message) pair as its typed exception —
+ * the inverse of error_code_of for queue waiters. */
+[[noreturn]] inline void
+throw_error(ErrorCode code, const std::string& what)
+{
+    switch (code) {
+    case ErrorCode::InvalidArgument: throw InvalidArgument(what);
+    case ErrorCode::ConfigError: throw ConfigError(what);
+    case ErrorCode::HardwareFault: throw HardwareFault(what);
+    case ErrorCode::ResourceExhausted: throw ResourceExhausted(what);
+    case ErrorCode::DeadlineExceeded: throw DeadlineExceeded(what);
+    case ErrorCode::Unavailable: throw Unavailable(what);
+    case ErrorCode::Ok:
+    case ErrorCode::Internal: break;
+    }
+    throw Error(ErrorCode::Internal, what);
+}
 
 } // namespace camp
 

@@ -57,6 +57,76 @@ TEST(ErrorTaxonomy, CodesAndHierarchy)
     }
 }
 
+TEST(ErrorTaxonomy, ServingCodesAndRetryability)
+{
+    EXPECT_STREQ(
+        camp::error_code_name(camp::ErrorCode::DeadlineExceeded),
+        "DeadlineExceeded");
+    EXPECT_STREQ(camp::error_code_name(camp::ErrorCode::Unavailable),
+                 "Unavailable");
+    EXPECT_STREQ(camp::error_code_name(camp::ErrorCode::Internal),
+                 "Internal");
+
+    // Only transient conditions are retryable.
+    EXPECT_TRUE(camp::error_retryable(camp::ErrorCode::HardwareFault));
+    EXPECT_TRUE(camp::error_retryable(camp::ErrorCode::Unavailable));
+    EXPECT_FALSE(
+        camp::error_retryable(camp::ErrorCode::InvalidArgument));
+    EXPECT_FALSE(
+        camp::error_retryable(camp::ErrorCode::DeadlineExceeded));
+    EXPECT_FALSE(
+        camp::error_retryable(camp::ErrorCode::ResourceExhausted));
+
+    try {
+        throw camp::Unavailable("queue full", 1500);
+    } catch (const camp::Unavailable& e) {
+        EXPECT_EQ(e.code(), camp::ErrorCode::Unavailable);
+        EXPECT_EQ(e.retry_after_us(), 1500u);
+    }
+    try {
+        throw camp::DeadlineExceeded("too slow");
+    } catch (const camp::Error& e) {
+        EXPECT_EQ(e.code(), camp::ErrorCode::DeadlineExceeded);
+    }
+}
+
+TEST(ErrorTaxonomy, MarshallingRoundTrip)
+{
+    // error_code_of classifies any exception; throw_error is its
+    // inverse for queue waiters rethrowing a marshalled failure.
+    EXPECT_EQ(camp::error_code_of(camp::HardwareFault("x")),
+              camp::ErrorCode::HardwareFault);
+    EXPECT_EQ(camp::error_code_of(camp::InvalidArgument("x")),
+              camp::ErrorCode::InvalidArgument);
+    EXPECT_EQ(camp::error_code_of(std::invalid_argument("x")),
+              camp::ErrorCode::InvalidArgument);
+    EXPECT_EQ(camp::error_code_of(std::runtime_error("x")),
+              camp::ErrorCode::Internal);
+
+    EXPECT_THROW(
+        camp::throw_error(camp::ErrorCode::HardwareFault, "m"),
+        camp::HardwareFault);
+    EXPECT_THROW(
+        camp::throw_error(camp::ErrorCode::InvalidArgument, "m"),
+        camp::InvalidArgument);
+    EXPECT_THROW(
+        camp::throw_error(camp::ErrorCode::DeadlineExceeded, "m"),
+        camp::DeadlineExceeded);
+    EXPECT_THROW(camp::throw_error(camp::ErrorCode::Unavailable, "m"),
+                 camp::Unavailable);
+    EXPECT_THROW(camp::throw_error(camp::ErrorCode::Internal, "m"),
+                 camp::Error);
+    // The round trip preserves category and message.
+    try {
+        camp::throw_error(
+            camp::error_code_of(camp::ResourceExhausted("budget")),
+            "budget");
+    } catch (const camp::Error& e) {
+        EXPECT_EQ(e.code(), camp::ErrorCode::ResourceExhausted);
+        EXPECT_STREQ(e.what(), "budget");
+    }
+}
+
 TEST(NaturalNegativePaths, SubtractionUnderflow)
 {
     EXPECT_THROW(Natural(3) - Natural(5), std::invalid_argument);

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <functional>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -467,6 +469,112 @@ TEST(SubmitQueue, CoalescedBatchBeatsSerialSubmissionCycles)
     // 64 x 2048-bit products: 64 partial waves pool into far fewer
     // shared waves; demand at least a 2x cycle win.
     EXPECT_LT(2 * coalesced_cycles, serial_cycles);
+}
+
+namespace {
+
+/** Device whose batch path throws a configurable exception for the
+ * first @p failures flushes, then heals and computes exactly. */
+class ThrowingBatchDevice : public exec::Device
+{
+  public:
+    ThrowingBatchDevice(std::function<void()> thrower,
+                        unsigned failures)
+        : thrower_(std::move(thrower)), fail_remaining_(failures)
+    {
+    }
+
+    const char* name() const override { return "throwing-batch"; }
+    exec::DeviceKind kind() const override
+    {
+        return exec::DeviceKind::Accelerator;
+    }
+    std::uint64_t base_cap_bits() const override { return 0; }
+
+    exec::MulOutcome mul(const Natural& a, const Natural& b) override
+    {
+        return exec::MulOutcome{a * b, 0};
+    }
+
+    sim::BatchResult
+    mul_batch(const std::vector<std::pair<Natural, Natural>>& pairs,
+              unsigned) override
+    {
+        if (fail_remaining_ > 0) {
+            --fail_remaining_;
+            thrower_();
+        }
+        sim::BatchResult result;
+        for (const auto& [a, b] : pairs)
+            result.products.push_back(a * b);
+        result.per_product.resize(pairs.size());
+        return result;
+    }
+
+    exec::CostEstimate cost(std::uint64_t, std::uint64_t) const override
+    {
+        return {};
+    }
+
+  private:
+    std::function<void()> thrower_;
+    unsigned fail_remaining_;
+};
+
+} // namespace
+
+TEST(SubmitQueue, FlushFailurePreservesErrorCategory)
+{
+    // A device throw during a flush must reach every waiter typed —
+    // retryable HardwareFault distinguishable from fatal
+    // InvalidArgument — and must not wedge the queue.
+    ThrowingBatchDevice device(
+        [] { throw camp::HardwareFault("fabric offline"); },
+        /*failures=*/1);
+    exec::SubmitQueue queue(device);
+    auto f1 = queue.submit(Natural(3), Natural(5));
+    auto f2 = queue.submit(Natural(7), Natural(11));
+    queue.flush();
+    ASSERT_TRUE(f1.ready());
+    ASSERT_TRUE(f2.ready());
+    EXPECT_EQ(f1.error(), camp::ErrorCode::HardwareFault);
+    EXPECT_EQ(f2.error(), camp::ErrorCode::HardwareFault);
+    try {
+        f1.get();
+        FAIL() << "get() must rethrow the flush failure";
+    } catch (const camp::HardwareFault& e) {
+        EXPECT_STREQ(e.what(), "fabric offline");
+    }
+    EXPECT_THROW(f2.get(), camp::HardwareFault);
+    const exec::QueueStats stats = queue.stats();
+    EXPECT_EQ(stats.failed, 2u);
+    EXPECT_EQ(stats.flushes, 1u);
+
+    // The queue survives: the device healed, the next flush resolves.
+    auto f3 = queue.submit(Natural(13), Natural(17));
+    EXPECT_EQ(f3.get(), Natural(13 * 17));
+    EXPECT_EQ(f3.error(), camp::ErrorCode::Ok);
+    EXPECT_EQ(queue.stats().failed, 2u);
+}
+
+TEST(SubmitQueue, FlushFailurePreservesInvalidArgument)
+{
+    ThrowingBatchDevice device(
+        [] { throw camp::InvalidArgument("operand too wide"); },
+        /*failures=*/1);
+    exec::SubmitQueue queue(device);
+    auto future = queue.submit(Natural(2), Natural(9));
+    EXPECT_THROW(future.get(), camp::InvalidArgument);
+    EXPECT_EQ(future.error(), camp::ErrorCode::InvalidArgument);
+    EXPECT_FALSE(camp::error_retryable(future.error()));
+
+    // Unclassified exceptions cross the boundary as Internal.
+    ThrowingBatchDevice opaque(
+        [] { throw std::runtime_error("???"); }, /*failures=*/1);
+    exec::SubmitQueue queue2(opaque);
+    auto f2 = queue2.submit(Natural(1), Natural(1));
+    EXPECT_THROW(f2.get(), camp::Error);
+    EXPECT_EQ(f2.error(), camp::ErrorCode::Internal);
 }
 
 TEST(RuntimeExec, StringBackendMatchesEnumBackend)

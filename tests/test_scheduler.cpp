@@ -123,6 +123,41 @@ class ThrowingBatchDevice : public exec::Device
     }
 };
 
+/** A device whose single-product path always throws (its batch path is
+ * exact), for exercising the mul() drain protocol. */
+class ThrowingMulDevice : public exec::Device
+{
+  public:
+    const char* name() const override { return "throwing-mul"; }
+    exec::DeviceKind kind() const override
+    {
+        return exec::DeviceKind::Accelerator;
+    }
+    std::uint64_t base_cap_bits() const override { return 0; }
+
+    exec::MulOutcome mul(const Natural&, const Natural&) override
+    {
+        throw camp::HardwareFault("mul datapath offline");
+    }
+
+    sim::BatchResult
+    mul_batch(const std::vector<std::pair<Natural, Natural>>& pairs,
+              unsigned) override
+    {
+        sim::BatchResult result;
+        for (const auto& [a, b] : pairs) {
+            result.products.push_back(a * b);
+            result.per_product.push_back({});
+        }
+        return result;
+    }
+
+    exec::CostEstimate cost(std::uint64_t, std::uint64_t) const override
+    {
+        return {};
+    }
+};
+
 } // namespace
 
 TEST(LptAssign, DeterministicBalancedPartition)
@@ -236,6 +271,9 @@ TEST(ShardedScheduler, FaultStreamsInvariantUnderResharding)
     EXPECT_TRUE(s1->shard(0).policy().enabled)
         << "armed faults auto-enable per-shard checking";
 
+    const std::uint64_t redistributed_metric_before =
+        metrics::counter("exec.scheduler.redistributed").value();
+
     const std::uint64_t seed = fuzz_seed(0xfa175eedull);
     camp::Rng rng(seed);
     std::uint64_t total_faulty = 0;
@@ -287,6 +325,19 @@ TEST(ShardedScheduler, FaultStreamsInvariantUnderResharding)
     EXPECT_EQ(s1->stats().redistributed, total_faulty);
     EXPECT_EQ(s2->stats().redistributed, total_faulty);
     EXPECT_EQ(s8->stats().redistributed, total_faulty);
+    // Drain-path accounting: the process-wide counter moved by exactly
+    // the redistributions the three schedulers performed, and each
+    // scheduler's per-shard stats sum to the faults injected into it.
+    EXPECT_EQ(metrics::counter("exec.scheduler.redistributed").value() -
+                  redistributed_metric_before,
+              3 * total_faulty);
+    for (const auto* scheduler : {s1.get(), s2.get(), s8.get()}) {
+        std::uint64_t per_shard_sum = 0;
+        for (std::size_t i = 0; i < scheduler->shard_count(); ++i)
+            per_shard_sum += scheduler->shard_stats(i).redistributed;
+        EXPECT_EQ(per_shard_sum, total_faulty)
+            << "shards=" << scheduler->shard_count();
+    }
 }
 
 TEST(ShardedScheduler, PersistentlyFaultyShardDrainsAndRedistributes)
@@ -367,6 +418,36 @@ TEST(ShardedScheduler, ThrowingShardWaveRedistributesToSurvivors)
     // Recovery runs on the surviving host shard, never the process
     // CPU-of-last-resort.
     EXPECT_EQ(scheduler.stats().cpu_fallbacks, 0u);
+}
+
+TEST(ShardedScheduler, MulThrowRedistributionIsAccounted)
+{
+    // The single-product drain path must account the moved product as
+    // redistributed, in both the stats block and the metric counters —
+    // it used to drain silently.
+    std::vector<std::unique_ptr<exec::Device>> devices;
+    devices.push_back(std::make_unique<ThrowingMulDevice>());
+    devices.push_back(std::make_unique<exec::CpuDevice>());
+    exec::ShardPolicy policy;
+    exec::ShardedScheduler scheduler(std::move(devices), policy);
+
+    const std::uint64_t scheduler_metric_before =
+        metrics::counter("exec.scheduler.redistributed").value();
+    const std::uint64_t shard_metric_before =
+        metrics::counter("exec.shard.0.redistributed").value();
+
+    const Natural a(123456789), b(987654321);
+    EXPECT_EQ(scheduler.mul(a, b).product, a * b)
+        << "the survivor serves the product exactly";
+    EXPECT_FALSE(scheduler.shard_alive(0)) << "thrower drained";
+    EXPECT_EQ(scheduler.shard_stats(0).redistributed, 1u);
+    EXPECT_EQ(scheduler.stats().redistributed, 1u);
+    EXPECT_EQ(metrics::counter("exec.scheduler.redistributed").value() -
+                  scheduler_metric_before,
+              1u);
+    EXPECT_EQ(metrics::counter("exec.shard.0.redistributed").value() -
+                  shard_metric_before,
+              1u);
 }
 
 TEST(ShardedScheduler, MixedSimCpuShardsStayExact)
