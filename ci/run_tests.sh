@@ -6,7 +6,10 @@
 #     default covers both execution backends, then at
 #     CAMP_BACKEND=sharded with CAMP_SHARDS=1 and =4 so the whole
 #     suite also runs through the multi-device scheduler's
-#     single-shard and fanned-out paths;
+#     single-shard and fanned-out paths, then at CAMP_SIMD=scalar and
+#     CAMP_SIMD=avx2 (skipped with a notice when the host lacks AVX2)
+#     so every tier of the dispatched limb kernels runs the full suite
+#     and results stay bit-identical across tiers;
 #  2. perf-regression gate: perf_smoke and batch_throughput vs
 #     bench/baselines at a generous machine-portability tolerance, a
 #     CAMP_TRACE export smoke-checked through tools/trace_report, and a
@@ -15,7 +18,9 @@
 #     bench/serve_soak with fault injection armed, which self-checks
 #     zero wrong results, conservation, bounded p99, and exact ledger
 #     accounting before the perf gate even runs;
-#  3. address+undefined-sanitizer build + ctest
+#  3. address+undefined-sanitizer build + ctest — this includes
+#     test_simd_kernels, so the vector kernels' scratch/tail handling
+#     runs under ASan/UBSan every CI pass
 #     (skip with CAMP_CI_SKIP_SANITIZE=1);
 #  4. ThreadSanitizer build (CAMP_SANITIZE=thread) over the
 #     concurrency-bearing tests — pool, mpn mul, batch, runtime,
@@ -59,6 +64,21 @@ CAMP_BACKEND=sharded CAMP_SHARDS=1 \
 echo "==== ctest build (CAMP_BACKEND=sharded, CAMP_SHARDS=4) ===="
 CAMP_BACKEND=sharded CAMP_SHARDS=4 \
     ctest --test-dir build --output-on-failure -j "${JOBS}"
+# SIMD-dispatch matrix: the whole tier-1 suite pinned to the scalar
+# reference kernels, then to the AVX2 tier, so the cross-tier
+# bit-identity invariant is exercised suite-wide (not only by
+# test_simd_kernels' differential fuzz). The avx2 leg is skipped with
+# a notice on hosts without the ISA — CAMP_SIMD=avx2 would fall back
+# to scalar there and silently duplicate the previous leg.
+echo "==== ctest build (CAMP_SIMD=scalar) ===="
+CAMP_SIMD=scalar ctest --test-dir build --output-on-failure -j "${JOBS}"
+if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
+    echo "==== ctest build (CAMP_SIMD=avx2) ===="
+    CAMP_SIMD=avx2 ctest --test-dir build --output-on-failure \
+        -j "${JOBS}"
+else
+    echo "==== ctest build (CAMP_SIMD=avx2) SKIPPED: host lacks AVX2 ===="
+fi
 
 if [[ "${CAMP_CI_SKIP_PERF:-0}" != "1" ]]; then
     # Perf-regression gate. The tolerance is deliberately loose (4x):

@@ -1,7 +1,9 @@
 #include "exec/cpu_device.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "mpn/kernels/soa.hpp"
 #include "mpn/ophook.hpp"
 #include "sim/comparators.hpp"
 #include "support/thread_pool.hpp"
@@ -40,21 +42,32 @@ CpuDevice::mul_batch(
     const bool fork = parallelism != 1 && count > 1 && pool.parallel() &&
                       support::parallel_allowed();
     result.parallelism = fork ? pool.executors() : 1;
-    const auto one = [&pairs, &result](std::size_t i) {
+    // Contiguous slices through the SoA batch driver: same-shape
+    // products inside a slice run the vertical vectorized basecase,
+    // and chunking (instead of one pool task per product) keeps task
+    // and allocation overhead amortized in the small-width regime.
+    const auto slice = [&pairs, &result](std::size_t lo,
+                                         std::size_t hi) {
         // Pool-side arithmetic must not be announced to op hooks
         // (ledger/profiler assume one logical app thread).
         mpn::OpHookSuspend suspend;
-        result.products[i] = pairs[i].first * pairs[i].second;
+        mpn::kernels::soa_mul_batch(pairs.data() + lo, hi - lo,
+                                    result.products.data() + lo);
     };
     if (fork) {
+        const std::size_t chunks =
+            std::min(count,
+                     static_cast<std::size_t>(pool.executors()) * 4);
+        const std::size_t step = (count + chunks - 1) / chunks;
         support::TaskGroup group(pool);
-        for (std::size_t i = 1; i < count; ++i)
-            group.run([&one, i] { one(i); });
-        one(0);
+        for (std::size_t lo = step; lo < count; lo += step) {
+            const std::size_t hi = std::min(count, lo + step);
+            group.run([&slice, lo, hi] { slice(lo, hi); });
+        }
+        slice(0, std::min(count, step));
         group.wait();
     } else {
-        for (std::size_t i = 0; i < count; ++i)
-            one(i);
+        slice(0, count);
     }
     // Host products carry no simulated accounting: cycles stay zero
     // (the Fig. 13 methodology measures host time with the profiler).

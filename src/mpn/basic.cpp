@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "mpn/kernels/kernels.hpp"
 #include "support/assert.hpp"
 
 namespace camp::mpn {
@@ -47,16 +48,7 @@ cmp(const Limb* ap, std::size_t an, const Limb* bp, std::size_t bn)
 Limb
 add_n(Limb* rp, const Limb* ap, const Limb* bp, std::size_t n)
 {
-    Limb carry = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        const Limb a = ap[i];
-        const Limb s = a + bp[i];
-        const Limb c1 = s < a;
-        const Limb r = s + carry;
-        carry = c1 | (r < s);
-        rp[i] = r;
-    }
-    return carry;
+    return kernels::active().add_n(rp, ap, bp, n);
 }
 
 Limb
@@ -88,17 +80,7 @@ add(Limb* rp, const Limb* ap, std::size_t an, const Limb* bp, std::size_t bn)
 Limb
 sub_n(Limb* rp, const Limb* ap, const Limb* bp, std::size_t n)
 {
-    Limb borrow = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        const Limb a = ap[i];
-        const Limb b = bp[i];
-        const Limb d = a - b;
-        const Limb b1 = a < b;
-        const Limb r = d - borrow;
-        borrow = b1 | (d < borrow);
-        rp[i] = r;
-    }
-    return borrow;
+    return kernels::active().sub_n(rp, ap, bp, n);
 }
 
 Limb

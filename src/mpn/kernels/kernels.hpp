@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD limb kernels (ROADMAP item 2): the inner
+ * primitives of the mpn layer — mul_1 / addmul_1 / submul_1 / add_n /
+ * sub_n and the schoolbook basecase — behind a cpuid-probed dispatch
+ * table with the scalar code as mandatory fallback.
+ *
+ * Tiers
+ *  - scalar: the portable reference loops (always present, always the
+ *    correctness oracle for the differential tests);
+ *  - sse4:   128-bit SSE4.2 kernels (2 lanes of 64);
+ *  - avx2:   256-bit AVX2 kernels (4 lanes of 64).
+ *
+ * Selection: the first call to active() probes the host CPU and picks
+ * the widest supported tier; `CAMP_SIMD={auto,avx2,sse4,scalar}`
+ * overrides (an unsupported explicit request logs a notice to stderr
+ * and falls back to scalar, so a pinned CI leg never silently runs a
+ * different tier than it printed).
+ *
+ * Representation: the SIMD multiply kernels internally use a
+ * reduced-radix carry-save form — the operands are expanded into
+ * radix-2^32 digit columns and partial products are accumulated in
+ * *pairs* of 64-bit per-column accumulators (low and high halves of
+ * each 32x32 product), so no carry propagates during accumulation;
+ * one O(n) resolution pass at the kernel boundary converts back to
+ * 64-bit limbs. The Limb API is unchanged and every tier returns
+ * bit-identical results (a hard invariant, fuzzed by
+ * tests/test_simd_kernels.cpp).
+ */
+#ifndef CAMP_MPN_KERNELS_KERNELS_HPP
+#define CAMP_MPN_KERNELS_KERNELS_HPP
+
+#include <cstddef>
+
+#include "mpn/limb.hpp"
+
+namespace camp::mpn::kernels {
+
+/** SIMD capability tiers, ordered by preference. */
+enum class Tier : int
+{
+    Scalar = 0,
+    Sse4 = 1,
+    Avx2 = 2,
+};
+
+/** "scalar", "sse4", "avx2". */
+const char* tier_name(Tier tier);
+
+/**
+ * One tier's kernel set. Function contracts match the mpn entry
+ * points exactly (including documented in-place/aliasing support);
+ * a tier whose vectorized variant of some primitive does not pay for
+ * itself on real hosts may point that slot at the scalar kernel —
+ * the table is "vectorize where it wins", not "vectorize everything".
+ */
+struct KernelTable
+{
+    Tier tier = Tier::Scalar;
+    const char* name = "scalar";
+
+    Limb (*mul_1)(Limb*, const Limb*, std::size_t, Limb) = nullptr;
+    Limb (*addmul_1)(Limb*, const Limb*, std::size_t, Limb) = nullptr;
+    Limb (*submul_1)(Limb*, const Limb*, std::size_t, Limb) = nullptr;
+    Limb (*add_n)(Limb*, const Limb*, const Limb*,
+                  std::size_t) = nullptr;
+    Limb (*sub_n)(Limb*, const Limb*, const Limb*,
+                  std::size_t) = nullptr;
+    void (*mul_basecase)(Limb*, const Limb*, std::size_t, const Limb*,
+                         std::size_t) = nullptr;
+
+    /**
+     * Vertical struct-of-arrays basecase across @p soa_width
+     * independent products (0 = tier has no SoA kernel). Digit-major
+     * layout: dig[k * soa_width + lane] holds lane `lane`'s radix-2^32
+     * digit k in the low half of a 64-bit word. accLo/accHi are the
+     * carry-save column accumulators, (nda + ndb) columns each,
+     * zero-initialized by the caller; column k of the exact product
+     * is accLo[k] + accHi[k - 1] plus the ripple carry (resolved by
+     * kernels::soa_mul_batch).
+     */
+    std::size_t soa_width = 0;
+    void (*soa_vertical)(std::uint64_t* acc_lo, std::uint64_t* acc_hi,
+                         const std::uint64_t* da, std::size_t nda,
+                         const std::uint64_t* db,
+                         std::size_t ndb) = nullptr;
+};
+
+/** The scalar reference table (always available). */
+const KernelTable& scalar_table();
+
+/** Tier tables; nullptr when the build lacks the ISA (non-x86). */
+const KernelTable* sse4_table();
+const KernelTable* avx2_table();
+
+/** True when the running host can execute @p tier. */
+bool host_supports(Tier tier);
+
+/** @p tier's table when built in and host-supported, else nullptr
+ * (Scalar always resolves). */
+const KernelTable* table_for(Tier tier);
+
+/** The dispatched table: probed once (cpuid + CAMP_SIMD override) on
+ * first use; hot-path cost afterwards is one relaxed atomic load. */
+const KernelTable& active();
+
+/** Tier of active(). */
+Tier active_tier();
+
+/**
+ * Force the active table (testing/bench only: lets one process
+ * compare tiers differentially without re-execing under different
+ * CAMP_SIMD). Requires host support (returns false and leaves the
+ * table unchanged otherwise). Not thread-safe against concurrent
+ * kernel calls — switch tiers only from single-threaded phases.
+ */
+bool set_active_tier(Tier tier);
+
+} // namespace camp::mpn::kernels
+
+#endif // CAMP_MPN_KERNELS_KERNELS_HPP

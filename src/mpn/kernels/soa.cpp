@@ -1,0 +1,162 @@
+/**
+ * @file
+ * SoA batch driver: shape-group independent products, transpose full
+ * groups into digit-sliced lanes, run the active tier's vertical
+ * carry-save kernel, and resolve each lane back to normalized limbs.
+ * The transpose/resolution passes are O(n) per lane; the O(n^2)
+ * column work is what vectorizes across lanes.
+ */
+#include "mpn/kernels/soa.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mpn/kernels/kernels.hpp"
+#include "support/assert.hpp"
+#include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
+
+namespace camp::mpn::kernels {
+
+namespace {
+
+/**
+ * Multiply one full group of W same-shape products via the vertical
+ * kernel. idx[0..W) are indices into pairs/out; every pair has the
+ * same (an, bn) shape with an >= bn >= 1, an <= kSoaMaxLimbs.
+ */
+void
+soa_group(const KernelTable& table, const std::size_t* idx,
+          std::size_t an, std::size_t bn,
+          const std::pair<Natural, Natural>* pairs, Natural* out)
+{
+    const std::size_t w = table.soa_width;
+    const std::size_t nda = 2 * an;
+    const std::size_t ndb = 2 * bn;
+    const std::size_t ncols = nda + ndb;
+
+    support::ScratchFrame frame;
+    std::uint64_t* da = frame.alloc(nda * w);
+    std::uint64_t* db = frame.alloc(ndb * w);
+    std::uint64_t* acc_lo = frame.alloc(ncols * w);
+    std::uint64_t* acc_hi = frame.alloc(ncols * w);
+
+    // Transpose to digit-major SoA: da[d * w + lane] is lane's
+    // radix-2^32 digit d. The larger operand of each pair feeds da.
+    for (std::size_t lane = 0; lane < w; ++lane) {
+        const auto& pr = pairs[idx[lane]];
+        const bool swap = pr.first.size() < pr.second.size();
+        const Natural& a = swap ? pr.second : pr.first;
+        const Natural& b = swap ? pr.first : pr.second;
+        CAMP_ASSERT(a.size() == an && b.size() == bn);
+        for (std::size_t m = 0; m < an; ++m) {
+            const Limb limb = a.limb(m);
+            da[(2 * m) * w + lane] = limb & 0xffffffffULL;
+            da[(2 * m + 1) * w + lane] = limb >> 32;
+        }
+        for (std::size_t m = 0; m < bn; ++m) {
+            const Limb limb = b.limb(m);
+            db[(2 * m) * w + lane] = limb & 0xffffffffULL;
+            db[(2 * m + 1) * w + lane] = limb >> 32;
+        }
+    }
+
+    table.soa_vertical(acc_lo, acc_hi, da, nda, db, ndb);
+
+    // Resolve: column c of lane l is acc_lo[c][l] + acc_hi[c-1][l]
+    // plus the lane's radix-2^32 ripple carry; pack digit pairs back
+    // into limbs. Lanes are independent, so the compiler is free to
+    // vectorize this loop too.
+    std::uint64_t* carry = frame.alloc(w);
+    std::uint64_t* hi_prev = frame.alloc(w);
+    std::memset(carry, 0, w * sizeof(*carry));
+    std::memset(hi_prev, 0, w * sizeof(*hi_prev));
+    std::vector<std::vector<Limb>> limbs(w);
+    for (std::size_t lane = 0; lane < w; ++lane)
+        limbs[lane].assign(an + bn, 0);
+    support::metrics::counter("mpn.alloc.count").add(w);
+    for (std::size_t c = 0; c < ncols; ++c) {
+        for (std::size_t lane = 0; lane < w; ++lane) {
+            const std::uint64_t v =
+                acc_lo[c * w + lane] + hi_prev[lane] + carry[lane];
+            hi_prev[lane] = acc_hi[c * w + lane];
+            carry[lane] = v >> 32;
+            const std::uint64_t dig = v & 0xffffffffULL;
+            limbs[lane][c / 2] |= dig << (32 * (c & 1));
+        }
+    }
+    for (std::size_t lane = 0; lane < w; ++lane) {
+        CAMP_ASSERT(carry[lane] == 0 && hi_prev[lane] == 0);
+        out[idx[lane]] = Natural::from_limbs(std::move(limbs[lane]));
+    }
+}
+
+} // namespace
+
+std::size_t
+soa_mul_batch(const std::pair<Natural, Natural>* pairs,
+              std::size_t count, Natural* out)
+{
+    const KernelTable& table = active();
+    const std::size_t w = table.soa_width;
+
+    // Shape-sorted index order; ineligible pairs get the sentinel key
+    // and collect at the end for the per-product path.
+    constexpr std::uint64_t kIneligible = ~std::uint64_t{0};
+    std::vector<std::pair<std::uint64_t, std::size_t>> order;
+    order.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t an =
+            std::max(pairs[i].first.size(), pairs[i].second.size());
+        const std::size_t bn =
+            std::min(pairs[i].first.size(), pairs[i].second.size());
+        const bool eligible = w != 0 && table.soa_vertical != nullptr &&
+                              bn >= 1 && an <= kSoaMaxLimbs;
+        order.emplace_back(eligible ? (static_cast<std::uint64_t>(an)
+                                       << 32) |
+                                          bn
+                                    : kIneligible,
+                           i);
+    }
+    std::sort(order.begin(), order.end());
+
+    std::size_t via_soa = 0;
+    std::size_t pos = 0;
+    while (pos < count) {
+        const std::uint64_t key = order[pos].first;
+        std::size_t end = pos;
+        while (end < count && order[end].first == key)
+            ++end;
+        if (key != kIneligible) {
+            const std::size_t an = key >> 32;
+            const std::size_t bn = key & 0xffffffffULL;
+            std::size_t idx[8]; // soa_width is 2 or 4 today
+            CAMP_ASSERT(w <= 8);
+            while (pos + w <= end) {
+                for (std::size_t lane = 0; lane < w; ++lane)
+                    idx[lane] = order[pos + lane].second;
+                soa_group(table, idx, an, bn, pairs, out);
+                via_soa += w;
+                pos += w;
+            }
+        }
+        // Remainder lanes and ineligible pairs: per-product path.
+        for (; pos < end; ++pos) {
+            const std::size_t i = order[pos].second;
+            out[i] = pairs[i].first * pairs[i].second;
+        }
+    }
+    if (via_soa)
+        support::metrics::counter("mpn.soa.products").add(via_soa);
+    return via_soa;
+}
+
+std::size_t
+soa_mul_batch(const std::vector<std::pair<Natural, Natural>>& pairs,
+              std::vector<Natural>& out)
+{
+    CAMP_ASSERT(out.size() == pairs.size());
+    return soa_mul_batch(pairs.data(), pairs.size(), out.data());
+}
+
+} // namespace camp::mpn::kernels

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Struct-of-arrays batch multiplication for the small-width regime:
+ * groups of same-shape independent products are transposed into
+ * digit-sliced SoA form (lane = product, vector = one radix-2^32
+ * digit column across lanes) and multiplied by one vertical
+ * vectorized basecase, amortizing dispatch, allocation, and carry
+ * logic across the whole group. This is the exec-plane entry point
+ * Device::mul_batch feeds coalesced waves into.
+ */
+#ifndef CAMP_MPN_KERNELS_SOA_HPP
+#define CAMP_MPN_KERNELS_SOA_HPP
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "mpn/natural.hpp"
+
+namespace camp::mpn::kernels {
+
+/**
+ * Largest operand size (limbs) the SoA basecase accepts; above this
+ * the per-product Karatsuba path wins and lanes fall back to it.
+ */
+constexpr std::size_t kSoaMaxLimbs = 64;
+
+/**
+ * Multiply @p count independent products out[i] = pairs[i].first *
+ * pairs[i].second. Pairs whose shapes can be grouped into full
+ * SIMD-width lanes inside the eligibility window run through the
+ * vertical SoA kernel of the active tier; everything else (odd
+ * remainders, oversize or zero operands, scalar tier) takes the
+ * ordinary per-product path. Results are bit-identical either way.
+ *
+ * Returns the number of products computed via the SoA kernel
+ * (0 when the active tier has none).
+ */
+std::size_t
+soa_mul_batch(const std::pair<Natural, Natural>* pairs,
+              std::size_t count, Natural* out);
+
+/** Convenience overload over whole vectors (sizes must match). */
+std::size_t
+soa_mul_batch(const std::vector<std::pair<Natural, Natural>>& pairs,
+              std::vector<Natural>& out);
+
+} // namespace camp::mpn::kernels
+
+#endif // CAMP_MPN_KERNELS_SOA_HPP

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * SSE4.2 tier: 2x64-bit lanes. Same algorithm family as the AVX2 tier
+ * (see avx2.cpp for the full commentary): movemask carry-select
+ * add_n/sub_n, two-pass split-radix mul_1/addmul_1/submul_1, and the
+ * reduced-radix carry-save column basecase + vertical SoA kernel.
+ * The narrower vectors halve the win but the structure is identical,
+ * which keeps the differential tests honest across all three tiers.
+ */
+#include "mpn/kernels/internal.hpp"
+
+#if CAMP_KERNELS_X86 && defined(__SSE4_2__)
+
+#include <nmmintrin.h>
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+#include "support/thread_pool.hpp"
+
+namespace camp::mpn::kernels {
+
+namespace {
+
+constexpr std::size_t kVecMinLimbs = 8;
+constexpr std::size_t kBasecaseMinLimbs = 4;
+
+/** kCarry2[m][lane] = bit `lane` of m, as an addable 64-bit value. */
+alignas(16) constexpr std::uint64_t kCarry2[4][2] = {
+    {0, 0},
+    {1, 0},
+    {0, 1},
+    {1, 1},
+};
+
+inline __m128i
+loadu(const Limb* p)
+{
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+
+inline void
+storeu(Limb* p, __m128i v)
+{
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+}
+
+/** Lanewise unsigned x < y (all-ones mask where true). */
+inline __m128i
+lt_u64(__m128i x, __m128i y)
+{
+    const __m128i bias =
+        _mm_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+    return _mm_cmpgt_epi64(_mm_xor_si128(y, bias),
+                           _mm_xor_si128(x, bias));
+}
+
+/** Sign bits of the 2 lanes as a 2-bit mask. */
+inline unsigned
+lane_mask(__m128i v)
+{
+    return static_cast<unsigned>(
+        _mm_movemask_pd(_mm_castsi128_pd(v)));
+}
+
+/** Pass 1 of the split-radix multiply, 2 lanes per iteration. */
+inline void
+mul_lohi(const Limb* ap, std::size_t n2, Limb b, Limb* lo, Limb* hi)
+{
+    const __m128i m32 = _mm_set1_epi64x(0xffffffffLL);
+    const __m128i vb0 =
+        _mm_set1_epi64x(static_cast<long long>(b & 0xffffffffULL));
+    const __m128i vb1 =
+        _mm_set1_epi64x(static_cast<long long>(b >> 32));
+    for (std::size_t i = 0; i < n2; i += 2) {
+        const __m128i va = loadu(ap + i);
+        const __m128i alo = _mm_and_si128(va, m32);
+        const __m128i ahi = _mm_srli_epi64(va, 32);
+        const __m128i ll = _mm_mul_epu32(alo, vb0);
+        const __m128i lh = _mm_mul_epu32(alo, vb1);
+        const __m128i hl = _mm_mul_epu32(ahi, vb0);
+        const __m128i hh = _mm_mul_epu32(ahi, vb1);
+        const __m128i mid = _mm_add_epi64(lh, hl);
+        const __m128i midc =
+            _mm_slli_epi64(_mm_srli_epi64(lt_u64(mid, lh), 63), 32);
+        const __m128i vlo =
+            _mm_add_epi64(ll, _mm_slli_epi64(mid, 32));
+        const __m128i c2 = lt_u64(vlo, ll); // all-ones == -1
+        __m128i vhi = _mm_add_epi64(hh, _mm_srli_epi64(mid, 32));
+        vhi = _mm_add_epi64(vhi, midc);
+        vhi = _mm_sub_epi64(vhi, c2);
+        storeu(lo + i, vlo);
+        storeu(hi + i, vhi);
+    }
+}
+
+} // namespace
+
+Limb
+sse4_add_n(Limb* rp, const Limb* ap, const Limb* bp, std::size_t n)
+{
+    std::size_t i = 0;
+    Limb carry = 0;
+    if (n >= kVecMinLimbs) {
+        const __m128i ones = _mm_set1_epi64x(-1LL);
+        unsigned cin = 0;
+        for (; i + 2 <= n; i += 2) {
+            const __m128i va = loadu(ap + i);
+            const __m128i vs = _mm_add_epi64(va, loadu(bp + i));
+            const unsigned g = lane_mask(lt_u64(vs, va));
+            const unsigned p = lane_mask(_mm_cmpeq_epi64(vs, ones));
+            const unsigned c = (p + ((g << 1) | cin)) ^ p;
+            cin = (c >> 2) & 1;
+            const __m128i vc = _mm_load_si128(
+                reinterpret_cast<const __m128i*>(kCarry2[c & 3]));
+            storeu(rp + i, _mm_add_epi64(vs, vc));
+        }
+        carry = cin;
+    }
+    for (; i < n; ++i) {
+        const Limb a = ap[i];
+        const Limb s = a + bp[i];
+        const Limb c1 = s < a;
+        const Limb r = s + carry;
+        carry = c1 | (r < s);
+        rp[i] = r;
+    }
+    return carry;
+}
+
+Limb
+sse4_sub_n(Limb* rp, const Limb* ap, const Limb* bp, std::size_t n)
+{
+    std::size_t i = 0;
+    Limb borrow = 0;
+    if (n >= kVecMinLimbs) {
+        const __m128i zero = _mm_setzero_si128();
+        unsigned bin = 0;
+        for (; i + 2 <= n; i += 2) {
+            const __m128i va = loadu(ap + i);
+            const __m128i vb = loadu(bp + i);
+            const __m128i vd = _mm_sub_epi64(va, vb);
+            const unsigned g = lane_mask(lt_u64(va, vb));
+            const unsigned p = lane_mask(_mm_cmpeq_epi64(vd, zero));
+            const unsigned c = (p + ((g << 1) | bin)) ^ p;
+            bin = (c >> 2) & 1;
+            const __m128i vc = _mm_load_si128(
+                reinterpret_cast<const __m128i*>(kCarry2[c & 3]));
+            storeu(rp + i, _mm_sub_epi64(vd, vc));
+        }
+        borrow = bin;
+    }
+    for (; i < n; ++i) {
+        const Limb a = ap[i];
+        const Limb b = bp[i];
+        const Limb d = a - b;
+        const Limb b1 = a < b;
+        const Limb r = d - borrow;
+        borrow = b1 | (d < borrow);
+        rp[i] = r;
+    }
+    return borrow;
+}
+
+Limb
+sse4_mul_1(Limb* rp, const Limb* ap, std::size_t n, Limb b)
+{
+    if (n < kVecMinLimbs)
+        return scalar_mul_1(rp, ap, n, b);
+    const std::size_t n2 = n & ~std::size_t{1};
+    support::ScratchFrame frame;
+    Limb* lo = frame.alloc(2 * n2);
+    Limb* hi = lo + n2;
+    mul_lohi(ap, n2, b, lo, hi);
+    Limb carry = 0;
+    Limb hprev = 0;
+    for (std::size_t i = 0; i < n2; ++i) {
+        const u128 t = static_cast<u128>(lo[i]) + hprev + carry;
+        rp[i] = static_cast<Limb>(t);
+        carry = static_cast<Limb>(t >> 64);
+        hprev = hi[i];
+    }
+    carry += hprev;
+    for (std::size_t i = n2; i < n; ++i) {
+        const u128 p = static_cast<u128>(ap[i]) * b + carry;
+        rp[i] = static_cast<Limb>(p);
+        carry = static_cast<Limb>(p >> 64);
+    }
+    return carry;
+}
+
+Limb
+sse4_addmul_1(Limb* rp, const Limb* ap, std::size_t n, Limb b)
+{
+    if (n < kVecMinLimbs)
+        return scalar_addmul_1(rp, ap, n, b);
+    const std::size_t n2 = n & ~std::size_t{1};
+    support::ScratchFrame frame;
+    Limb* lo = frame.alloc(2 * n2);
+    Limb* hi = lo + n2;
+    mul_lohi(ap, n2, b, lo, hi);
+    Limb carry = 0;
+    Limb hprev = 0;
+    for (std::size_t i = 0; i < n2; ++i) {
+        const u128 t =
+            static_cast<u128>(rp[i]) + lo[i] + hprev + carry;
+        rp[i] = static_cast<Limb>(t);
+        carry = static_cast<Limb>(t >> 64);
+        hprev = hi[i];
+    }
+    carry += hprev;
+    for (std::size_t i = n2; i < n; ++i) {
+        const u128 p = static_cast<u128>(ap[i]) * b + rp[i] + carry;
+        rp[i] = static_cast<Limb>(p);
+        carry = static_cast<Limb>(p >> 64);
+    }
+    return carry;
+}
+
+Limb
+sse4_submul_1(Limb* rp, const Limb* ap, std::size_t n, Limb b)
+{
+    if (n < kVecMinLimbs)
+        return scalar_submul_1(rp, ap, n, b);
+    const std::size_t n2 = n & ~std::size_t{1};
+    support::ScratchFrame frame;
+    Limb* lo = frame.alloc(2 * n2);
+    Limb* hi = lo + n2;
+    mul_lohi(ap, n2, b, lo, hi);
+    Limb c = 0;
+    Limb hprev = 0;
+    Limb borrow = 0;
+    for (std::size_t i = 0; i < n2; ++i) {
+        const u128 t = static_cast<u128>(lo[i]) + hprev + c;
+        const Limb m = static_cast<Limb>(t);
+        c = static_cast<Limb>(t >> 64);
+        hprev = hi[i];
+        const Limb r = rp[i];
+        const Limb d = r - m;
+        const Limb b1 = r < m;
+        rp[i] = d - borrow;
+        borrow = b1 | (d < borrow);
+    }
+    borrow += hprev + c;
+    for (std::size_t i = n2; i < n; ++i) {
+        const u128 p = static_cast<u128>(ap[i]) * b + borrow;
+        const Limb lo_limb = static_cast<Limb>(p);
+        borrow = static_cast<Limb>(p >> 64) + (rp[i] < lo_limb);
+        rp[i] -= lo_limb;
+    }
+    return borrow;
+}
+
+void
+sse4_mul_basecase(Limb* rp, const Limb* ap, std::size_t an,
+                  const Limb* bp, std::size_t bn)
+{
+    CAMP_ASSERT(an >= bn && bn >= 1);
+    if (bn < kBasecaseMinLimbs) {
+        scalar_mul_basecase(rp, ap, an, bp, bn);
+        return;
+    }
+    support::ScratchFrame frame;
+    const std::size_t nda = 2 * an;
+    const std::size_t ndb = 2 * bn;
+    const std::size_t ncols = nda + ndb;
+
+    // Radix-2^32 digits of a, zero-padded 2 digits on both ends so
+    // the diagonal loads never read out of range.
+    std::uint64_t* da_store = frame.alloc(nda + 4);
+    std::uint64_t* da = da_store + 2;
+    for (int t = 0; t < 2; ++t) {
+        da[-1 - t] = 0;
+        da[nda + t] = 0;
+    }
+    for (std::size_t m = 0; m < an; ++m) {
+        da[2 * m] = ap[m] & 0xffffffffULL;
+        da[2 * m + 1] = ap[m] >> 32;
+    }
+    std::uint64_t* db = frame.alloc(ndb);
+    for (std::size_t m = 0; m < bn; ++m) {
+        db[2 * m] = bp[m] & 0xffffffffULL;
+        db[2 * m + 1] = bp[m] >> 32;
+    }
+
+    const __m128i m32 = _mm_set1_epi64x(0xffffffffLL);
+    std::uint64_t carry = 0;
+    std::uint64_t hi_prev = 0;
+    alignas(16) std::uint64_t col_lo[2];
+    alignas(16) std::uint64_t col_hi[2];
+    for (std::size_t k = 0; k < ncols; k += 2) {
+        const std::size_t jmin = k + 1 > nda ? k + 1 - nda : 0;
+        const std::size_t jmax = std::min(ndb - 1, k + 1);
+        __m128i vlo = _mm_setzero_si128();
+        __m128i vhi = _mm_setzero_si128();
+        for (std::size_t j = jmin; j <= jmax; ++j) {
+            const __m128i vb =
+                _mm_set1_epi64x(static_cast<long long>(db[j]));
+            const __m128i vda = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(
+                    da + static_cast<std::ptrdiff_t>(k) -
+                    static_cast<std::ptrdiff_t>(j)));
+            const __m128i p = _mm_mul_epu32(vda, vb);
+            vlo = _mm_add_epi64(vlo, _mm_and_si128(p, m32));
+            vhi = _mm_add_epi64(vhi, _mm_srli_epi64(p, 32));
+        }
+        _mm_store_si128(reinterpret_cast<__m128i*>(col_lo), vlo);
+        _mm_store_si128(reinterpret_cast<__m128i*>(col_hi), vhi);
+        for (int t = 0; t < 2; ++t) {
+            const std::size_t c = k + t;
+            const std::uint64_t v = col_lo[t] + hi_prev + carry;
+            hi_prev = col_hi[t];
+            carry = v >> 32;
+            const std::uint64_t dig = v & 0xffffffffULL;
+            if ((c & 1) == 0)
+                rp[c / 2] = dig;
+            else
+                rp[c / 2] |= dig << 32;
+        }
+    }
+    CAMP_ASSERT(carry == 0 && hi_prev == 0);
+}
+
+void
+sse4_soa_vertical(std::uint64_t* acc_lo, std::uint64_t* acc_hi,
+                  const std::uint64_t* da, std::size_t nda,
+                  const std::uint64_t* db, std::size_t ndb)
+{
+    const __m128i m32 = _mm_set1_epi64x(0xffffffffLL);
+    const std::size_t ncols = nda + ndb;
+    for (std::size_t c = 0; c < ncols; ++c) {
+        const std::size_t jmin = c + 1 > nda ? c + 1 - nda : 0;
+        const std::size_t jmax = std::min(ndb - 1, c);
+        __m128i vlo = _mm_setzero_si128();
+        __m128i vhi = _mm_setzero_si128();
+        for (std::size_t j = jmin; j <= jmax; ++j) {
+            const __m128i vda = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(da + 2 * (c - j)));
+            const __m128i vdb = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(db + 2 * j));
+            const __m128i p = _mm_mul_epu32(vda, vdb);
+            vlo = _mm_add_epi64(vlo, _mm_and_si128(p, m32));
+            vhi = _mm_add_epi64(vhi, _mm_srli_epi64(p, 32));
+        }
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(acc_lo + 2 * c),
+                        vlo);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(acc_hi + 2 * c),
+                        vhi);
+    }
+}
+
+const KernelTable*
+sse4_table()
+{
+    static const KernelTable table = [] {
+        KernelTable t;
+        t.tier = Tier::Sse4;
+        t.name = "sse4";
+        // Vectorize where it wins: at 2 lanes only add_n/sub_n
+        // (~1.3x) pay for themselves; every multiply variant loses to
+        // the scalar mulx chain (~0.5x measured), so those slots and
+        // the SoA kernel stay scalar/per-product. The vectorized
+        // bodies remain compiled and differentially fuzzed so a wider
+        // retuning can re-enable them from data, not guesswork.
+        t.mul_1 = scalar_mul_1;
+        t.addmul_1 = scalar_addmul_1;
+        t.submul_1 = scalar_submul_1;
+        t.add_n = sse4_add_n;
+        t.sub_n = sse4_sub_n;
+        t.mul_basecase = scalar_mul_basecase;
+        t.soa_width = 0;
+        t.soa_vertical = nullptr;
+        return t;
+    }();
+    return &table;
+}
+
+} // namespace camp::mpn::kernels
+
+#else // !(CAMP_KERNELS_X86 && __SSE4_2__)
+
+namespace camp::mpn::kernels {
+
+const KernelTable*
+sse4_table()
+{
+    return nullptr;
+}
+
+} // namespace camp::mpn::kernels
+
+#endif

@@ -1,46 +1,32 @@
 #include "mpn/basic.hpp"
 #include "mpn/mul.hpp"
 
+#include "mpn/kernels/kernels.hpp"
 #include "support/assert.hpp"
 #include "support/bits.hpp"
 
 namespace camp::mpn {
 
+// The inner primitives dispatch through the runtime-probed kernel
+// table (scalar / sse4 / avx2 — see mpn/kernels/kernels.hpp); the
+// scalar reference loops live in mpn/kernels/scalar.cpp.
+
 Limb
 mul_1(Limb* rp, const Limb* ap, std::size_t n, Limb b)
 {
-    Limb carry = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        const u128 p = static_cast<u128>(ap[i]) * b + carry;
-        rp[i] = static_cast<Limb>(p);
-        carry = static_cast<Limb>(p >> 64);
-    }
-    return carry;
+    return kernels::active().mul_1(rp, ap, n, b);
 }
 
 Limb
 addmul_1(Limb* rp, const Limb* ap, std::size_t n, Limb b)
 {
-    Limb carry = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        const u128 p = static_cast<u128>(ap[i]) * b + rp[i] + carry;
-        rp[i] = static_cast<Limb>(p);
-        carry = static_cast<Limb>(p >> 64);
-    }
-    return carry;
+    return kernels::active().addmul_1(rp, ap, n, b);
 }
 
 Limb
 submul_1(Limb* rp, const Limb* ap, std::size_t n, Limb b)
 {
-    Limb borrow = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        const u128 p = static_cast<u128>(ap[i]) * b + borrow;
-        const Limb lo = static_cast<Limb>(p);
-        borrow = static_cast<Limb>(p >> 64) + (rp[i] < lo);
-        rp[i] -= lo;
-    }
-    return borrow;
+    return kernels::active().submul_1(rp, ap, n, b);
 }
 
 void
@@ -48,20 +34,20 @@ mul_basecase(Limb* rp, const Limb* ap, std::size_t an,
              const Limb* bp, std::size_t bn)
 {
     CAMP_ASSERT(an >= bn && bn >= 1);
-    rp[an] = mul_1(rp, ap, an, bp[0]);
-    for (std::size_t j = 1; j < bn; ++j)
-        rp[an + j] = addmul_1(rp + j, ap, an, bp[j]);
+    kernels::active().mul_basecase(rp, ap, an, bp, bn);
 }
 
 void
 sqr_basecase(Limb* rp, const Limb* ap, std::size_t n)
 {
     CAMP_ASSERT(n >= 1);
+    const kernels::KernelTable& table = kernels::active();
     // Off-diagonal products a[i]*a[j] for i < j, then double, then add the
     // diagonal squares: a^2 = 2 * sum_{i<j} a_i a_j B^{i+j} + sum a_i^2.
     zero(rp, 2 * n);
     for (std::size_t i = 0; i + 1 < n; ++i)
-        rp[n + i] = addmul_1(rp + 2 * i + 1, ap + i + 1, n - i - 1, ap[i]);
+        rp[n + i] =
+            table.addmul_1(rp + 2 * i + 1, ap + i + 1, n - i - 1, ap[i]);
     // Double the off-diagonal part.
     Limb carry = 0;
     for (std::size_t i = 1; i < 2 * n - 1; ++i) {

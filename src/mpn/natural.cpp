@@ -10,6 +10,7 @@
 #include "mpn/ophook.hpp"
 #include "mpn/sqrt.hpp"
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 
 namespace camp::mpn {
 
@@ -90,6 +91,9 @@ operator*(const Natural& a, const Natural& b)
     OpScope scope(OpKind::Mul, a.bits(), b.bits());
     if (a.is_zero() || b.is_zero())
         return Natural();
+    // Churn visibility: every heap-allocated product buffer bumps
+    // mpn.alloc.count (the SoA batch path bumps it once per lane too).
+    support::metrics::counter("mpn.alloc.count").add(1);
     std::vector<Limb> r(a.size() + b.size());
     if (a.size() >= b.size())
         mul(r.data(), a.data(), a.size(), b.data(), b.size());

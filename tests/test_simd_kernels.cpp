@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Differential fuzz of the runtime-dispatched SIMD limb kernels: every
+ * vectorized primitive is compared case-by-case against the scalar
+ * reference (the oracle), across random operands and the boundary
+ * shapes carry bugs hide in — all-ones limbs, generate/propagate worst
+ * cases, n = 0/1, unaligned vector tails, aliased rp/ap. A second
+ * layer asserts the hard bit-identity invariant end to end: full
+ * mpn_mul, the SoA batch driver, and Device::mul_batch produce
+ * identical bits under every CAMP_SIMD tier the host supports.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/registry.hpp"
+#include "mpn/basic.hpp"
+#include "mpn/kernels/internal.hpp"
+#include "mpn/kernels/kernels.hpp"
+#include "mpn/kernels/soa.hpp"
+#include "mpn/mul.hpp"
+#include "mpn/natural.hpp"
+#include "support/rng.hpp"
+
+namespace mpn = camp::mpn;
+namespace kernels = camp::mpn::kernels;
+using camp::Rng;
+using mpn::Limb;
+using mpn::Natural;
+
+namespace {
+
+std::uint64_t
+fuzz_seed(std::uint64_t fallback)
+{
+    if (const char* env = std::getenv("CAMP_FUZZ_SEED")) {
+        char* end = nullptr;
+        const std::uint64_t seed = std::strtoull(env, &end, 0);
+        if (end != env)
+            return seed;
+    }
+    return fallback;
+}
+
+/** Restores the dispatched tier on scope exit (tests switch tiers). */
+class TierGuard
+{
+  public:
+    TierGuard() : saved_(kernels::active_tier()) {}
+    ~TierGuard() { kernels::set_active_tier(saved_); }
+
+  private:
+    kernels::Tier saved_;
+};
+
+/**
+ * One fuzz operand: mostly random limbs, with boundary patterns mixed
+ * in (all-ones rows force maximal carries; zeros force propagate-only
+ * blocks; 0x...fff/0x8000... force generate/propagate interleaving).
+ */
+std::vector<Limb>
+fuzz_limbs(Rng& rng, std::size_t n)
+{
+    std::vector<Limb> v(n);
+    const std::uint64_t mode = rng.below(5);
+    for (std::size_t i = 0; i < n; ++i) {
+        switch (mode) {
+        case 0:
+            v[i] = rng.next();
+            break;
+        case 1:
+            v[i] = ~Limb{0}; // carry worst case
+            break;
+        case 2:
+            v[i] = rng.below(2) ? ~Limb{0} : 0;
+            break;
+        case 3:
+            v[i] = rng.below(2) ? ~Limb{0} : rng.next();
+            break;
+        default:
+            v[i] = Limb{1} << rng.below(64);
+            break;
+        }
+    }
+    return v;
+}
+
+/** Scalars that stress the split-radix mid-word carries. */
+Limb
+fuzz_scalar(Rng& rng)
+{
+    switch (rng.below(4)) {
+    case 0:
+        return rng.next();
+    case 1:
+        return ~Limb{0};
+    case 2:
+        return 0xffffffffULL;
+    default:
+        return Limb{1} << rng.below(64);
+    }
+}
+
+struct NamedKernels
+{
+    const char* name;
+    Limb (*mul_1)(Limb*, const Limb*, std::size_t, Limb);
+    Limb (*addmul_1)(Limb*, const Limb*, std::size_t, Limb);
+    Limb (*submul_1)(Limb*, const Limb*, std::size_t, Limb);
+    Limb (*add_n)(Limb*, const Limb*, const Limb*, std::size_t);
+    Limb (*sub_n)(Limb*, const Limb*, const Limb*, std::size_t);
+    void (*mul_basecase)(Limb*, const Limb*, std::size_t, const Limb*,
+                         std::size_t);
+};
+
+/**
+ * Every compiled vectorized kernel set, whether or not the dispatch
+ * table currently points at it ("vectorize where it wins" may park a
+ * slot on scalar; the vectorized body still has to be correct so
+ * retuning can re-enable it safely).
+ */
+std::vector<NamedKernels>
+vector_kernel_sets()
+{
+    std::vector<NamedKernels> sets;
+#if defined(__x86_64__) || defined(_M_X64)
+    if (kernels::host_supports(kernels::Tier::Sse4) &&
+        kernels::sse4_table() != nullptr)
+        sets.push_back({"sse4", kernels::sse4_mul_1,
+                        kernels::sse4_addmul_1, kernels::sse4_submul_1,
+                        kernels::sse4_add_n, kernels::sse4_sub_n,
+                        kernels::sse4_mul_basecase});
+    if (kernels::host_supports(kernels::Tier::Avx2) &&
+        kernels::avx2_table() != nullptr)
+        sets.push_back({"avx2", kernels::avx2_mul_1,
+                        kernels::avx2_addmul_1, kernels::avx2_submul_1,
+                        kernels::avx2_add_n, kernels::avx2_sub_n,
+                        kernels::avx2_mul_basecase});
+#endif
+    return sets;
+}
+
+/** Sizes cover sub-vector, exact-vector, and ragged-tail lengths. */
+std::size_t
+fuzz_size(Rng& rng)
+{
+    switch (rng.below(6)) {
+    case 0:
+        return 0;
+    case 1:
+        return 1;
+    case 2:
+        return 1 + rng.below(8); // below every vector threshold
+    case 3:
+        return 8 + rng.below(8); // around the kVecMinLimbs gate
+    default:
+        return 1 + rng.below(200);
+    }
+}
+
+std::vector<kernels::Tier>
+supported_tiers()
+{
+    std::vector<kernels::Tier> tiers{kernels::Tier::Scalar};
+    if (kernels::table_for(kernels::Tier::Sse4) != nullptr)
+        tiers.push_back(kernels::Tier::Sse4);
+    if (kernels::table_for(kernels::Tier::Avx2) != nullptr)
+        tiers.push_back(kernels::Tier::Avx2);
+    return tiers;
+}
+
+} // namespace
+
+TEST(SimdKernels, DispatchReportsSupportedTier)
+{
+    const kernels::KernelTable& table = kernels::active();
+    EXPECT_NE(table.mul_1, nullptr);
+    EXPECT_NE(table.add_n, nullptr);
+    EXPECT_NE(table.mul_basecase, nullptr);
+    EXPECT_TRUE(kernels::host_supports(table.tier));
+    EXPECT_STREQ(kernels::tier_name(table.tier), table.name);
+    // Scalar is always forceable; the guard restores the probed tier.
+    TierGuard guard;
+    ASSERT_TRUE(kernels::set_active_tier(kernels::Tier::Scalar));
+    EXPECT_EQ(kernels::active_tier(), kernels::Tier::Scalar);
+}
+
+TEST(SimdKernels, Mul1DifferentialFuzz)
+{
+    const auto sets = vector_kernel_sets();
+    if (sets.empty())
+        GTEST_SKIP() << "host has no SIMD kernel tier";
+    Rng rng(fuzz_seed(0x51D0001));
+    for (const NamedKernels& set : sets) {
+        for (int iter = 0; iter < 1200; ++iter) {
+            const std::size_t n = fuzz_size(rng);
+            const std::vector<Limb> a = fuzz_limbs(rng, n);
+            const Limb b = fuzz_scalar(rng);
+            std::vector<Limb> want(n), got(n);
+            const Limb want_c =
+                kernels::scalar_mul_1(want.data(), a.data(), n, b);
+            const Limb got_c = set.mul_1(got.data(), a.data(), n, b);
+            ASSERT_EQ(want, got) << set.name << " n=" << n
+                                 << " iter=" << iter;
+            ASSERT_EQ(want_c, got_c) << set.name << " n=" << n;
+            if (n != 0) {
+                // Aliased rp == ap (documented in-place form).
+                std::vector<Limb> in_place = a;
+                const Limb alias_c =
+                    set.mul_1(in_place.data(), in_place.data(), n, b);
+                ASSERT_EQ(want, in_place)
+                    << set.name << " aliased n=" << n;
+                ASSERT_EQ(want_c, alias_c);
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, Addmul1DifferentialFuzz)
+{
+    const auto sets = vector_kernel_sets();
+    if (sets.empty())
+        GTEST_SKIP() << "host has no SIMD kernel tier";
+    Rng rng(fuzz_seed(0x51D0002));
+    for (const NamedKernels& set : sets) {
+        for (int iter = 0; iter < 1200; ++iter) {
+            const std::size_t n = fuzz_size(rng);
+            const std::vector<Limb> a = fuzz_limbs(rng, n);
+            const std::vector<Limb> r0 = fuzz_limbs(rng, n);
+            const Limb b = fuzz_scalar(rng);
+            std::vector<Limb> want = r0, got = r0;
+            const Limb want_c =
+                kernels::scalar_addmul_1(want.data(), a.data(), n, b);
+            const Limb got_c = set.addmul_1(got.data(), a.data(), n, b);
+            ASSERT_EQ(want, got) << set.name << " n=" << n
+                                 << " iter=" << iter;
+            ASSERT_EQ(want_c, got_c) << set.name << " n=" << n;
+            if (n != 0) {
+                // rp aliased to ap: rp += rp * b.
+                std::vector<Limb> want_alias = a, got_alias = a;
+                const Limb wc = kernels::scalar_addmul_1(
+                    want_alias.data(), want_alias.data(), n, b);
+                const Limb gc = set.addmul_1(got_alias.data(),
+                                             got_alias.data(), n, b);
+                ASSERT_EQ(want_alias, got_alias)
+                    << set.name << " aliased n=" << n;
+                ASSERT_EQ(wc, gc);
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, Submul1DifferentialFuzz)
+{
+    const auto sets = vector_kernel_sets();
+    if (sets.empty())
+        GTEST_SKIP() << "host has no SIMD kernel tier";
+    Rng rng(fuzz_seed(0x51D0003));
+    for (const NamedKernels& set : sets) {
+        for (int iter = 0; iter < 1200; ++iter) {
+            const std::size_t n = fuzz_size(rng);
+            const std::vector<Limb> a = fuzz_limbs(rng, n);
+            const std::vector<Limb> r0 = fuzz_limbs(rng, n);
+            const Limb b = fuzz_scalar(rng);
+            std::vector<Limb> want = r0, got = r0;
+            const Limb want_c =
+                kernels::scalar_submul_1(want.data(), a.data(), n, b);
+            const Limb got_c = set.submul_1(got.data(), a.data(), n, b);
+            ASSERT_EQ(want, got) << set.name << " n=" << n
+                                 << " iter=" << iter;
+            ASSERT_EQ(want_c, got_c) << set.name << " n=" << n;
+        }
+    }
+}
+
+TEST(SimdKernels, AddNDifferentialFuzz)
+{
+    const auto sets = vector_kernel_sets();
+    if (sets.empty())
+        GTEST_SKIP() << "host has no SIMD kernel tier";
+    Rng rng(fuzz_seed(0x51D0004));
+    for (const NamedKernels& set : sets) {
+        for (int iter = 0; iter < 1500; ++iter) {
+            const std::size_t n = fuzz_size(rng);
+            const std::vector<Limb> a = fuzz_limbs(rng, n);
+            const std::vector<Limb> b = fuzz_limbs(rng, n);
+            std::vector<Limb> want(n), got(n);
+            const Limb want_c = kernels::scalar_add_n(
+                want.data(), a.data(), b.data(), n);
+            const Limb got_c =
+                set.add_n(got.data(), a.data(), b.data(), n);
+            ASSERT_EQ(want, got) << set.name << " n=" << n
+                                 << " iter=" << iter;
+            ASSERT_EQ(want_c, got_c) << set.name << " n=" << n;
+            if (n != 0) {
+                // In-place rp == ap (the dominant caller shape).
+                std::vector<Limb> acc = a;
+                const Limb alias_c = set.add_n(acc.data(), acc.data(),
+                                               b.data(), n);
+                ASSERT_EQ(want, acc)
+                    << set.name << " aliased n=" << n;
+                ASSERT_EQ(want_c, alias_c);
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, SubNDifferentialFuzz)
+{
+    const auto sets = vector_kernel_sets();
+    if (sets.empty())
+        GTEST_SKIP() << "host has no SIMD kernel tier";
+    Rng rng(fuzz_seed(0x51D0005));
+    for (const NamedKernels& set : sets) {
+        for (int iter = 0; iter < 1500; ++iter) {
+            const std::size_t n = fuzz_size(rng);
+            const std::vector<Limb> a = fuzz_limbs(rng, n);
+            const std::vector<Limb> b = fuzz_limbs(rng, n);
+            std::vector<Limb> want(n), got(n);
+            const Limb want_c = kernels::scalar_sub_n(
+                want.data(), a.data(), b.data(), n);
+            const Limb got_c =
+                set.sub_n(got.data(), a.data(), b.data(), n);
+            ASSERT_EQ(want, got) << set.name << " n=" << n
+                                 << " iter=" << iter;
+            ASSERT_EQ(want_c, got_c) << set.name << " n=" << n;
+            if (n != 0) {
+                std::vector<Limb> acc = a;
+                const Limb alias_c = set.sub_n(acc.data(), acc.data(),
+                                               b.data(), n);
+                ASSERT_EQ(want, acc)
+                    << set.name << " aliased n=" << n;
+                ASSERT_EQ(want_c, alias_c);
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, MulBasecaseDifferentialFuzz)
+{
+    const auto sets = vector_kernel_sets();
+    if (sets.empty())
+        GTEST_SKIP() << "host has no SIMD kernel tier";
+    Rng rng(fuzz_seed(0x51D0006));
+    for (const NamedKernels& set : sets) {
+        for (int iter = 0; iter < 1000; ++iter) {
+            // Cover both sides of the reduced-radix crossover, where
+            // the column kernel and the scalar fallback meet.
+            const std::size_t bn = 1 + rng.below(80);
+            const std::size_t an = bn + rng.below(40);
+            const std::vector<Limb> a = fuzz_limbs(rng, an);
+            const std::vector<Limb> b = fuzz_limbs(rng, bn);
+            std::vector<Limb> want(an + bn), got(an + bn);
+            kernels::scalar_mul_basecase(want.data(), a.data(), an,
+                                         b.data(), bn);
+            set.mul_basecase(got.data(), a.data(), an, b.data(), bn);
+            ASSERT_EQ(want, got) << set.name << " an=" << an
+                                 << " bn=" << bn << " iter=" << iter;
+        }
+    }
+}
+
+TEST(SimdKernels, SoaVerticalMatchesPerProduct)
+{
+    if (kernels::active().soa_width == 0)
+        GTEST_SKIP() << "active tier has no SoA kernel";
+    Rng rng(fuzz_seed(0x51D0007));
+    for (int iter = 0; iter < 60; ++iter) {
+        const std::size_t count = 1 + rng.below(40);
+        std::vector<std::pair<Natural, Natural>> pairs;
+        for (std::size_t i = 0; i < count; ++i) {
+            // Mixed shapes: same-shape runs (SoA groups), odd shapes
+            // (remainders), zeros and oversize pairs (fallback).
+            const std::uint64_t mode = rng.below(5);
+            std::uint64_t bits_a = 2048, bits_b = 2048;
+            if (mode == 1)
+                bits_a = bits_b = 64 + rng.below(1024);
+            else if (mode == 2) {
+                bits_a = 1 + rng.below(4096);
+                bits_b = 1 + rng.below(4096);
+            } else if (mode == 3)
+                bits_a = 0;
+            else if (mode == 4)
+                bits_a = kernels::kSoaMaxLimbs * 64 + 512;
+            pairs.emplace_back(
+                bits_a ? Natural::random_bits(rng, bits_a) : Natural(),
+                bits_b ? Natural::random_bits(rng, bits_b) : Natural());
+        }
+        std::vector<Natural> got(count);
+        kernels::soa_mul_batch(pairs, got);
+        for (std::size_t i = 0; i < count; ++i)
+            ASSERT_EQ(got[i], pairs[i].first * pairs[i].second)
+                << "iter=" << iter << " i=" << i;
+    }
+}
+
+TEST(SimdKernels, FullMulBitIdenticalAcrossTiers)
+{
+    const auto tiers = supported_tiers();
+    if (tiers.size() < 2)
+        GTEST_SKIP() << "host supports only the scalar tier";
+    TierGuard guard;
+    Rng rng(fuzz_seed(0x51D0008));
+    for (int iter = 0; iter < 40; ++iter) {
+        const Natural a =
+            Natural::random_bits(rng, 1 + rng.below(1 << 15));
+        const Natural b =
+            Natural::random_bits(rng, 1 + rng.below(1 << 15));
+        ASSERT_TRUE(kernels::set_active_tier(kernels::Tier::Scalar));
+        const Natural want = a * b;
+        for (const kernels::Tier tier : tiers) {
+            ASSERT_TRUE(kernels::set_active_tier(tier));
+            ASSERT_EQ(a * b, want)
+                << kernels::tier_name(tier) << " iter=" << iter;
+        }
+    }
+}
+
+TEST(SimdKernels, DeviceMulBatchBitIdenticalAcrossTiers)
+{
+    const auto tiers = supported_tiers();
+    if (tiers.size() < 2)
+        GTEST_SKIP() << "host supports only the scalar tier";
+    TierGuard guard;
+    Rng rng(fuzz_seed(0x51D0009));
+    std::vector<std::pair<Natural, Natural>> pairs;
+    for (int i = 0; i < 48; ++i) {
+        const std::uint64_t bits =
+            i % 3 == 0 ? 2048 : 1 + rng.below(4096);
+        pairs.emplace_back(Natural::random_bits(rng, bits),
+                           Natural::random_bits(rng, bits));
+    }
+    ASSERT_TRUE(kernels::set_active_tier(kernels::Tier::Scalar));
+    const camp::sim::BatchResult want =
+        camp::exec::make_device("cpu")->mul_batch(pairs);
+    for (const kernels::Tier tier : tiers) {
+        ASSERT_TRUE(kernels::set_active_tier(tier));
+        const camp::sim::BatchResult got =
+            camp::exec::make_device("cpu")->mul_batch(pairs);
+        ASSERT_EQ(got.products.size(), want.products.size());
+        for (std::size_t i = 0; i < pairs.size(); ++i)
+            ASSERT_EQ(got.products[i], want.products[i])
+                << kernels::tier_name(tier) << " i=" << i;
+    }
+}
