@@ -20,12 +20,17 @@
 #     accounting before the perf gate even runs;
 #  3. address+undefined-sanitizer build + ctest — this includes
 #     test_simd_kernels, so the vector kernels' scratch/tail handling
-#     runs under ASan/UBSan every CI pass
+#     runs under ASan/UBSan every CI pass — followed by a dedicated
+#     memory-plane leg (test_memory_plane, test_scheduler, test_exec
+#     with ASAN_OPTIONS=detect_invalid_pointer_pairs=2) where the limb
+#     arena's manual poisoning of freed ranges turns any
+#     use-after-reset of a wave view into a hard failure
 #     (skip with CAMP_CI_SKIP_SANITIZE=1);
 #  4. ThreadSanitizer build (CAMP_SANITIZE=thread) over the
 #     concurrency-bearing tests — pool, mpn mul, batch, runtime,
-#     sharded scheduler, serving layer (concurrent ledger folding) —
-#     at CAMP_THREADS=4 (skip with CAMP_CI_SKIP_SANITIZE=1);
+#     sharded scheduler, memory plane (per-thread arena magazines +
+#     concurrent wave slot writes), serving layer (concurrent ledger
+#     folding) — at CAMP_THREADS=4 (skip with CAMP_CI_SKIP_SANITIZE=1);
 #  5. report-only coverage summary via gcovr/gcov when available
 #     (opt in with CAMP_CI_COVERAGE=1; never gates).
 set -euo pipefail
@@ -152,6 +157,19 @@ if [[ "${CAMP_CI_SKIP_SANITIZE:-0}" != "1" ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCAMP_SANITIZE="address;undefined"
 
+    # Memory-plane poisoning leg: the arena manually poisons free
+    # blocks and released wave ranges under ASan
+    # (support::asan_poison), so any use of a view past its
+    # WaveBuffer's reset()/release() is a hard ASan failure here, not
+    # silent reuse. detect_invalid_pointer_pairs additionally checks
+    # the intra-slab pointer arithmetic the carver does.
+    echo "==== asan memory-plane leg (arena poisoning armed) ===="
+    for t in test_memory_plane test_scheduler test_exec; do
+        echo "---- ${t} (ASAN_OPTIONS=detect_invalid_pointer_pairs=2) ----"
+        ASAN_OPTIONS="detect_invalid_pointer_pairs=2:halt_on_error=1" \
+            ./build-asan/tests/"${t}"
+    done
+
     # ThreadSanitizer pass: the tests that exercise the thread pool
     # (fork/join, parallel mpn kernels, parallel batch, runtime batch),
     # forced parallel so races are actually reachable.
@@ -162,10 +180,10 @@ if [[ "${CAMP_CI_SKIP_SANITIZE:-0}" != "1" ]]; then
     echo "==== build build-tsan ===="
     cmake --build build-tsan -j "${JOBS}" --target \
         test_thread_pool test_mpn_mul test_sim_batch test_mpapca \
-        test_scheduler test_serve
+        test_scheduler test_memory_plane test_serve
     echo "==== tsan tests (CAMP_THREADS=4) ===="
     for t in test_thread_pool test_mpn_mul test_sim_batch test_mpapca \
-             test_scheduler test_serve; do
+             test_scheduler test_memory_plane test_serve; do
         echo "---- ${t} ----"
         CAMP_THREADS=4 ./build-tsan/tests/"${t}"
     done

@@ -106,6 +106,15 @@ CheckedDevice::mul_batch_indexed(
     return inner_->mul_batch_indexed(pairs, indices, parallelism);
 }
 
+sim::BatchResult
+CheckedDevice::mul_batch_wave(WaveBuffer& wave,
+                              const std::vector<std::size_t>& items,
+                              const std::vector<std::uint64_t>& indices,
+                              unsigned parallelism)
+{
+    return inner_->mul_batch_wave(wave, items, indices, parallelism);
+}
+
 CostEstimate
 CheckedDevice::cost(std::uint64_t bits_a, std::uint64_t bits_b) const
 {

@@ -92,6 +92,13 @@ class CheckedDevice : public Device
                       const std::vector<std::uint64_t>& indices,
                       unsigned parallelism = 0) override;
 
+    /** Forwarded unchecked, like the other batch entry points. */
+    sim::BatchResult
+    mul_batch_wave(WaveBuffer& wave,
+                   const std::vector<std::size_t>& items,
+                   const std::vector<std::uint64_t>& indices,
+                   unsigned parallelism = 0) override;
+
     CostEstimate cost(std::uint64_t bits_a,
                       std::uint64_t bits_b) const override;
 

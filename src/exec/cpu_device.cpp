@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "exec/wave.hpp"
 #include "mpn/kernels/soa.hpp"
 #include "mpn/ophook.hpp"
 #include "sim/comparators.hpp"
+#include "support/assert.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
@@ -71,6 +74,60 @@ CpuDevice::mul_batch(
     }
     // Host products carry no simulated accounting: cycles stay zero
     // (the Fig. 13 methodology measures host time with the profiler).
+    return result;
+}
+
+sim::BatchResult
+CpuDevice::mul_batch_wave(WaveBuffer& wave,
+                          const std::vector<std::size_t>& items,
+                          const std::vector<std::uint64_t>& indices,
+                          unsigned parallelism)
+{
+    support::trace::Span span("exec.cpu.mul_batch_wave", "exec");
+    span.arg("count", static_cast<double>(items.size()));
+    CAMP_ASSERT(indices.size() == items.size());
+    sim::BatchResult result;
+    const std::size_t count = items.size();
+    result.per_product.resize(count);
+    result.tasks = count;
+
+    support::ThreadPool& pool = support::ThreadPool::global();
+    const bool fork = parallelism != 1 && count > 1 && pool.parallel() &&
+                      support::parallel_allowed();
+    result.parallelism = fork ? pool.executors() : 1;
+    // Same contiguous-slice fan-out as mul_batch, but each slice feeds
+    // the raw SoA driver wave-owned operand views and result slots:
+    // steady state, a whole wave multiplies without one product-buffer
+    // allocation (this is what bench/perf_smoke's alloc_per_wave row
+    // gates on).
+    const auto slice = [&wave, &items](std::size_t lo, std::size_t hi) {
+        mpn::OpHookSuspend suspend;
+        std::vector<mpn::kernels::SoaItem> raw(hi - lo);
+        for (std::size_t k = lo; k < hi; ++k) {
+            const mpn::LimbView a = wave.operand_a(items[k]);
+            const mpn::LimbView b = wave.operand_b(items[k]);
+            raw[k - lo] = {a.ptr, a.len, b.ptr, b.len,
+                           wave.result_ptr(items[k]), 0};
+        }
+        mpn::kernels::soa_mul_batch_raw(raw.data(), raw.size());
+        for (std::size_t k = lo; k < hi; ++k)
+            wave.set_result_size(items[k], raw[k - lo].rn);
+    };
+    if (fork) {
+        const std::size_t chunks =
+            std::min(count,
+                     static_cast<std::size_t>(pool.executors()) * 4);
+        const std::size_t step = (count + chunks - 1) / chunks;
+        support::TaskGroup group(pool);
+        for (std::size_t lo = step; lo < count; lo += step) {
+            const std::size_t hi = std::min(count, lo + step);
+            group.run([&slice, lo, hi] { slice(lo, hi); });
+        }
+        slice(0, std::min(count, step));
+        group.wait();
+    } else {
+        slice(0, count);
+    }
     return result;
 }
 

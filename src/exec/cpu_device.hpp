@@ -32,6 +32,16 @@ class CpuDevice : public Device
                                           mpn::Natural>>& pairs,
               unsigned parallelism = 0) override;
 
+    /** Zero-copy wave execution: the SoA batch driver runs directly
+     * over the wave's operand views and writes products straight into
+     * the wave's result slots (kernels::soa_mul_batch_raw) — no
+     * Natural materialization, no product-buffer allocation. */
+    sim::BatchResult
+    mul_batch_wave(WaveBuffer& wave,
+                   const std::vector<std::size_t>& items,
+                   const std::vector<std::uint64_t>& indices,
+                   unsigned parallelism = 0) override;
+
     /**
      * Rough host-time model: c * n^1.585 limb operations (the
      * Karatsuba exponent) at a fixed per-op constant, energy at the

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "exec/wave.hpp"
 #include "support/assert.hpp"
 
 namespace camp::exec {
@@ -16,6 +18,46 @@ Device::mul_batch_indexed(
 {
     CAMP_ASSERT(indices.size() == pairs.size());
     return mul_batch(pairs, parallelism);
+}
+
+sim::BatchResult
+Device::mul_batch_wave(WaveBuffer& wave,
+                       const std::vector<std::size_t>& items,
+                       const std::vector<std::uint64_t>& indices,
+                       unsigned parallelism)
+{
+    // Reference implementation: materialize the operands, run the
+    // established indexed batch path (fault streams keyed by the
+    // wave-global indices, so determinism is inherited), then move the
+    // products into the wave's result slots. Backends override this to
+    // eliminate the copies; results are bit-identical either way.
+    CAMP_ASSERT(indices.size() == items.size());
+    std::vector<std::pair<mpn::Natural, mpn::Natural>> pairs;
+    pairs.reserve(items.size());
+    for (const std::size_t item : items)
+        pairs.push_back(wave.operand_pair(item));
+    sim::BatchResult result =
+        mul_batch_indexed(pairs, indices, parallelism);
+    CAMP_ASSERT(result.products.size() == items.size());
+    for (std::size_t k = 0; k < items.size(); ++k) {
+        const mpn::Natural& product = result.products[k];
+        const std::size_t item = items[k];
+        std::size_t n = product.size();
+        if (n > wave.result_capacity(item)) {
+            // An exact product always fits in an + bn limbs; only an
+            // injected-fault corruption can overflow, and it is
+            // already counted faulty — clamp to the slot (corrupted
+            // values carry no contractual content).
+            CAMP_ASSERT(result.per_product[k].faulty);
+            n = wave.result_capacity(item);
+        }
+        if (n != 0)
+            std::memcpy(wave.result_ptr(item), product.data(),
+                        n * sizeof(mpn::Limb));
+        wave.set_result_size(item, n);
+    }
+    result.products.clear();
+    return result;
 }
 
 const char*

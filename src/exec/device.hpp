@@ -37,6 +37,8 @@
 
 namespace camp::exec {
 
+class WaveBuffer;
+
 /** Where a device's time comes from. */
 enum class DeviceKind
 {
@@ -125,6 +127,34 @@ class Device
                                                   mpn::Natural>>& pairs,
                       const std::vector<std::uint64_t>& indices,
                       unsigned parallelism = 0);
+
+    /**
+     * Zero-copy wave execution (DESIGN.md §14): multiply the given
+     * @p items of @p wave (wave-global fault-seed @p indices[k] for
+     * item @p items[k]; must be the same length) and write each
+     * product into the item's preallocated wave result slot via
+     * WaveBuffer::set_result_size. The returned BatchResult carries
+     * accounting only: `products` stays EMPTY (the wave owns the
+     * limbs) and `per_product[k]` lines up with @p items[k].
+     *
+     * Bit-identity contract: products published into the wave are
+     * identical to what mul_batch_indexed would return for the same
+     * operands and indices (tests/test_memory_plane.cpp fuzzes this
+     * differentially per backend). The default implementation
+     * guarantees it by construction — it materializes the operands and
+     * delegates to mul_batch_indexed, then copies the products into
+     * the wave — so any backend is wave-capable; overrides (cpu, sim,
+     * sharded) only remove copies, never change results.
+     *
+     * Concurrency: callers may execute disjoint item sets of one wave
+     * concurrently (the sharded scheduler does); implementations only
+     * write the slots of their own items.
+     */
+    virtual sim::BatchResult
+    mul_batch_wave(WaveBuffer& wave,
+                   const std::vector<std::size_t>& items,
+                   const std::vector<std::uint64_t>& indices,
+                   unsigned parallelism = 0);
 
     /** Cost/energy estimate for one base product of this shape. */
     virtual CostEstimate cost(std::uint64_t bits_a,

@@ -1,6 +1,7 @@
 #include "exec/queue.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "support/assert.hpp"
 #include "support/metrics.hpp"
@@ -18,11 +19,9 @@ SubmitQueue::Future::ready() const
     return slot_->ready;
 }
 
-const Natural&
-SubmitQueue::Future::get()
+void
+SubmitQueue::Future::await(std::unique_lock<std::mutex>& lock)
 {
-    CAMP_ASSERT(slot_ != nullptr);
-    std::unique_lock<std::mutex> lock(state_->mutex);
     while (!slot_->ready) {
         // Somebody has to run the batch; on a serial host that
         // somebody is us. If a flush is already in flight on another
@@ -35,7 +34,27 @@ SubmitQueue::Future::get()
     }
     if (slot_->error != ErrorCode::Ok)
         throw_error(slot_->error, slot_->error_message);
+}
+
+const Natural&
+SubmitQueue::Future::get()
+{
+    CAMP_ASSERT(slot_ != nullptr);
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    await(lock);
+    CAMP_ASSERT(!slot_->taken);
     return slot_->product;
+}
+
+Natural
+SubmitQueue::Future::take()
+{
+    CAMP_ASSERT(slot_ != nullptr);
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    await(lock);
+    CAMP_ASSERT(!slot_->taken);
+    slot_->taken = true;
+    return std::move(slot_->product);
 }
 
 ErrorCode
@@ -76,11 +95,13 @@ SubmitQueue::Future
 SubmitQueue::submit(const Natural& a, const Natural& b)
 {
     std::unique_lock<std::mutex> lock(state_->mutex);
-    state_->pending.emplace_back(a, b);
+    // The one operand copy of the zero-copy path: into the fill-side
+    // pooled wave, whose storage the whole dispatch chain then shares.
+    state_->waves[state_->fill].add(a, b);
     auto slot = std::make_shared<Slot>();
     state_->slots.push_back(slot);
     ++state_->stats.submitted;
-    if (max_pending_ != 0 && state_->pending.size() >= max_pending_ &&
+    if (max_pending_ != 0 && state_->slots.size() >= max_pending_ &&
         !state_->flushing)
         flush_locked(lock);
     return Future(this, state_, std::move(slot));
@@ -110,7 +131,7 @@ SubmitQueue::wait_all()
                             [this] { return !state_->flushing; });
             continue;
         }
-        if (state_->pending.empty())
+        if (state_->slots.empty())
             return;
         flush_locked(lock);
     }
@@ -120,7 +141,7 @@ std::size_t
 SubmitQueue::pending() const
 {
     std::lock_guard<std::mutex> lock(state_->mutex);
-    return state_->pending.size();
+    return state_->slots.size();
 }
 
 QueueStats
@@ -134,28 +155,39 @@ std::size_t
 SubmitQueue::flush_locked(std::unique_lock<std::mutex>& lock)
 {
     CAMP_ASSERT(lock.owns_lock() && !state_->flushing);
-    std::vector<std::pair<Natural, Natural>> pairs;
     std::vector<std::shared_ptr<Slot>> slots;
-    pairs.swap(state_->pending);
     slots.swap(state_->slots);
-    if (pairs.empty())
+    if (slots.empty())
         return 0;
+    // Flip the pooled double buffer: submissions arriving while the
+    // batch runs land in the other wave; only one flush is in flight
+    // at a time (`flushing`), so the flipped-out wave is exclusively
+    // ours until we reset it below.
+    WaveBuffer& wave = state_->waves[state_->fill];
+    state_->fill ^= 1u;
+    CAMP_ASSERT(wave.size() == slots.size());
     state_->flushing = true;
     lock.unlock();
 
-    // Run the coalesced batch outside the lock: submissions arriving
-    // meanwhile buffer for the next flush. A device throw must not
-    // strand the waiters (or leave `flushing` latched): the error is
-    // recorded on every slot of this flush, category preserved, and
+    // Run the coalesced batch outside the lock. A device throw must
+    // not strand the waiters (or leave `flushing` latched): the error
+    // is recorded on every slot of this flush, category preserved, and
     // each Future rethrows it typed from get().
+    std::vector<std::size_t>& items = state_->wave_items;
+    std::vector<std::uint64_t>& indices = state_->wave_indices;
+    items.resize(slots.size());
+    indices.resize(slots.size());
+    std::iota(items.begin(), items.end(), std::size_t{0});
+    std::iota(indices.begin(), indices.end(), std::uint64_t{0});
     sim::BatchResult result;
     ErrorCode error = ErrorCode::Ok;
     std::string error_message;
     {
         support::trace::Span span("exec.queue.flush", "exec");
-        span.arg("count", static_cast<double>(pairs.size()));
+        span.arg("count", static_cast<double>(slots.size()));
         try {
-            result = device_.mul_batch(pairs, parallelism_);
+            result = device_.mul_batch_wave(wave, items, indices,
+                                            parallelism_);
         } catch (const std::exception& e) {
             error = error_code_of(e);
             error_message = e.what();
@@ -168,6 +200,7 @@ SubmitQueue::flush_locked(std::unique_lock<std::mutex>& lock)
             slot->error_message = error_message;
             slot->ready = true;
         }
+        wave.reset();
         QueueStats& stats = state_->stats;
         ++stats.flushes;
         stats.failed += slots.size();
@@ -177,16 +210,17 @@ SubmitQueue::flush_locked(std::unique_lock<std::mutex>& lock)
         state_->cv.notify_all();
         return slots.size();
     }
-    CAMP_ASSERT(result.products.size() == slots.size() &&
-                result.per_product.size() == slots.size());
+    CAMP_ASSERT(result.per_product.size() == slots.size());
 
     lock.lock();
     for (std::size_t i = 0; i < slots.size(); ++i) {
-        slots[i]->product = std::move(result.products[i]);
+        // Delivery edge: the product leaves the wave's lifetime here.
+        slots[i]->product = wave.take_result(i);
         slots[i]->injected = result.per_product[i].injected;
         slots[i]->faulty = result.per_product[i].faulty;
         slots[i]->ready = true;
     }
+    wave.reset();
     QueueStats& stats = state_->stats;
     ++stats.flushes;
     stats.largest_batch =

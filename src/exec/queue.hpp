@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "exec/device.hpp"
+#include "exec/wave.hpp"
 #include "support/errors.hpp"
 
 namespace camp::exec {
@@ -46,6 +47,7 @@ class SubmitQueue
         std::uint64_t injected = 0;
         bool faulty = false;
         bool ready = false;
+        bool taken = false; ///< product moved out via Future::take()
         ErrorCode error = ErrorCode::Ok; ///< set when the flush threw
         std::string error_message;
     };
@@ -54,10 +56,20 @@ class SubmitQueue
     {
         std::mutex mutex;
         std::condition_variable cv;
-        std::vector<std::pair<mpn::Natural, mpn::Natural>> pending;
+        /** Double-buffered pooled wave storage: submissions copy their
+         * operands into waves[fill] (the one operand copy the path
+         * pays); a flush swaps fill and executes the other buffer
+         * unlocked through Device::mul_batch_wave. Only one flush is
+         * ever in flight (`flushing`), so the swap is safe. */
+        WaveBuffer waves[2];
+        unsigned fill = 0;
         std::vector<std::shared_ptr<Slot>> slots;
         bool flushing = false;
         QueueStats stats;
+        /** Flush-side scratch (item/index lists), reused across
+         * flushes; touched only by the single in-flight flusher. */
+        std::vector<std::size_t> wave_items;
+        std::vector<std::uint64_t> wave_indices;
     };
 
   public:
@@ -87,6 +99,16 @@ class SubmitQueue
          */
         const mpn::Natural& get();
 
+        /**
+         * Like get(), but *moves* the product out of the queue slot
+         * instead of handing back a reference the caller must copy —
+         * the right delivery edge when the caller immediately stores
+         * the product elsewhere (serve::Server does). May be called
+         * once per future; get() after take() (or a second take())
+         * asserts. Error semantics are get()'s.
+         */
+        mpn::Natural take();
+
         /** Error category of this product's flush (valid after
          * ready(); ErrorCode::Ok when the flush succeeded). Lets
          * callers poll for failure without catching. */
@@ -107,6 +129,11 @@ class SubmitQueue
               slot_(std::move(slot))
         {
         }
+
+        /** Block (flushing if nobody else is) until the slot resolves;
+         * rethrows a recorded flush error. @p lock owns state_->mutex
+         * on entry and exit. */
+        void await(std::unique_lock<std::mutex>& lock);
 
         SubmitQueue* queue_ = nullptr;
         std::shared_ptr<State> state_;

@@ -6,7 +6,10 @@
 #include <sstream>
 #include <utility>
 
+#include <cstring>
+
 #include "exec/registry.hpp"
+#include "exec/wave.hpp"
 #include "support/assert.hpp"
 #include "support/errors.hpp"
 #include "support/metrics.hpp"
@@ -181,6 +184,35 @@ ShardedScheduler::init(std::vector<std::unique_ptr<Device>> devices)
     tuning_ = apply_device_env_tuning(
         "sharded", cap_bits_ != 0 ? retuned_for_cap(cap_bits_)
                                   : mpn::mul_tuning());
+    // Wave slots: descending ids so the first wave claims slot 0 and a
+    // steady single-submitter workload ping-pongs between slots 0/1
+    // (warm staging capacity on both).
+    staging_.resize(policy_.max_inflight_waves);
+    free_slots_.reserve(policy_.max_inflight_waves);
+    for (unsigned i = policy_.max_inflight_waves; i > 0; --i)
+        free_slots_.push_back(i - 1);
+}
+
+unsigned
+ShardedScheduler::acquire_wave_slot()
+{
+    std::unique_lock<std::mutex> lock(wave_mutex_);
+    wave_cv_.wait(lock, [this] { return !free_slots_.empty(); });
+    const unsigned slot = free_slots_.back();
+    free_slots_.pop_back();
+    scheduler_metrics().inflight->update_max(static_cast<std::int64_t>(
+        policy_.max_inflight_waves - free_slots_.size()));
+    return slot;
+}
+
+void
+ShardedScheduler::release_wave_slot(unsigned slot)
+{
+    {
+        std::lock_guard<std::mutex> lock(wave_mutex_);
+        free_slots_.push_back(slot);
+    }
+    wave_cv_.notify_one();
 }
 
 DeviceKind
@@ -471,28 +503,13 @@ ShardedScheduler::mul_batch_indexed(
 
     // Backpressure: at most max_inflight_waves waves execute at once;
     // further submitters block here instead of queueing unboundedly.
-    {
-        std::unique_lock<std::mutex> lock(wave_mutex_);
-        wave_cv_.wait(lock, [this] {
-            return inflight_ < policy_.max_inflight_waves;
-        });
-        ++inflight_;
-        scheduler_metrics().inflight->update_max(
-            static_cast<std::int64_t>(inflight_));
-    }
     struct WaveSlot
     {
         ShardedScheduler* scheduler;
-        ~WaveSlot()
-        {
-            {
-                std::lock_guard<std::mutex> lock(
-                    scheduler->wave_mutex_);
-                --scheduler->inflight_;
-            }
-            scheduler->wave_cv_.notify_one();
-        }
-    } slot{this};
+        unsigned slot;
+        ~WaveSlot() { scheduler->release_wave_slot(slot); }
+    } slot{this, acquire_wave_slot()};
+    (void)slot;
 
     const std::vector<std::size_t> alive = alive_shards();
     CAMP_ASSERT(!alive.empty());
@@ -640,6 +657,223 @@ ShardedScheduler::mul_batch_indexed(
             result.products[pos] =
                 recover_product(alive[s], pairs[pos].first,
                                 pairs[pos].second, injected);
+            result.injected += injected;
+            ++moved;
+        }
+        if (moved != 0) {
+            {
+                std::lock_guard<std::mutex> lock(state_mutex_);
+                shard.stats.redistributed += moved;
+                stats_.redistributed += moved;
+            }
+            shard.metrics->redistributed->add(moved);
+            scheduler_metrics().redistributed->add(moved);
+        }
+        if (policy_.drain_fault_threshold != 0 &&
+            subs[s].batch.faulty >= policy_.drain_fault_threshold)
+            drain_shard(alive[s], "faulty products in wave");
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        ++stats_.waves;
+        stats_.products += count;
+    }
+    scheduler_metrics().waves->add();
+    scheduler_metrics().products->add(count);
+    return result;
+}
+
+sim::BatchResult
+ShardedScheduler::mul_batch_wave(WaveBuffer& wave,
+                                const std::vector<std::size_t>& items,
+                                const std::vector<std::uint64_t>& indices,
+                                unsigned parallelism)
+{
+    CAMP_ASSERT(indices.size() == items.size());
+    if (cap_bits_ != 0)
+        for (const std::size_t item : items) {
+            const std::uint64_t bits =
+                std::max(wave.operand_a(item).bits(),
+                         wave.operand_b(item).bits());
+            if (bits > cap_bits_) {
+                std::ostringstream message;
+                message << "operand of " << bits
+                        << " bits exceeds the scheduler base "
+                           "capability of "
+                        << cap_bits_ << " bits";
+                throw InvalidArgument(message.str());
+            }
+        }
+    sim::BatchResult result;
+    const std::size_t count = items.size();
+    if (count == 0)
+        return result;
+
+    struct WaveSlot
+    {
+        ShardedScheduler* scheduler;
+        unsigned slot;
+        ~WaveSlot() { scheduler->release_wave_slot(slot); }
+    } slot{this, acquire_wave_slot()};
+
+    const std::vector<std::size_t> alive = alive_shards();
+    CAMP_ASSERT(!alive.empty());
+    support::trace::Span span("exec.scheduler.wave", "exec");
+    span.arg("count", static_cast<double>(count));
+    span.arg("shards", static_cast<double>(alive.size()));
+
+    // LPT over the wave's operand views (positions 0..count-1 index
+    // into @p items).
+    std::vector<std::vector<std::size_t>> assign;
+    if (alive.size() == 1) {
+        assign.resize(1);
+        assign[0].resize(count);
+        std::iota(assign[0].begin(), assign[0].end(), std::size_t{0});
+    } else {
+        std::vector<std::vector<double>> weights(
+            alive.size(), std::vector<double>(count));
+        for (std::size_t s = 0; s < alive.size(); ++s) {
+            const CheckedDevice& device = *shards_[alive[s]]->device;
+            for (std::size_t i = 0; i < count; ++i)
+                weights[s][i] =
+                    device
+                        .cost(std::max<std::uint64_t>(
+                                  1, wave.operand_a(items[i]).bits()),
+                              std::max<std::uint64_t>(
+                                  1, wave.operand_b(items[i]).bits()))
+                        .seconds;
+        }
+        assign = lpt_assign(weights);
+    }
+
+    // Per-shard staging out of this slot's recycled storage: only the
+    // *item numbers* move between hops now — operands and results stay
+    // in the wave.
+    WaveStaging& staging = staging_[slot.slot];
+    staging.items.resize(
+        std::max(staging.items.size(), alive.size()));
+    staging.indices.resize(
+        std::max(staging.indices.size(), alive.size()));
+    for (std::size_t s = 0; s < alive.size(); ++s) {
+        staging.items[s].clear();
+        staging.indices[s].clear();
+        for (const std::size_t pos : assign[s]) {
+            staging.items[s].push_back(items[pos]);
+            staging.indices[s].push_back(indices[pos]);
+        }
+    }
+
+    // Concurrent shard execution over disjoint item sets of the one
+    // shared wave; each shard writes only its own items' result slots
+    // (the Device::mul_batch_wave concurrency contract).
+    struct SubResult
+    {
+        sim::BatchResult batch;
+        bool failed = false;
+    };
+    std::vector<SubResult> subs(alive.size());
+    {
+        support::TaskGroup group;
+        for (std::size_t s = 0; s < alive.size(); ++s) {
+            if (assign[s].empty())
+                continue;
+            group.run([this, &wave, &staging, &subs, &alive,
+                       parallelism, s] {
+                support::trace::Span shard_span("exec.shard.wave",
+                                                "exec");
+                shard_span.arg("shard",
+                               static_cast<double>(alive[s]));
+                shard_span.arg(
+                    "count",
+                    static_cast<double>(staging.items[s].size()));
+                try {
+                    subs[s].batch =
+                        shards_[alive[s]]->device->mul_batch_wave(
+                            wave, staging.items[s], staging.indices[s],
+                            parallelism);
+                } catch (const std::exception&) {
+                    subs[s].failed = true;
+                }
+            });
+        }
+        group.wait();
+    }
+
+    // Publish one recovered (exact) product into the wave.
+    const auto recover_into_wave = [this, &wave](std::size_t from,
+                                                 std::size_t item,
+                                                 std::uint64_t&
+                                                     injected) {
+        const auto [a, b] = wave.operand_pair(item);
+        const Natural product = recover_product(from, a, b, injected);
+        CAMP_ASSERT(product.size() <= wave.result_capacity(item));
+        if (product.size() != 0)
+            std::memcpy(wave.result_ptr(item), product.data(),
+                        product.size() * sizeof(mpn::Limb));
+        wave.set_result_size(item, product.size());
+    };
+
+    // Reassemble per-product accounting in wave order; products live
+    // in the wave already.
+    result.per_product.resize(count);
+    unsigned shards_used = 0;
+    for (std::size_t s = 0; s < alive.size(); ++s) {
+        if (assign[s].empty())
+            continue;
+        ++shards_used;
+        Shard& shard = *shards_[alive[s]];
+        if (subs[s].failed) {
+            drain_shard(alive[s], "wave execution threw");
+            for (const std::size_t pos : assign[s]) {
+                std::uint64_t injected = 0;
+                recover_into_wave(alive[s], items[pos], injected);
+                result.injected += injected;
+            }
+            const std::uint64_t moved = assign[s].size();
+            {
+                std::lock_guard<std::mutex> lock(state_mutex_);
+                shard.stats.redistributed += moved;
+                stats_.redistributed += moved;
+            }
+            shard.metrics->redistributed->add(moved);
+            scheduler_metrics().redistributed->add(moved);
+            continue;
+        }
+        sim::BatchResult& sub = subs[s].batch;
+        CAMP_ASSERT(sub.per_product.size() == assign[s].size());
+        for (std::size_t k = 0; k < assign[s].size(); ++k)
+            result.per_product[assign[s][k]] = sub.per_product[k];
+        result.tasks += sub.tasks;
+        result.bytes += sub.bytes;
+        result.injected += sub.injected;
+        result.faulty += sub.faulty;
+        result.cycles = std::max(result.cycles, sub.cycles);
+        result.waves = std::max(result.waves, sub.waves);
+        {
+            std::lock_guard<std::mutex> lock(state_mutex_);
+            shard.stats.products += assign[s].size();
+            ++shard.stats.waves;
+        }
+        shard.metrics->products->add(assign[s].size());
+        shard.metrics->waves->add();
+        shard.metrics->cycles->add(sub.cycles);
+    }
+    result.parallelism = shards_used;
+
+    // Redistribute detected-faulty products exactly as the indexed
+    // path does; the exact recovery overwrites the wave slot.
+    for (std::size_t s = 0; s < alive.size(); ++s) {
+        if (assign[s].empty() || subs[s].failed ||
+            subs[s].batch.faulty == 0)
+            continue;
+        Shard& shard = *shards_[alive[s]];
+        std::uint64_t moved = 0;
+        for (const std::size_t pos : assign[s]) {
+            if (!result.per_product[pos].faulty)
+                continue;
+            std::uint64_t injected = 0;
+            recover_into_wave(alive[s], items[pos], injected);
             result.injected += injected;
             ++moved;
         }

@@ -157,6 +157,22 @@ class ShardedScheduler : public Device
                       const std::vector<std::uint64_t>& indices,
                       unsigned parallelism = 0) override;
 
+    /**
+     * Zero-copy wave execution: the LPT partition is computed from the
+     * wave's operand views, each shard receives its item subset of the
+     * *same* WaveBuffer (per-shard staging lists live in recycled
+     * wave-slot storage, so steady state the scheduler allocates
+     * nothing per wave), and shards write products straight into the
+     * wave's disjoint result slots. Failure and faulty-product
+     * recovery follow the indexed path exactly — recovered products
+     * are published into the wave before returning.
+     */
+    sim::BatchResult
+    mul_batch_wave(WaveBuffer& wave,
+                   const std::vector<std::size_t>& items,
+                   const std::vector<std::uint64_t>& indices,
+                   unsigned parallelism = 0) override;
+
     /** Cheapest alive shard's estimate for this shape. */
     CostEstimate cost(std::uint64_t bits_a,
                       std::uint64_t bits_b) const override;
@@ -218,9 +234,27 @@ class ShardedScheduler : public Device
      * (`exec.shard.<ordinal>.*`). */
     static ShardMetrics& metrics_for(std::size_t ordinal);
 
+    /**
+     * Per-wave-slot staging storage: the per-shard item/index lists of
+     * the wave occupying the slot. Slots recycle through free_slots_,
+     * so after warm-up the lists' capacity is reused wave over wave —
+     * the max_inflight_waves-deep (default: double-buffered) per-shard
+     * storage of the zero-copy dispatch path.
+     */
+    struct WaveStaging
+    {
+        std::vector<std::vector<std::size_t>> items;
+        std::vector<std::vector<std::uint64_t>> indices;
+    };
+
     void init(std::vector<std::unique_ptr<Device>> devices);
     std::vector<std::size_t> alive_shards() const;
     void drain_shard(std::size_t i, const char* why);
+
+    /** Blocks until a wave slot frees up (backpressure), then claims
+     * it. Every slot id < policy_.max_inflight_waves. */
+    unsigned acquire_wave_slot();
+    void release_wave_slot(unsigned slot);
 
     /** Exact recovery of one product detected faulty on shard
      * @p from: the next alive exact-capable peer's checked mul, else
@@ -242,9 +276,10 @@ class ShardedScheduler : public Device
     mutable std::mutex state_mutex_; ///< alive flags + stats
     SchedulerStats stats_;
 
-    std::mutex wave_mutex_; ///< backpressure
+    std::mutex wave_mutex_; ///< backpressure + slot free list
     std::condition_variable wave_cv_;
-    unsigned inflight_ = 0;
+    std::vector<unsigned> free_slots_;  ///< available wave-slot ids
+    std::vector<WaveStaging> staging_;  ///< indexed by wave-slot id
 };
 
 } // namespace camp::exec

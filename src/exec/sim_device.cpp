@@ -1,5 +1,11 @@
 #include "exec/sim_device.hpp"
 
+#include <cstring>
+#include <utility>
+
+#include "exec/wave.hpp"
+#include "support/assert.hpp"
+
 namespace camp::exec {
 
 using mpn::Natural;
@@ -46,6 +52,44 @@ SimDevice::mul_batch_indexed(
 {
     sim::BatchEngine engine(config_, /*validate=*/true);
     return engine.multiply_batch(pairs, parallelism, &indices);
+}
+
+sim::BatchResult
+SimDevice::mul_batch_wave(WaveBuffer& wave,
+                          const std::vector<std::size_t>& items,
+                          const std::vector<std::uint64_t>& indices,
+                          unsigned parallelism)
+{
+    CAMP_ASSERT(indices.size() == items.size());
+    std::vector<std::pair<mpn::LimbView, mpn::LimbView>> views;
+    views.reserve(items.size());
+    for (const std::size_t item : items)
+        views.emplace_back(wave.operand_a(item), wave.operand_b(item));
+    sim::BatchEngine engine(config_, /*validate=*/true);
+    sim::BatchResult result = engine.multiply_batch_views(
+        views.data(), views.size(), parallelism, &indices);
+    CAMP_ASSERT(result.products.size() == items.size());
+    // The gathered products come out of the simulated core's SRAM;
+    // publish them into the wave's result slots (stream-out).
+    for (std::size_t k = 0; k < items.size(); ++k) {
+        const mpn::Natural& product = result.products[k];
+        const std::size_t item = items[k];
+        std::size_t n = product.size();
+        if (n > wave.result_capacity(item)) {
+            // Exact products fit an + bn limbs by construction; only a
+            // fault-corrupted product can overflow, and it is already
+            // counted faulty — clamp (corrupted values carry no
+            // contractual content).
+            CAMP_ASSERT(result.per_product[k].faulty);
+            n = wave.result_capacity(item);
+        }
+        if (n != 0)
+            std::memcpy(wave.result_ptr(item), product.data(),
+                        n * sizeof(mpn::Limb));
+        wave.set_result_size(item, n);
+    }
+    result.products.clear();
+    return result;
 }
 
 CostEstimate

@@ -52,6 +52,16 @@ class SimDevice : public Device
                       const std::vector<std::uint64_t>& indices,
                       unsigned parallelism = 0) override;
 
+    /** Wave execution through BatchEngine::multiply_batch_views: the
+     * engine streams operands straight from the wave's limb runs (the
+     * host-side pair materialization of the default path disappears;
+     * the simulated stream-in copy is intrinsic to the model). */
+    sim::BatchResult
+    mul_batch_wave(WaveBuffer& wave,
+                   const std::vector<std::size_t>& items,
+                   const std::vector<std::uint64_t>& indices,
+                   unsigned parallelism = 0) override;
+
     CostEstimate cost(std::uint64_t bits_a,
                       std::uint64_t bits_b) const override;
 

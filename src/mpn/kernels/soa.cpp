@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "mpn/kernels/kernels.hpp"
+#include "mpn/mul.hpp"
 #include "support/assert.hpp"
 #include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
@@ -22,13 +23,14 @@ namespace {
 
 /**
  * Multiply one full group of W same-shape products via the vertical
- * kernel. idx[0..W) are indices into pairs/out; every pair has the
- * same (an, bn) shape with an >= bn >= 1, an <= kSoaMaxLimbs.
+ * kernel, writing the full (an + bn)-limb product of lane l into
+ * rps[l]. aps/bps/rps are per-lane limb runs with an >= bn >= 1,
+ * an <= kSoaMaxLimbs, every result area disjoint from every operand.
  */
 void
-soa_group(const KernelTable& table, const std::size_t* idx,
-          std::size_t an, std::size_t bn,
-          const std::pair<Natural, Natural>* pairs, Natural* out)
+soa_group_core(const KernelTable& table, std::size_t an, std::size_t bn,
+               const Limb* const* aps, const Limb* const* bps,
+               Limb* const* rps)
 {
     const std::size_t w = table.soa_width;
     const std::size_t nda = 2 * an;
@@ -42,20 +44,15 @@ soa_group(const KernelTable& table, const std::size_t* idx,
     std::uint64_t* acc_hi = frame.alloc(ncols * w);
 
     // Transpose to digit-major SoA: da[d * w + lane] is lane's
-    // radix-2^32 digit d. The larger operand of each pair feeds da.
+    // radix-2^32 digit d.
     for (std::size_t lane = 0; lane < w; ++lane) {
-        const auto& pr = pairs[idx[lane]];
-        const bool swap = pr.first.size() < pr.second.size();
-        const Natural& a = swap ? pr.second : pr.first;
-        const Natural& b = swap ? pr.first : pr.second;
-        CAMP_ASSERT(a.size() == an && b.size() == bn);
         for (std::size_t m = 0; m < an; ++m) {
-            const Limb limb = a.limb(m);
+            const Limb limb = aps[lane][m];
             da[(2 * m) * w + lane] = limb & 0xffffffffULL;
             da[(2 * m + 1) * w + lane] = limb >> 32;
         }
         for (std::size_t m = 0; m < bn; ++m) {
-            const Limb limb = b.limb(m);
+            const Limb limb = bps[lane][m];
             db[(2 * m) * w + lane] = limb & 0xffffffffULL;
             db[(2 * m + 1) * w + lane] = limb >> 32;
         }
@@ -71,10 +68,8 @@ soa_group(const KernelTable& table, const std::size_t* idx,
     std::uint64_t* hi_prev = frame.alloc(w);
     std::memset(carry, 0, w * sizeof(*carry));
     std::memset(hi_prev, 0, w * sizeof(*hi_prev));
-    std::vector<std::vector<Limb>> limbs(w);
     for (std::size_t lane = 0; lane < w; ++lane)
-        limbs[lane].assign(an + bn, 0);
-    support::metrics::counter("mpn.alloc.count").add(w);
+        std::memset(rps[lane], 0, (an + bn) * sizeof(Limb));
     for (std::size_t c = 0; c < ncols; ++c) {
         for (std::size_t lane = 0; lane < w; ++lane) {
             const std::uint64_t v =
@@ -82,13 +77,45 @@ soa_group(const KernelTable& table, const std::size_t* idx,
             hi_prev[lane] = acc_hi[c * w + lane];
             carry[lane] = v >> 32;
             const std::uint64_t dig = v & 0xffffffffULL;
-            limbs[lane][c / 2] |= dig << (32 * (c & 1));
+            rps[lane][c / 2] |= dig << (32 * (c & 1));
         }
     }
-    for (std::size_t lane = 0; lane < w; ++lane) {
+    for (std::size_t lane = 0; lane < w; ++lane)
         CAMP_ASSERT(carry[lane] == 0 && hi_prev[lane] == 0);
-        out[idx[lane]] = Natural::from_limbs(std::move(limbs[lane]));
+}
+
+/**
+ * Natural-facing wrapper: allocate each lane's result vector (counted
+ * in mpn.alloc.count like any product buffer), run the shared group
+ * core, and hand the vectors to the output Naturals. idx[0..W) are
+ * indices into pairs/out; every pair has the same (an, bn) shape.
+ */
+void
+soa_group(const KernelTable& table, const std::size_t* idx,
+          std::size_t an, std::size_t bn,
+          const std::pair<Natural, Natural>* pairs, Natural* out)
+{
+    const std::size_t w = table.soa_width;
+    CAMP_ASSERT(w <= 8);
+    const Limb* aps[8];
+    const Limb* bps[8];
+    Limb* rps[8];
+    std::vector<std::vector<Limb>> limbs(w);
+    for (std::size_t lane = 0; lane < w; ++lane) {
+        const auto& pr = pairs[idx[lane]];
+        const bool swap = pr.first.size() < pr.second.size();
+        const Natural& a = swap ? pr.second : pr.first;
+        const Natural& b = swap ? pr.first : pr.second;
+        CAMP_ASSERT(a.size() == an && b.size() == bn);
+        aps[lane] = a.data();
+        bps[lane] = b.data();
+        limbs[lane].resize(an + bn);
+        rps[lane] = limbs[lane].data();
     }
+    support::metrics::counter("mpn.alloc.count").add(w);
+    soa_group_core(table, an, bn, aps, bps, rps);
+    for (std::size_t lane = 0; lane < w; ++lane)
+        out[idx[lane]] = Natural::from_limbs(std::move(limbs[lane]));
 }
 
 } // namespace
@@ -157,6 +184,90 @@ soa_mul_batch(const std::vector<std::pair<Natural, Natural>>& pairs,
 {
     CAMP_ASSERT(out.size() == pairs.size());
     return soa_mul_batch(pairs.data(), pairs.size(), out.data());
+}
+
+std::size_t
+soa_mul_batch_raw(SoaItem* items, std::size_t count)
+{
+    const KernelTable& table = active();
+    const std::size_t w = table.soa_width;
+
+    // Canonical operand order (the product is symmetric): ap is the
+    // larger run, so shapes group exactly like the Natural driver's.
+    for (std::size_t i = 0; i < count; ++i)
+        if (items[i].an < items[i].bn) {
+            std::swap(items[i].ap, items[i].bp);
+            std::swap(items[i].an, items[i].bn);
+        }
+
+    constexpr std::uint64_t kIneligible = ~std::uint64_t{0};
+    std::vector<std::pair<std::uint64_t, std::size_t>> order;
+    order.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const bool eligible = w != 0 && table.soa_vertical != nullptr &&
+                              items[i].bn >= 1 &&
+                              items[i].an <= kSoaMaxLimbs;
+        order.emplace_back(
+            eligible
+                ? (static_cast<std::uint64_t>(items[i].an) << 32) |
+                      items[i].bn
+                : kIneligible,
+            i);
+    }
+    std::sort(order.begin(), order.end());
+
+    std::size_t via_soa = 0;
+    std::size_t pos = 0;
+    while (pos < count) {
+        const std::uint64_t key = order[pos].first;
+        std::size_t end = pos;
+        while (end < count && order[end].first == key)
+            ++end;
+        if (key != kIneligible) {
+            const std::size_t an = key >> 32;
+            const std::size_t bn = key & 0xffffffffULL;
+            CAMP_ASSERT(w <= 8);
+            const Limb* aps[8];
+            const Limb* bps[8];
+            Limb* rps[8];
+            while (pos + w <= end) {
+                for (std::size_t lane = 0; lane < w; ++lane) {
+                    SoaItem& item = items[order[pos + lane].second];
+                    aps[lane] = item.ap;
+                    bps[lane] = item.bp;
+                    rps[lane] = item.rp;
+                }
+                soa_group_core(table, an, bn, aps, bps, rps);
+                for (std::size_t lane = 0; lane < w; ++lane) {
+                    SoaItem& item = items[order[pos + lane].second];
+                    std::size_t rn = an + bn;
+                    while (rn > 0 && item.rp[rn - 1] == 0)
+                        --rn;
+                    item.rn = rn;
+                }
+                via_soa += w;
+                pos += w;
+            }
+        }
+        // Remainder lanes and ineligible items: the ordinary dispatched
+        // kernel, straight into the caller's slot — still no product
+        // allocation.
+        for (; pos < end; ++pos) {
+            SoaItem& item = items[order[pos].second];
+            if (item.bn == 0) {
+                item.rn = 0;
+                continue;
+            }
+            mul(item.rp, item.ap, item.an, item.bp, item.bn);
+            std::size_t rn = item.an + item.bn;
+            while (rn > 0 && item.rp[rn - 1] == 0)
+                --rn;
+            item.rn = rn;
+        }
+    }
+    if (via_soa)
+        support::metrics::counter("mpn.soa.products").add(via_soa);
+    return via_soa;
 }
 
 } // namespace camp::mpn::kernels

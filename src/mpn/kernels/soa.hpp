@@ -45,6 +45,36 @@ std::size_t
 soa_mul_batch(const std::vector<std::pair<Natural, Natural>>& pairs,
               std::vector<Natural>& out);
 
+/**
+ * One product of the raw (zero-copy) batch driver: operand limb runs
+ * must be normalized (no high zero limbs; zero = length 0) and @p rp
+ * must point at @p an + @p bn writable limbs, disjoint from both
+ * operands, whenever both operands are nonzero. The driver writes the
+ * product into rp and sets @p rn to its normalized length (0 for a
+ * zero product). The exec plane's wave path (Device::mul_batch_wave)
+ * points rp straight into WaveBuffer result slots, so a batch
+ * multiplies with no per-product allocation at all.
+ */
+struct SoaItem
+{
+    const Limb* ap = nullptr;
+    std::size_t an = 0;
+    const Limb* bp = nullptr;
+    std::size_t bn = 0;
+    Limb* rp = nullptr;
+    std::size_t rn = 0; ///< out: significant product limbs
+};
+
+/**
+ * Raw-pointer twin of soa_mul_batch over wave-owned storage: same
+ * grouping, same vertical kernels, bit-identical products — but
+ * results land in the caller's preallocated slots instead of fresh
+ * Natural vectors. Operand order within an item may be swapped in
+ * place (the product is symmetric). Returns the number of products
+ * computed via the SoA kernel.
+ */
+std::size_t soa_mul_batch_raw(SoaItem* items, std::size_t count);
+
 } // namespace camp::mpn::kernels
 
 #endif // CAMP_MPN_KERNELS_SOA_HPP

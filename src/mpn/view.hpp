@@ -1,0 +1,96 @@
+/**
+ * @file
+ * LimbView: a non-owning, normalized span of limbs — the currency of
+ * the zero-copy wave path (DESIGN.md §14). Where the exec plane used
+ * to pass `Natural` values (each hop copying the limb vector), it now
+ * passes views into arena-backed `exec::WaveBuffer` storage.
+ *
+ * Validity contract: a view borrows; it is valid exactly as long as
+ * the buffer that produced it. For wave views that means until the
+ * owning WaveBuffer is reset(), released, or destroyed — see the
+ * lifetime rules in DESIGN.md §14. Debug builds poison released wave
+ * ranges under ASan, so violating the contract is a hard failure
+ * rather than silent corruption.
+ */
+#ifndef CAMP_MPN_VIEW_HPP
+#define CAMP_MPN_VIEW_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mpn/limb.hpp"
+#include "mpn/natural.hpp"
+#include "support/bits.hpp"
+
+namespace camp::mpn {
+
+/**
+ * Read-only view of a normalized little-endian limb sequence (no high
+ * zero limbs; zero is {nullptr-or-anything, 0}). Trivially copyable.
+ */
+struct LimbView
+{
+    const Limb* ptr = nullptr;
+    std::size_t len = 0;
+
+    LimbView() = default;
+
+    /** From a raw normalized run (caller guarantees no high zeros). */
+    LimbView(const Limb* p, std::size_t n) : ptr(p), len(n) {}
+
+    /** Borrow a Natural's storage (valid while the Natural lives and
+     * is not reassigned). */
+    explicit LimbView(const Natural& n) : ptr(n.data()), len(n.size()) {}
+
+    bool is_zero() const { return len == 0; }
+    std::size_t size() const { return len; }
+
+    Limb
+    limb(std::size_t i) const
+    {
+        return i < len ? ptr[i] : 0;
+    }
+
+    /** Significant bits (0 for zero); mirrors Natural::bits(). */
+    std::uint64_t
+    bits() const
+    {
+        if (len == 0)
+            return 0;
+        return static_cast<std::uint64_t>(len - 1) * kLimbBits +
+               static_cast<std::uint64_t>(bit_length(ptr[len - 1]));
+    }
+
+    /** Deep copy into an owning value (the one sanctioned way to keep
+     * limbs beyond the backing buffer's lifetime). */
+    Natural
+    to_natural() const
+    {
+        return Natural::from_limbs(
+            std::vector<Limb>(ptr, ptr + len));
+    }
+
+    friend bool
+    operator==(const LimbView& a, const LimbView& b)
+    {
+        if (a.len != b.len)
+            return false;
+        for (std::size_t i = 0; i < a.len; ++i)
+            if (a.ptr[i] != b.ptr[i])
+                return false;
+        return true;
+    }
+};
+
+/** Normalize a raw run (drop high zero limbs) into a view. */
+inline LimbView
+normalized_view(const Limb* ptr, std::size_t len)
+{
+    while (len > 0 && ptr[len - 1] == 0)
+        --len;
+    return LimbView(ptr, len);
+}
+
+} // namespace camp::mpn
+
+#endif // CAMP_MPN_VIEW_HPP

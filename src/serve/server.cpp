@@ -524,7 +524,9 @@ Server::process(const std::vector<Request>& workload)
             ExecResult& res = wave.results[i];
             res.error = futures[i].error();
             if (res.error == ErrorCode::Ok) {
-                res.product = futures[i].get();
+                // take(): moves the product out of the queue slot —
+                // this delivery edge used to deep-copy every product.
+                res.product = futures[i].take();
                 res.faulty = futures[i].faulty();
                 res.injected = futures[i].injected();
                 wave.injected += res.injected;

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "support/arena.hpp"
 #include "support/assert.hpp"
 #include "support/metrics.hpp"
 
@@ -256,30 +257,43 @@ ScratchArena::tls()
     return arena;
 }
 
+ScratchArena::~ScratchArena()
+{
+    // Runs at thread exit, possibly after this thread's arena magazines
+    // are gone — release_direct() files blocks straight into the depot.
+    // The global arena is leaked, so it is always alive here.
+    for (Block& block : blocks_)
+        LimbArena::global().release_direct(block.words, block.capacity);
+    blocks_.clear();
+}
+
 std::uint64_t*
 ScratchArena::alloc(std::size_t n)
 {
-    if (blocks_.empty()) {
-        blocks_.push_back(
-            {std::make_unique<std::uint64_t[]>(kFirstBlockWords),
-             kFirstBlockWords});
-    }
+    // Bump blocks come from the global limb arena; it rounds up to a
+    // size class and the full class capacity is usable bump space.
+    const auto arena_block = [](std::size_t min_words) -> Block {
+        const std::size_t cap = LimbArena::size_class_words(min_words);
+        return {LimbArena::global().alloc(cap), cap};
+    };
+    if (blocks_.empty())
+        blocks_.push_back(arena_block(kFirstBlockWords));
     if (blocks_[block_].capacity - used_ < n) {
         // Tail of the current block is wasted until the frame unwinds;
         // move to (or create) a next block that fits.
         ++block_;
         if (block_ == blocks_.size()) {
-            const std::size_t cap =
-                std::max(blocks_.back().capacity * 2, n);
             blocks_.push_back(
-                {std::make_unique<std::uint64_t[]>(cap), cap});
+                arena_block(std::max(blocks_.back().capacity * 2, n)));
         } else if (blocks_[block_].capacity < n) {
             // Block is beyond every live frame mark, safe to regrow.
-            blocks_[block_] = {std::make_unique<std::uint64_t[]>(n), n};
+            LimbArena::global().release(blocks_[block_].words,
+                                        blocks_[block_].capacity);
+            blocks_[block_] = arena_block(n);
         }
         used_ = 0;
     }
-    std::uint64_t* p = blocks_[block_].words.get() + used_;
+    std::uint64_t* p = blocks_[block_].words + used_;
     used_ += n;
     // High-water accounting: words live right now = full blocks below
     // the cursor plus the current block's bump offset. blocks_ stays

@@ -149,12 +149,20 @@ class TaskGroup
  * for the lifetime of the thread, so steady-state hot paths allocate
  * nothing from the system. Pointers stay valid until the owning frame
  * unwinds (blocks are chained, never reallocated).
+ *
+ * Since the memory-plane refactor (DESIGN.md §14) the bump blocks come
+ * from LimbArena::global() rather than the system allocator, so scratch
+ * shows up in the shared `arena.*` accounting and dead threads hand
+ * their blocks back to the process-wide pool.
  */
 class ScratchArena
 {
   public:
     /** The calling thread's arena. */
     static ScratchArena& tls();
+
+    /** Returns every cached block to LimbArena::global(). */
+    ~ScratchArena();
 
     /** Bump-allocate @p n 64-bit words (uninitialized). */
     std::uint64_t* alloc(std::size_t n);
@@ -182,7 +190,7 @@ class ScratchArena
 
     struct Block
     {
-        std::unique_ptr<std::uint64_t[]> words;
+        std::uint64_t* words = nullptr; ///< owned by LimbArena::global()
         std::size_t capacity = 0;
     };
 

@@ -577,6 +577,42 @@ TEST(SubmitQueue, FlushFailurePreservesInvalidArgument)
     EXPECT_EQ(f2.error(), camp::ErrorCode::Internal);
 }
 
+TEST(SubmitQueue, TakeMovesProductOutWithoutCopy)
+{
+    // take() hands the delivered limb vector to the caller by move —
+    // the serving front-end uses it to avoid one deep copy per
+    // response (DESIGN.md §14).
+    auto device = exec::make_device("sim");
+    exec::SubmitQueue queue(*device);
+    camp::Rng rng(5600);
+    const Natural a = Natural::random_bits(rng, 3000);
+    const Natural b = Natural::random_bits(rng, 2500);
+    exec::SubmitQueue::Future future = queue.submit(a, b);
+    const Natural product = future.take();
+    EXPECT_EQ(product, a * b);
+    EXPECT_TRUE(future.ready());
+    EXPECT_EQ(future.error(), camp::ErrorCode::Ok);
+    EXPECT_FALSE(future.faulty());
+
+    // Mixed access stays fine on distinct futures of one batch.
+    auto f1 = queue.submit(Natural(3), Natural(5));
+    auto f2 = queue.submit(Natural(7), Natural(11));
+    queue.flush();
+    EXPECT_EQ(f1.get(), Natural(15));
+    EXPECT_EQ(f2.take(), Natural(77));
+}
+
+TEST(SubmitQueue, TakeRethrowsTypedFlushFailure)
+{
+    ThrowingBatchDevice device(
+        [] { throw camp::HardwareFault("fabric offline"); },
+        /*failures=*/1);
+    exec::SubmitQueue queue(device);
+    auto future = queue.submit(Natural(2), Natural(9));
+    EXPECT_THROW(future.take(), camp::HardwareFault);
+    EXPECT_EQ(future.error(), camp::ErrorCode::HardwareFault);
+}
+
 TEST(RuntimeExec, StringBackendMatchesEnumBackend)
 {
     Runtime by_enum(Backend::CambriconP);
