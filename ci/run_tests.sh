@@ -17,7 +17,9 @@
 #     with CAMP_CI_SKIP_PERF=1), plus the short serving soak —
 #     bench/serve_soak with fault injection armed, which self-checks
 #     zero wrong results, conservation, bounded p99, and exact ledger
-#     accounting before the perf gate even runs;
+#     accounting before the perf gate even runs — plus an ungated
+#     short `serve_soak --wall` leg (overlapping in-flight waves on
+#     real threads; hard correctness asserts, no latency gates);
 #  3. address+undefined-sanitizer build + ctest — this includes
 #     test_simd_kernels, so the vector kernels' scratch/tail handling
 #     runs under ASan/UBSan every CI pass — followed by a dedicated
@@ -30,7 +32,9 @@
 #     concurrency-bearing tests — pool, mpn mul, batch, runtime,
 #     sharded scheduler, memory plane (per-thread arena magazines +
 #     concurrent wave slot writes), serving layer (concurrent ledger
-#     folding) — at CAMP_THREADS=4 (skip with CAMP_CI_SKIP_SANITIZE=1);
+#     folding), async wall-clock serving (overlapping wave workers,
+#     handle callbacks, the differential oracle) — at CAMP_THREADS=4
+#     (skip with CAMP_CI_SKIP_SANITIZE=1);
 #  5. report-only coverage summary via gcovr/gcov when available
 #     (opt in with CAMP_CI_COVERAGE=1; never gates).
 set -euo pipefail
@@ -133,6 +137,18 @@ if [[ "${CAMP_CI_SKIP_PERF:-0}" != "1" ]]; then
         CAMP_BENCH_TOLERANCE="${CAMP_BENCH_TOLERANCE:-4.0}" \
         ./build/bench/serve_soak
 
+    # Wall-clock serving leg: the same soak, short, in --wall mode —
+    # CAMP_SERVE_INFLIGHT=4 overlapping waves on real worker threads.
+    # The binary keeps every *correctness* invariant hard (zero wrong
+    # results, conservation, exact ledger fold) but wall timings are
+    # scheduling noise by construction, so this leg carries no
+    # CAMP_BENCH_GATE and no latency bound (DESIGN.md §15).
+    echo "==== serve soak (short, --wall, inflight=4, ungated) ===="
+    CAMP_SERVE_REQUESTS=400 \
+        CAMP_SERVE_INFLIGHT=4 \
+        CAMP_BENCH_DIR=build \
+        ./build/bench/serve_soak --wall
+
     # Negative control: a doctored baseline (every ns_per_op forced to
     # 1 ns) must make the gate fail on any machine, proving the gate
     # actually bites. The freshly written BENCH json is reused so this
@@ -180,10 +196,11 @@ if [[ "${CAMP_CI_SKIP_SANITIZE:-0}" != "1" ]]; then
     echo "==== build build-tsan ===="
     cmake --build build-tsan -j "${JOBS}" --target \
         test_thread_pool test_mpn_mul test_sim_batch test_mpapca \
-        test_scheduler test_memory_plane test_serve
+        test_scheduler test_memory_plane test_serve test_serve_async
     echo "==== tsan tests (CAMP_THREADS=4) ===="
     for t in test_thread_pool test_mpn_mul test_sim_batch test_mpapca \
-             test_scheduler test_memory_plane test_serve; do
+             test_scheduler test_memory_plane test_serve \
+             test_serve_async; do
         echo "---- ${t} ----"
         CAMP_THREADS=4 ./build-tsan/tests/"${t}"
     done

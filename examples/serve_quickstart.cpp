@@ -10,6 +10,11 @@
  *     retries, and exact CPU fallback.
  *  3. Read the report: per-tenant latency percentiles, the shed set,
  *     and the conservation identities that prove nothing was lost.
+ *  4. Re-serve the same workload through the async client edge —
+ *     submit_async handles with completion callbacks, wall-clock wave
+ *     execution with overlapping in-flight waves — and check it
+ *     settles exactly the same outcome set (the virtual-as-oracle
+ *     differential of DESIGN.md §15).
  *
  * Build & run:  cmake -B build -G Ninja && cmake --build build &&
  *               ./build/examples/serve_quickstart
@@ -62,5 +67,37 @@ main()
                     device.stats().fallback_products));
     std::printf("accounting conserved: %s\n",
                 report.conserved() ? "yes" : "NO");
-    return report.conserved() ? 0 : 1;
+
+    // --- 4. The async edge, on the wall clock ------------------------
+    // Same decisions, real execution: waves overlap on worker threads,
+    // handles settle with callbacks, and the settled set matches the
+    // virtual run above outcome for outcome.
+    camp::sim::SimConfig clean_config = camp::sim::default_config();
+    camp::exec::SimDevice oracle_device(clean_config);
+    serve::Server oracle(config, oracle_device);
+    const serve::ServeReport oracle_report = oracle.process(workload);
+
+    serve::ServeConfig wall_config = config;
+    wall_config.wall_clock = true;
+    wall_config.max_inflight_waves = 4;
+    camp::exec::SimDevice wall_device(clean_config);
+    serve::Server async_server(wall_config, wall_device);
+    std::uint64_t settled = 0;
+    for (const serve::Request& request : workload)
+        async_server.submit_async(request).on_settle(
+            [&settled](const serve::Outcome&) { ++settled; });
+    const serve::ServeReport wall_report = async_server.finish();
+
+    bool differential = wall_report.outcomes.size() ==
+                        oracle_report.outcomes.size();
+    for (std::size_t i = 0; differential && i < workload.size(); ++i)
+        differential = wall_report.outcomes[i].status ==
+                       oracle_report.outcomes[i].status;
+    std::printf("async wall-clock run: %llu callbacks, %llu waves, "
+                "matches the virtual oracle: %s\n",
+                static_cast<unsigned long long>(settled),
+                static_cast<unsigned long long>(wall_report.waves),
+                differential ? "yes" : "NO");
+
+    return report.conserved() && differential ? 0 : 1;
 }

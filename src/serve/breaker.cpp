@@ -53,8 +53,9 @@ breaker_state_name(BreakerState state)
 }
 
 BreakerDevice::BreakerDevice(std::unique_ptr<exec::Device> inner,
-                             BreakerPolicy policy)
-    : inner_(std::move(inner)), policy_(policy)
+                             BreakerPolicy policy,
+                             const support::Clock* clock)
+    : inner_(std::move(inner)), policy_(policy), clock_(clock)
 {
     CAMP_ASSERT(inner_ != nullptr);
     if (policy_.open_threshold == 0)
@@ -86,6 +87,13 @@ BreakerDevice::transition_locked(BreakerState next)
     support::trace::Span span("serve.breaker.transition", "serve");
     span.arg("from", static_cast<double>(state_));
     span.arg("to", static_cast<double>(next));
+    if (clock_ != nullptr) {
+        const std::uint64_t now_us = clock_->now_us();
+        if (state_ == BreakerState::Open)
+            stats_.open_total += support::Clock::duration(
+                now_us - stats_.last_transition_us);
+        stats_.last_transition_us = now_us;
+    }
     if (next == BreakerState::Open) {
         ++stats_.opens;
         breaker_metrics().opens->add();

@@ -26,6 +26,7 @@
 
 #include "exec/device.hpp"
 #include "serve/config.hpp"
+#include "support/clock.hpp"
 
 namespace camp::serve {
 
@@ -47,13 +48,26 @@ struct BreakerStats
     std::uint64_t probes = 0;   ///< HalfOpen waves sent to the device
     std::uint64_t fallback_products = 0; ///< served by CPU while Open
     std::uint64_t inner_products = 0;    ///< served by the device
+    /** Clock stamp of the latest state transition (0 until the first
+     * one, or always 0 when no clock was attached). */
+    std::uint64_t last_transition_us = 0;
+    /** Total time spent quarantined (Open), on the attached clock —
+     * virtual microseconds when the server shares its VirtualClock,
+     * real ones on a WallClock. Zero without a clock. */
+    support::Clock::duration open_total{0};
 };
 
 class BreakerDevice : public exec::Device
 {
   public:
+    /** @p clock, when given (not owned; must outlive the breaker),
+     * timestamps state transitions and accumulates Open residency in
+     * BreakerStats — share the server's clock (Server::clock()) to get
+     * quarantine durations in serving time. The state machine itself
+     * stays count-driven either way. */
     BreakerDevice(std::unique_ptr<exec::Device> inner,
-                  BreakerPolicy policy);
+                  BreakerPolicy policy,
+                  const support::Clock* clock = nullptr);
 
     const char* name() const override { return inner_->name(); }
     exec::DeviceKind kind() const override { return inner_->kind(); }
@@ -111,6 +125,7 @@ class BreakerDevice : public exec::Device
 
     std::unique_ptr<exec::Device> inner_;
     BreakerPolicy policy_;
+    const support::Clock* clock_; ///< optional transition timestamps
     mutable std::mutex mutex_;
     BreakerState state_ = BreakerState::Closed;
     unsigned consecutive_failures_ = 0;

@@ -1,71 +1,45 @@
 #include "serve/config.hpp"
 
-#include <cstdlib>
-#include <string>
-
-#include "support/errors.hpp"
+#include "support/env.hpp"
 
 namespace camp::serve {
 
-namespace {
-
-/** Strictly positive integer from the environment; throws with the
- * variable name on junk or < 1. */
-std::uint64_t
-positive_env(const char* name, std::uint64_t fallback)
-{
-    const char* env = std::getenv(name);
-    if (env == nullptr || env[0] == '\0')
-        return fallback;
-    char* end = nullptr;
-    const long long v = std::strtoll(env, &end, 10);
-    if (end == env || *end != '\0' || v < 1)
-        throw InvalidArgument(std::string(name) +
-                              " must be a positive integer, got '" +
-                              env + "'");
-    return static_cast<std::uint64_t>(v);
-}
-
-/** Nonnegative integer (0 allowed = disabled). */
-std::uint64_t
-nonnegative_env(const char* name, std::uint64_t fallback)
-{
-    const char* env = std::getenv(name);
-    if (env == nullptr || env[0] == '\0')
-        return fallback;
-    char* end = nullptr;
-    const long long v = std::strtoll(env, &end, 10);
-    if (end == env || *end != '\0' || v < 0)
-        throw InvalidArgument(std::string(name) +
-                              " must be a nonnegative integer, got '" +
-                              env + "'");
-    return static_cast<std::uint64_t>(v);
-}
-
-} // namespace
+using support::env_flag;
+using support::env_nonnegative_u64;
+using support::env_positive_u64;
 
 ServeConfig
 serve_config_from_env()
 {
     ServeConfig config;
-    config.limits.max_queue_depth = static_cast<std::size_t>(
-        positive_env("CAMP_SERVE_DEPTH", config.limits.max_queue_depth));
-    config.limits.retry_budget = positive_env(
+    config.limits.max_queue_depth =
+        static_cast<std::size_t>(env_positive_u64(
+            "CAMP_SERVE_DEPTH", config.limits.max_queue_depth));
+    config.limits.retry_budget = env_positive_u64(
         "CAMP_SERVE_RETRY_BUDGET", config.limits.retry_budget);
-    config.max_inflight_us = static_cast<double>(positive_env(
-        "CAMP_SERVE_INFLIGHT_US",
-        static_cast<std::uint64_t>(config.max_inflight_us)));
+    config.max_backlog_us = static_cast<double>(env_positive_u64(
+        "CAMP_SERVE_BACKLOG_US",
+        static_cast<std::uint64_t>(config.max_backlog_us)));
     config.wave_size = static_cast<std::size_t>(
-        positive_env("CAMP_SERVE_WAVE", config.wave_size));
-    config.default_deadline_us = nonnegative_env(
-        "CAMP_SERVE_DEADLINE_US", config.default_deadline_us);
-    config.backoff_base_us =
-        positive_env("CAMP_SERVE_BACKOFF_US", config.backoff_base_us);
+        env_positive_u64("CAMP_SERVE_WAVE", config.wave_size));
+    config.max_inflight_waves = static_cast<unsigned>(env_positive_u64(
+        "CAMP_SERVE_INFLIGHT", config.max_inflight_waves));
+    config.default_deadline =
+        support::Clock::duration(env_nonnegative_u64(
+            "CAMP_SERVE_DEADLINE_US",
+            static_cast<std::uint64_t>(
+                config.default_deadline.count())));
+    config.backoff_base = support::Clock::duration(env_positive_u64(
+        "CAMP_SERVE_BACKOFF_US",
+        static_cast<std::uint64_t>(config.backoff_base.count())));
     config.max_attempts = static_cast<unsigned>(
-        positive_env("CAMP_SERVE_ATTEMPTS", config.max_attempts));
-    config.breaker.open_threshold = static_cast<unsigned>(positive_env(
-        "CAMP_SERVE_BREAKER_THRESHOLD", config.breaker.open_threshold));
-    config.breaker.probe_after = positive_env(
+        env_positive_u64("CAMP_SERVE_ATTEMPTS", config.max_attempts));
+    config.wall_clock = env_flag("CAMP_SERVE_WALL", config.wall_clock);
+    config.breaker.open_threshold =
+        static_cast<unsigned>(env_positive_u64(
+            "CAMP_SERVE_BREAKER_THRESHOLD",
+            config.breaker.open_threshold));
+    config.breaker.probe_after = env_positive_u64(
         "CAMP_SERVE_BREAKER_PROBE", config.breaker.probe_after);
     return config;
 }

@@ -1,16 +1,28 @@
 /**
  * @file
  * Serving-layer configuration: admission limits, deadlines, the retry
- * policy, and the circuit-breaker thresholds. Every knob has a
- * `CAMP_SERVE_*` environment override (serve_config_from_env) so soak
- * runs and CI legs can reshape the server without recompiling —
- * mirroring the exec plane's CAMP_SHARDS/CAMP_BACKEND convention.
+ * policy, the wave pipeline depth, the clock source, and the
+ * circuit-breaker thresholds. Every knob has a `CAMP_SERVE_*`
+ * environment override (serve_config_from_env) so soak runs and CI
+ * legs can reshape the server without recompiling — mirroring the exec
+ * plane's CAMP_SHARDS/CAMP_BACKEND convention.
+ *
+ * Time units: every duration-valued knob is a support::Clock::duration
+ * (std::chrono::microseconds). On the default virtual clock these are
+ * *virtual* microseconds of the deterministic ledger; on a wall-clock
+ * server the same quantities are interpreted against real time for
+ * reconciliation only — the decisions still run on the virtual ledger
+ * (DESIGN.md §15). The typed unit is what makes that safe: a
+ * wall-clock server cannot misread a backoff or retry-after hint as a
+ * different unit, because the type carries it.
  */
 #ifndef CAMP_SERVE_CONFIG_HPP
 #define CAMP_SERVE_CONFIG_HPP
 
 #include <cstddef>
 #include <cstdint>
+
+#include "support/clock.hpp"
 
 namespace camp::serve {
 
@@ -43,21 +55,29 @@ struct ServeConfig
 {
     TenantLimits limits;
 
-    /** Global backlog bound, in virtual microseconds of estimated
-     * device time: when the queued work exceeds this, load is shed —
-     * lowest priority first. */
-    double max_inflight_us = 50000.0;
+    /** Global backlog bound, in microseconds of estimated device
+     * time: when the queued work exceeds this, load is shed — lowest
+     * priority first. (Named max_backlog_us: it bounds the *queued*
+     * estimate, not the dispatched wave pipeline — that is
+     * max_inflight_waves.) */
+    double max_backlog_us = 50000.0;
 
     /** Requests dispatched per coalesced device wave. */
     std::size_t wave_size = 16;
 
+    /** Waves the dispatch pipeline may overlap: wave n+1 may be
+     * claimed and dispatched while waves n-k..n still execute, k <
+     * max_inflight_waves (the SubmitQueue ring depth). 1 = the
+     * classic one-wave-at-a-time engine. */
+    unsigned max_inflight_waves = 1;
+
     /** Deadline assigned at admission to requests that carry none
-     * (microseconds after arrival); 0 = no implicit deadline. */
-    std::uint64_t default_deadline_us = 0;
+     * (after arrival); zero = no implicit deadline. */
+    support::Clock::duration default_deadline{0};
 
     /** Exponential backoff base: retry attempt n waits
-     * backoff_base_us * 2^(n-1) virtual microseconds. */
-    std::uint64_t backoff_base_us = 100;
+     * backoff_base * 2^(n-1) on the serving clock. */
+    support::Clock::duration backoff_base{100};
 
     /** Dispatch attempts per request (first try included). */
     unsigned max_attempts = 3;
@@ -67,15 +87,22 @@ struct ServeConfig
      * delivered and only counted. */
     bool retry_on_faulty = true;
 
+    /** Execute waves asynchronously against a WallClock (worker
+     * thread per in-flight wave, wall timestamps reconciled per
+     * request) instead of inline against the VirtualClock. Decisions
+     * are identical either way — the differential-oracle contract. */
+    bool wall_clock = false;
+
     BreakerPolicy breaker;
 };
 
 /**
  * Defaults overridden by the environment: CAMP_SERVE_DEPTH,
- * CAMP_SERVE_RETRY_BUDGET, CAMP_SERVE_INFLIGHT_US, CAMP_SERVE_WAVE,
- * CAMP_SERVE_DEADLINE_US, CAMP_SERVE_BACKOFF_US, CAMP_SERVE_ATTEMPTS,
- * CAMP_SERVE_BREAKER_THRESHOLD, CAMP_SERVE_BREAKER_PROBE. Junk values
- * throw camp::InvalidArgument naming the variable.
+ * CAMP_SERVE_RETRY_BUDGET, CAMP_SERVE_BACKLOG_US, CAMP_SERVE_WAVE,
+ * CAMP_SERVE_INFLIGHT, CAMP_SERVE_DEADLINE_US, CAMP_SERVE_BACKOFF_US,
+ * CAMP_SERVE_ATTEMPTS, CAMP_SERVE_WALL, CAMP_SERVE_BREAKER_THRESHOLD,
+ * CAMP_SERVE_BREAKER_PROBE. Junk, overflowing, or empty values throw
+ * camp::InvalidArgument naming the variable — never silently default.
  */
 ServeConfig serve_config_from_env();
 

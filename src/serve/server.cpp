@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <deque>
 #include <limits>
-#include <optional>
+#include <mutex>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
@@ -49,6 +52,22 @@ percentile(const std::vector<std::uint64_t>& sorted, double q)
     return sorted[std::min(sorted.size(), std::max<std::size_t>(
                                               1, rank)) -
                   1];
+}
+
+/** Trace span names live as long as the ring (pointers are stored,
+ * never copied), so per-tenant settle spans need interned names. The
+ * registry leaks by design — tenant cardinality is tiny. */
+const char*
+settle_span_name(const std::string& tenant)
+{
+    static std::mutex mutex;
+    static auto* names = new std::unordered_map<
+        std::string, std::unique_ptr<std::string>>();
+    std::lock_guard<std::mutex> lock(mutex);
+    std::unique_ptr<std::string>& name = (*names)[tenant];
+    if (name == nullptr)
+        name = std::make_unique<std::string>("serve.settle." + tenant);
+    return name->c_str();
 }
 
 } // namespace
@@ -115,29 +134,24 @@ ServeReport::table() const
     return out.str();
 }
 
-Server::Server(ServeConfig config, exec::Device& device,
-               mpapca::Ledger* fault_sink)
-    : config_(std::move(config)), device_(device),
-      fault_sink_(fault_sink)
+namespace detail {
+
+/** Shared completion state behind one Server::Handle. */
+struct HandleState
 {
-    if (config_.wave_size == 0)
-        throw InvalidArgument("wave_size must be >= 1");
-    if (config_.max_attempts == 0)
-        throw InvalidArgument("max_attempts must be >= 1");
-    if (!(config_.max_inflight_us > 0.0))
-        throw InvalidArgument("max_inflight_us must be positive");
-    if (config_.limits.max_queue_depth == 0)
-        throw InvalidArgument("max_queue_depth must be >= 1");
-    if (config_.backoff_base_us == 0)
-        throw InvalidArgument("backoff_base_us must be >= 1");
-}
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool settled = false;
+    Outcome outcome; ///< copied (product included) at settlement
+    std::function<void(const Outcome&)> callback;
+};
 
 namespace {
 
 /** One admitted request travelling through the server. */
 struct Entry
 {
-    std::size_t index = 0; ///< workload position
+    std::size_t index = 0; ///< arrival position
     const Request* req = nullptr;
     std::size_t tenant = 0;          ///< tenant-state index
     std::uint64_t deadline_us = 0;   ///< effective (default applied)
@@ -153,14 +167,6 @@ struct ExecResult
     Natural product;
     ErrorCode error = ErrorCode::Ok;
     bool faulty = false;
-    std::uint64_t injected = 0;
-};
-
-struct Wave
-{
-    std::vector<Entry> entries;
-    std::vector<ExecResult> results;
-    double completion_us = 0.0;
     std::uint64_t injected = 0;
 };
 
@@ -203,99 +209,168 @@ key_of(const Entry& entry)
 
 } // namespace
 
-ServeReport
-Server::process(const std::vector<Request>& workload)
+/**
+ * The one decision engine behind both Server::process and
+ * Server::submit_async. All state mutation happens on the caller's
+ * thread (arrive/pump/finish are never called concurrently); the only
+ * cross-thread traffic is wall-mode wave execution, confined to the
+ * SubmitQueue's own synchronization, and Handle waiters on their own
+ * HandleState mutexes.
+ *
+ * Incremental pumping reproduces the classic batch event loop exactly:
+ * pump_to(T) processes every completion/retry event at times <= T and
+ * dispatches only at times strictly before T — because arrivals at T
+ * itself may still be coming (burst clumps land many requests on one
+ * stamp), and the batch loop admits every arrival at an instant before
+ * it dispatches at that instant. finish() pumps with T = infinity.
+ */
+class Engine
 {
-    support::trace::Span process_span("serve.process", "serve");
-    process_span.arg("requests",
-                     static_cast<double>(workload.size()));
+  public:
+    Engine(const ServeConfig& config, exec::Device& device,
+           mpapca::Ledger* fault_sink, support::Clock& clock)
+        : config_(config), device_(device), fault_sink_(fault_sink),
+          clock_(clock),
+          queue_(device, 0, 0, config.max_inflight_waves),
+          cap_bits_(device.base_cap_bits())
+    {
+    }
 
-    ServeReport report;
-    report.outcomes.resize(workload.size());
+    ~Engine()
+    {
+        // Abandoned session: waves may still be executing; join them
+        // so no worker outlives the queue they write into.
+        for (WaveInFlight& wave : inflight_)
+            if (wave.worker.joinable())
+                wave.worker.join();
+    }
 
-    std::vector<TenantState> tenants;
-    std::unordered_map<std::string, std::size_t> tenant_index;
-    const auto tenant_of = [&](const Request& req) -> std::size_t {
-        auto [it, inserted] =
-            tenant_index.emplace(req.tenant, tenants.size());
-        if (inserted) {
-            TenantState state;
-            state.name = req.tenant;
-            state.priority = req.priority;
-            state.retry_budget = config_.limits.retry_budget;
-            tenants.push_back(std::move(state));
-        }
-        return it->second;
+    std::shared_ptr<HandleState>
+    arrive(const Request& request, bool want_handle)
+    {
+        if (request.arrival_us < last_arrival_us_)
+            throw InvalidArgument(
+                "requests must be submitted in nondecreasing "
+                "arrival_us order");
+        last_arrival_us_ = request.arrival_us;
+        pump_to(static_cast<double>(request.arrival_us));
+        vnow_ = std::max(vnow_,
+                         static_cast<double>(request.arrival_us));
+        requests_.push_back(request);
+        report_.outcomes.emplace_back();
+        std::shared_ptr<HandleState> handle;
+        if (want_handle)
+            handle = std::make_shared<HandleState>();
+        handles_.push_back(handle);
+        admit(requests_.size() - 1);
+        return handle;
+    }
+
+    ServeReport finish()
+    {
+        pump_to(kInfinity);
+        CAMP_ASSERT(ready_.empty() && inflight_.empty());
+        return assemble_report();
+    }
+
+  private:
+    struct WaveInFlight
+    {
+        std::vector<Entry> entries;
+        std::vector<ExecResult> results; ///< virtual mode: at dispatch
+        std::vector<exec::SubmitQueue::Future> futures; ///< wall mode
+        std::thread worker; ///< wall mode: runs the claimed flush
+        double completion_us = 0.0;
+        std::uint64_t injected = 0;
     };
 
-    // Arrival order is the event order; require it sorted so virtual
-    // time never runs backwards.
-    for (std::size_t i = 1; i < workload.size(); ++i)
-        if (workload[i].arrival_us < workload[i - 1].arrival_us)
-            throw InvalidArgument(
-                "workload must be sorted by arrival time");
-
-    exec::SubmitQueue queue(device_);
-    const std::uint64_t cap_bits = device_.base_cap_bits();
-
-    std::vector<Entry> ready;
-    double queued_cost_us = 0.0;
-    std::optional<Wave> inflight;
-    std::size_t next_arrival = 0;
-    double vnow = 0.0;
-    double virtual_end = 0.0;
-
-    const auto cost_estimate = [&](const Request& req) {
+    double
+    cost_estimate(const Request& req) const
+    {
         const double seconds =
             device_
                 .cost(std::max<std::uint64_t>(1, req.a.bits()),
                       std::max<std::uint64_t>(1, req.b.bits()))
                 .seconds;
         return std::max(1.0, seconds * 1e6);
-    };
+    }
 
-    const auto settle = [&](const Entry& entry, RequestStatus status,
-                            ErrorCode error, double when,
-                            Natural product = Natural(),
-                            bool fallback = false,
-                            std::uint64_t retry_after = 0) {
-        Outcome& outcome = report.outcomes[entry.index];
+    std::size_t
+    tenant_of(const Request& req)
+    {
+        auto [it, inserted] =
+            tenant_index_.emplace(req.tenant, tenants_.size());
+        if (inserted) {
+            TenantState state;
+            state.name = req.tenant;
+            state.priority = req.priority;
+            state.retry_budget = config_.limits.retry_budget;
+            tenants_.push_back(std::move(state));
+        }
+        return it->second;
+    }
+
+    void
+    settle(const Entry& entry, RequestStatus status, ErrorCode error,
+           double when, Natural product = Natural(),
+           bool fallback = false,
+           support::Clock::duration retry_after =
+               support::Clock::duration{0})
+    {
+        const std::uint64_t when_us = static_cast<std::uint64_t>(when);
+        // The serving clock follows the settlement ledger: a virtual
+        // clock is steered to the settle stamp (settles are
+        // time-ordered, so now_us == when_us and the skew is
+        // identically zero); a wall clock ignores the steer and
+        // reports real elapsed time.
+        clock_.advance_to_us(when_us);
+        const std::uint64_t wall_us = clock_.now_us();
+
+        Outcome& outcome = report_.outcomes[entry.index];
         outcome.id = entry.req->id;
         outcome.status = status;
         outcome.error = error;
-        outcome.retry_after_us = retry_after;
+        outcome.retry_after = retry_after;
         outcome.attempts = entry.attempts;
         outcome.fallback = fallback;
         outcome.faulty_seen = entry.faulty_seen;
-        virtual_end = std::max(virtual_end, when);
-        TenantState& tenant = tenants[entry.tenant];
+        outcome.wall_completion_us = wall_us;
+        outcome.skew_us = static_cast<std::int64_t>(wall_us) -
+                          static_cast<std::int64_t>(when_us);
+        virtual_end_ = std::max(virtual_end_, when);
+        TenantState& tenant = tenants_[entry.tenant];
         TenantCounters& c = tenant.counters;
         switch (status) {
         case RequestStatus::Completed: {
             const std::uint64_t latency =
-                static_cast<std::uint64_t>(when) -
-                entry.req->arrival_us;
+                when_us - entry.req->arrival_us;
             outcome.latency_us = latency;
             outcome.product = std::move(product);
             tenant.latencies_us.push_back(latency);
             ++c.completed;
+            // Wall reconciliation: virtually on time, but the wall
+            // stamp missed the deadline — the pipeline's honesty
+            // metric. Never set on a virtual clock (wall_us ==
+            // when_us <= deadline there).
+            if (entry.deadline_us != 0 && wall_us > entry.deadline_us)
+                ++c.wall_late;
             break;
         }
         case RequestStatus::ShedAdmission:
             ++c.shed_admission;
-            report.shed_ids.push_back(entry.req->id);
+            report_.shed_ids.push_back(entry.req->id);
             break;
         case RequestStatus::ShedEvicted:
             ++c.shed_evicted;
-            report.shed_ids.push_back(entry.req->id);
+            report_.shed_ids.push_back(entry.req->id);
             break;
         case RequestStatus::RejectedDeadline:
             ++c.rejected_deadline;
-            report.timeout_ids.push_back(entry.req->id);
+            report_.timeout_ids.push_back(entry.req->id);
             break;
         case RequestStatus::TimedOut:
             ++c.timeouts;
-            report.timeout_ids.push_back(entry.req->id);
+            report_.timeout_ids.push_back(entry.req->id);
             break;
         case RequestStatus::Failed:
             ++c.failed;
@@ -307,22 +382,58 @@ Server::process(const std::vector<Request>& workload)
         // the report exactly.
         if (fallback)
             ++c.fallbacks;
-    };
+
+        {
+            support::trace::Span span(settle_span_name(tenant.name),
+                                      "serve");
+            span.arg("status",
+                     static_cast<double>(static_cast<int>(status)));
+            span.arg("skew_us",
+                     static_cast<double>(outcome.skew_us));
+        }
+
+        notify_handle(entry.index);
+    }
+
+    void
+    notify_handle(std::size_t index)
+    {
+        const std::shared_ptr<HandleState>& handle = handles_[index];
+        if (handle == nullptr)
+            return;
+        std::function<void(const Outcome&)> callback;
+        {
+            std::lock_guard<std::mutex> lock(handle->mutex);
+            handle->outcome = report_.outcomes[index]; // deep copy
+            handle->settled = true;
+            callback = std::move(handle->callback);
+            handle->callback = nullptr;
+        }
+        handle->cv.notify_all();
+        if (callback)
+            callback(handle->outcome);
+    }
 
     /** Backlog-drain hint for Unavailable outcomes. */
-    const auto retry_after_hint = [&]() -> std::uint64_t {
-        double wait = queued_cost_us;
-        if (inflight && inflight->completion_us > vnow)
-            wait += inflight->completion_us - vnow;
-        return std::max<std::uint64_t>(
-            1, static_cast<std::uint64_t>(wait));
-    };
+    support::Clock::duration
+    retry_after_hint() const
+    {
+        double wait = queued_cost_us_;
+        // device_free_us_ is the dispatch pipeline's tail: the virtual
+        // stamp the last dispatched wave completes at.
+        if (device_free_us_ > vnow_)
+            wait += device_free_us_ - vnow_;
+        return support::Clock::duration(std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(wait)));
+    }
 
     // --- admission -------------------------------------------------
-    const auto admit = [&](std::size_t index) {
-        const Request& req = workload[index];
+    void
+    admit(std::size_t index)
+    {
+        const Request& req = requests_[index];
         const std::size_t t = tenant_of(req);
-        TenantState& tenant = tenants[t];
+        TenantState& tenant = tenants_[t];
         ++tenant.counters.submitted;
 
         Entry entry;
@@ -331,9 +442,11 @@ Server::process(const std::vector<Request>& workload)
         entry.tenant = t;
         entry.cost_us = cost_estimate(req);
         entry.deadline_us = req.deadline_us;
-        if (entry.deadline_us == 0 && config_.default_deadline_us != 0)
+        if (entry.deadline_us == 0 &&
+            config_.default_deadline.count() != 0)
             entry.deadline_us =
-                req.arrival_us + config_.default_deadline_us;
+                req.arrival_us + static_cast<std::uint64_t>(
+                                     config_.default_deadline.count());
 
         // Deadline feasibility: a request that cannot finish by its
         // deadline even on an idle device is refused outright — never
@@ -342,14 +455,14 @@ Server::process(const std::vector<Request>& workload)
             (static_cast<double>(req.arrival_us) + entry.cost_us >
              static_cast<double>(entry.deadline_us))) {
             settle(entry, RequestStatus::RejectedDeadline,
-                   ErrorCode::DeadlineExceeded, vnow);
+                   ErrorCode::DeadlineExceeded, vnow_);
             return;
         }
 
         // Bounded per-tenant queue.
         if (tenant.queued >= config_.limits.max_queue_depth) {
             settle(entry, RequestStatus::ShedAdmission,
-                   ErrorCode::Unavailable, vnow, Natural(), false,
+                   ErrorCode::Unavailable, vnow_, Natural(), false,
                    retry_after_hint());
             return;
         }
@@ -358,47 +471,46 @@ Server::process(const std::vector<Request>& workload)
         // lower-priority queued work first (worst class, youngest
         // arrival); if no such victim frees enough room, shed the
         // arrival itself.
-        while (queued_cost_us + entry.cost_us >
-               config_.max_inflight_us) {
-            std::size_t victim = ready.size();
-            for (std::size_t i = 0; i < ready.size(); ++i) {
-                if (key_of(ready[i]).priority <=
+        while (queued_cost_us_ + entry.cost_us >
+               config_.max_backlog_us) {
+            std::size_t victim = ready_.size();
+            for (std::size_t i = 0; i < ready_.size(); ++i) {
+                if (key_of(ready_[i]).priority <=
                     static_cast<int>(req.priority))
                     continue; // only strictly lower classes evict
-                if (victim == ready.size() ||
-                    key_of(ready[victim]) < key_of(ready[i]))
+                if (victim == ready_.size() ||
+                    key_of(ready_[victim]) < key_of(ready_[i]))
                     victim = i;
             }
-            if (victim == ready.size())
+            if (victim == ready_.size())
                 break;
-            const Entry evicted = ready[victim];
-            ready.erase(ready.begin() +
-                        static_cast<std::ptrdiff_t>(victim));
-            queued_cost_us -= evicted.cost_us;
-            --tenants[evicted.tenant].queued;
+            const Entry evicted = ready_[victim];
+            ready_.erase(ready_.begin() +
+                         static_cast<std::ptrdiff_t>(victim));
+            queued_cost_us_ -= evicted.cost_us;
+            --tenants_[evicted.tenant].queued;
             settle(evicted, RequestStatus::ShedEvicted,
-                   ErrorCode::Unavailable, vnow, Natural(), false,
+                   ErrorCode::Unavailable, vnow_, Natural(), false,
                    retry_after_hint());
         }
-        if (queued_cost_us + entry.cost_us > config_.max_inflight_us) {
+        if (queued_cost_us_ + entry.cost_us > config_.max_backlog_us) {
             settle(entry, RequestStatus::ShedAdmission,
-                   ErrorCode::Unavailable, vnow, Natural(), false,
+                   ErrorCode::Unavailable, vnow_, Natural(), false,
                    retry_after_hint());
             return;
         }
 
         ++tenant.counters.admitted;
         ++tenant.queued;
-        queued_cost_us += entry.cost_us;
-        ready.push_back(std::move(entry));
-    };
+        queued_cost_us_ += entry.cost_us;
+        ready_.push_back(std::move(entry));
+    }
 
     // --- retry / fallback ------------------------------------------
-    std::uint64_t wave_retries = 0;
-    std::uint64_t wave_fallbacks = 0;
-
-    const auto complete_exact = [&](Entry& entry, Natural product,
-                                    double when, bool fallback) {
+    void
+    complete_exact(Entry& entry, Natural product, double when,
+                   bool fallback)
+    {
         if (entry.deadline_us != 0 &&
             when > static_cast<double>(entry.deadline_us)) {
             // Cooperative cancellation: the product exists but arrived
@@ -410,66 +522,85 @@ Server::process(const std::vector<Request>& workload)
         }
         settle(entry, RequestStatus::Completed, ErrorCode::Ok, when,
                std::move(product), fallback);
-    };
+    }
 
-    const auto cpu_fallback = [&](Entry& entry, double when) {
-        ++wave_fallbacks;
+    void
+    cpu_fallback(Entry& entry, double when)
+    {
+        ++wave_fallbacks_;
         complete_exact(entry, entry.req->a * entry.req->b, when,
                        /*fallback=*/true);
-    };
+    }
 
-    const auto retry_or_fallback = [&](Entry& entry, double when) {
-        TenantState& tenant = tenants[entry.tenant];
+    void
+    retry_or_fallback(Entry& entry, double when)
+    {
+        TenantState& tenant = tenants_[entry.tenant];
         if (entry.attempts < config_.max_attempts &&
             tenant.retry_budget > 0) {
-            const double backoff =
-                static_cast<double>(config_.backoff_base_us) *
-                static_cast<double>(1ull << (entry.attempts - 1));
-            const double ready_at = when + backoff;
+            const support::Clock::duration backoff =
+                config_.backoff_base *
+                static_cast<std::int64_t>(
+                    1ull << (entry.attempts - 1));
+            const double ready_at =
+                when + static_cast<double>(backoff.count());
             if (entry.deadline_us == 0 ||
                 ready_at < static_cast<double>(entry.deadline_us)) {
                 --tenant.retry_budget;
                 ++tenant.counters.retries;
-                ++wave_retries;
+                ++wave_retries_;
                 entry.ready_us = ready_at;
                 ++tenant.queued;
-                queued_cost_us += entry.cost_us;
-                ready.push_back(entry);
+                queued_cost_us_ += entry.cost_us;
+                ready_.push_back(entry);
                 return;
             }
             // A backoff that outlives the deadline is pointless;
             // serve the exact product now instead.
         }
         cpu_fallback(entry, when);
-    };
+    }
 
     // --- dispatch --------------------------------------------------
-    const auto dispatch = [&]() {
+    bool
+    dispatchable() const
+    {
+        if (inflight_.size() >= config_.max_inflight_waves)
+            return false;
+        for (const Entry& entry : ready_)
+            if (entry.ready_us <= vnow_)
+                return true;
+        return false;
+    }
+
+    void
+    dispatch()
+    {
         // Select up to wave_size dispatchable entries in key order.
         std::vector<std::size_t> picked;
         while (picked.size() < config_.wave_size) {
-            std::size_t best = ready.size();
-            for (std::size_t i = 0; i < ready.size(); ++i) {
-                if (ready[i].ready_us > vnow)
+            std::size_t best = ready_.size();
+            for (std::size_t i = 0; i < ready_.size(); ++i) {
+                if (ready_[i].ready_us > vnow_)
                     continue;
                 if (std::find(picked.begin(), picked.end(), i) !=
                     picked.end())
                     continue;
-                if (best == ready.size() ||
-                    key_of(ready[i]) < key_of(ready[best]))
+                if (best == ready_.size() ||
+                    key_of(ready_[i]) < key_of(ready_[best]))
                     best = i;
             }
-            if (best == ready.size())
+            if (best == ready_.size())
                 break;
             picked.push_back(best);
         }
         CAMP_ASSERT(!picked.empty());
         std::sort(picked.begin(), picked.end());
-        Wave wave;
+        WaveInFlight wave;
         for (auto it = picked.rbegin(); it != picked.rend(); ++it) {
-            wave.entries.push_back(std::move(ready[*it]));
-            ready.erase(ready.begin() +
-                        static_cast<std::ptrdiff_t>(*it));
+            wave.entries.push_back(std::move(ready_[*it]));
+            ready_.erase(ready_.begin() +
+                         static_cast<std::ptrdiff_t>(*it));
         }
         std::reverse(wave.entries.begin(), wave.entries.end());
         std::sort(wave.entries.begin(), wave.entries.end(),
@@ -480,23 +611,24 @@ Server::process(const std::vector<Request>& workload)
         double wave_cost = 0.0;
         std::vector<Entry> dispatched;
         for (Entry& entry : wave.entries) {
-            --tenants[entry.tenant].queued;
-            queued_cost_us -= entry.cost_us;
+            --tenants_[entry.tenant].queued;
+            queued_cost_us_ -= entry.cost_us;
             // Deadline gate at dispatch: expired work is dropped, not
             // computed.
             if (entry.deadline_us != 0 &&
-                static_cast<double>(entry.deadline_us) <= vnow) {
+                static_cast<double>(entry.deadline_us) <= vnow_) {
                 settle(entry, RequestStatus::TimedOut,
-                       ErrorCode::DeadlineExceeded, vnow);
+                       ErrorCode::DeadlineExceeded, vnow_);
                 continue;
             }
             // Capability gate: an oversized operand would poison the
             // whole coalesced batch with InvalidArgument; fail it
             // individually instead.
-            if (cap_bits != 0 && (entry.req->a.bits() > cap_bits ||
-                                  entry.req->b.bits() > cap_bits)) {
+            if (cap_bits_ != 0 &&
+                (entry.req->a.bits() > cap_bits_ ||
+                 entry.req->b.bits() > cap_bits_)) {
                 settle(entry, RequestStatus::Failed,
-                       ErrorCode::InvalidArgument, vnow);
+                       ErrorCode::InvalidArgument, vnow_);
                 continue;
             }
             ++entry.attempts;
@@ -512,38 +644,75 @@ Server::process(const std::vector<Request>& workload)
         span.arg("cost_us", wave_cost);
 
         // Real execution through the coalescing queue: the typed-error
-        // futures of satellite PR work are the actual failure channel.
-        std::vector<exec::SubmitQueue::Future> futures;
-        futures.reserve(wave.entries.size());
+        // futures of the exec plane are the actual failure channel.
+        wave.futures.reserve(wave.entries.size());
         for (const Entry& entry : wave.entries)
-            futures.push_back(
-                queue.submit(entry.req->a, entry.req->b));
-        queue.flush();
+            wave.futures.push_back(
+                queue_.submit(entry.req->a, entry.req->b));
+        if (config_.wall_clock) {
+            // Wall mode: claim the wave (ring backpressure can never
+            // bite here — the engine bounds in-flight waves to the
+            // ring depth) and execute it on its own worker; results
+            // are harvested at the wave's virtual completion event.
+            exec::SubmitQueue::Ticket ticket = queue_.begin_flush();
+            CAMP_ASSERT(ticket.valid());
+            wave.worker = std::thread(
+                [this, t = std::move(ticket)]() mutable {
+                    queue_.run_flush(std::move(t));
+                });
+        } else {
+            // Virtual mode: the flush runs inline; harvest now and
+            // hold the results until the completion event.
+            queue_.flush();
+            harvest(wave);
+        }
+        // Pipelined service: the device starts this wave when it
+        // finishes the previous one (in-order pipeline); with
+        // max_inflight_waves == 1 this is exactly vnow + cost.
+        wave.completion_us = std::max(vnow_, device_free_us_) +
+                             std::max(1.0, wave_cost);
+        device_free_us_ = wave.completion_us;
+        ++report_.waves;
+        metrics::counter("serve.waves").add();
+        inflight_.push_back(std::move(wave));
+    }
+
+    /** Resolve the wave's futures into results (non-blocking when the
+     * flush already ran; triggers it otherwise). */
+    void
+    harvest(WaveInFlight& wave)
+    {
         wave.results.resize(wave.entries.size());
-        for (std::size_t i = 0; i < futures.size(); ++i) {
+        for (std::size_t i = 0; i < wave.futures.size(); ++i) {
             ExecResult& res = wave.results[i];
-            res.error = futures[i].error();
+            res.error = wave.futures[i].error();
             if (res.error == ErrorCode::Ok) {
                 // take(): moves the product out of the queue slot —
                 // this delivery edge used to deep-copy every product.
-                res.product = futures[i].take();
-                res.faulty = futures[i].faulty();
-                res.injected = futures[i].injected();
+                res.product = wave.futures[i].take();
+                res.faulty = wave.futures[i].faulty();
+                res.injected = wave.futures[i].injected();
                 wave.injected += res.injected;
             }
         }
-        wave.completion_us = vnow + std::max(1.0, wave_cost);
-        ++report.waves;
-        metrics::counter("serve.waves").add();
-        inflight = std::move(wave);
-    };
+        wave.futures.clear();
+    }
 
     // --- wave completion -------------------------------------------
-    const auto complete_wave = [&]() {
-        Wave wave = std::move(*inflight);
-        inflight.reset();
-        wave_retries = 0;
-        wave_fallbacks = 0;
+    void
+    complete_wave()
+    {
+        WaveInFlight wave = std::move(inflight_.front());
+        inflight_.pop_front();
+        if (wave.worker.joinable()) {
+            // Wall mode: the join is the synchronization edge — after
+            // it, every future of this wave is ready and error() /
+            // take() below cannot block.
+            wave.worker.join();
+            harvest(wave);
+        }
+        wave_retries_ = 0;
+        wave_fallbacks_ = 0;
         std::uint64_t wave_faulty = 0;
         const double when = wave.completion_us;
         for (std::size_t i = 0; i < wave.entries.size(); ++i) {
@@ -560,7 +729,7 @@ Server::process(const std::vector<Request>& workload)
             if (res.faulty) {
                 ++wave_faulty;
                 entry.faulty_seen = true;
-                ++tenants[entry.tenant].counters.faulty_results;
+                ++tenants_[entry.tenant].counters.faulty_results;
                 if (config_.retry_on_faulty) {
                     retry_or_fallback(entry, when);
                     continue;
@@ -574,98 +743,249 @@ Server::process(const std::vector<Request>& workload)
             delta.injected = wave.injected;
             delta.checks = wave.results.size();
             delta.detected = wave_faulty;
-            delta.retried = wave_retries;
-            delta.fallbacks = wave_fallbacks;
+            delta.retried = wave_retries_;
+            delta.fallbacks = wave_fallbacks_;
             fault_sink_->fold_fault_stats(delta);
         }
-    };
+    }
 
     // --- the virtual-time event loop -------------------------------
-    for (;;) {
-        if (!inflight) {
-            bool dispatchable = false;
-            for (const Entry& entry : ready)
-                if (entry.ready_us <= vnow) {
-                    dispatchable = true;
-                    break;
-                }
-            if (dispatchable) {
+    /**
+     * Advance the engine through every event strictly inside
+     * (vnow, target]: complete due waves, dispatch at instants before
+     * @p target (arrivals at target itself may still be coming — the
+     * caller admits, then a later pump dispatches). Leaves
+     * vnow_ <= target; the caller raises vnow_ to the arrival stamp.
+     */
+    void
+    pump_to(double target)
+    {
+        for (;;) {
+            if (vnow_ < target && dispatchable()) {
                 dispatch();
                 continue;
             }
+            double t_next = kInfinity;
+            if (!inflight_.empty())
+                t_next = inflight_.front().completion_us;
+            // Only *future* retry wakeups are events; an entry already
+            // ready (ready_us <= vnow_) is the dispatch gate's job and
+            // must not pin t_next to a past stamp.
+            if (inflight_.size() < config_.max_inflight_waves)
+                for (const Entry& entry : ready_)
+                    if (entry.ready_us > vnow_ &&
+                        entry.ready_us < target)
+                        t_next = std::min(t_next, entry.ready_us);
+            if (t_next == kInfinity || t_next > target)
+                break;
+            vnow_ = std::max(vnow_, t_next);
+            while (!inflight_.empty() &&
+                   inflight_.front().completion_us <= vnow_)
+                complete_wave();
         }
-        double t_next = kInfinity;
-        if (next_arrival < workload.size())
-            t_next = std::min(
-                t_next, static_cast<double>(
-                            workload[next_arrival].arrival_us));
-        if (inflight)
-            t_next = std::min(t_next, inflight->completion_us);
-        else
-            for (const Entry& entry : ready)
-                t_next = std::min(t_next, entry.ready_us);
-        if (t_next == kInfinity)
-            break;
-        vnow = std::max(vnow, t_next);
-        if (inflight && inflight->completion_us <= vnow)
-            complete_wave();
-        while (next_arrival < workload.size() &&
-               static_cast<double>(
-                   workload[next_arrival].arrival_us) <= vnow)
-            admit(next_arrival++);
     }
-    CAMP_ASSERT(ready.empty() && !inflight &&
-                next_arrival == workload.size());
 
     // --- report assembly -------------------------------------------
-    report.virtual_end_us = static_cast<std::uint64_t>(virtual_end);
-    std::sort(report.shed_ids.begin(), report.shed_ids.end());
-    std::sort(report.timeout_ids.begin(), report.timeout_ids.end());
-    for (TenantState& tenant : tenants) {
-        TenantReport tenant_report;
-        tenant_report.name = tenant.name;
-        tenant_report.priority = tenant.priority;
-        tenant_report.counters = tenant.counters;
-        std::sort(tenant.latencies_us.begin(),
-                  tenant.latencies_us.end());
-        tenant_report.latencies_us = std::move(tenant.latencies_us);
-        tenant_report.p50_us =
-            percentile(tenant_report.latencies_us, 0.50);
-        tenant_report.p95_us =
-            percentile(tenant_report.latencies_us, 0.95);
-        tenant_report.p99_us =
-            percentile(tenant_report.latencies_us, 0.99);
+    ServeReport
+    assemble_report()
+    {
+        ServeReport report = std::move(report_);
+        report_ = ServeReport();
+        report.virtual_end_us =
+            static_cast<std::uint64_t>(virtual_end_);
+        report.wall_end_us = clock_.now_us();
+        std::sort(report.shed_ids.begin(), report.shed_ids.end());
+        std::sort(report.timeout_ids.begin(),
+                  report.timeout_ids.end());
+        for (TenantState& tenant : tenants_) {
+            TenantReport tenant_report;
+            tenant_report.name = tenant.name;
+            tenant_report.priority = tenant.priority;
+            tenant_report.counters = tenant.counters;
+            std::sort(tenant.latencies_us.begin(),
+                      tenant.latencies_us.end());
+            tenant_report.latencies_us =
+                std::move(tenant.latencies_us);
+            tenant_report.p50_us =
+                percentile(tenant_report.latencies_us, 0.50);
+            tenant_report.p95_us =
+                percentile(tenant_report.latencies_us, 0.95);
+            tenant_report.p99_us =
+                percentile(tenant_report.latencies_us, 0.99);
 
-        const TenantCounters& c = tenant_report.counters;
-        const std::string prefix = "serve.tenant." + tenant.name + ".";
-        metrics::counter(prefix + "submitted").add(c.submitted);
-        metrics::counter(prefix + "admitted").add(c.admitted);
-        metrics::counter(prefix + "completed").add(c.completed);
-        metrics::counter(prefix + "shed")
-            .add(c.shed_admission + c.shed_evicted);
-        metrics::counter(prefix + "timeouts")
-            .add(c.timeouts + c.rejected_deadline);
-        metrics::counter(prefix + "failed").add(c.failed);
-        metrics::counter(prefix + "retries").add(c.retries);
-        metrics::counter(prefix + "fallbacks").add(c.fallbacks);
-        metrics::Histogram& latency =
-            metrics::histogram(prefix + "latency_us");
-        for (const std::uint64_t sample : tenant_report.latencies_us)
-            latency.record(sample);
+            const TenantCounters& c = tenant_report.counters;
+            const std::string prefix =
+                "serve.tenant." + tenant.name + ".";
+            metrics::counter(prefix + "submitted").add(c.submitted);
+            metrics::counter(prefix + "admitted").add(c.admitted);
+            metrics::counter(prefix + "completed").add(c.completed);
+            metrics::counter(prefix + "shed")
+                .add(c.shed_admission + c.shed_evicted);
+            metrics::counter(prefix + "timeouts")
+                .add(c.timeouts + c.rejected_deadline);
+            metrics::counter(prefix + "failed").add(c.failed);
+            metrics::counter(prefix + "retries").add(c.retries);
+            metrics::counter(prefix + "fallbacks").add(c.fallbacks);
+            metrics::counter(prefix + "wall_late").add(c.wall_late);
+            metrics::Histogram& latency =
+                metrics::histogram(prefix + "latency_us");
+            for (const std::uint64_t sample :
+                 tenant_report.latencies_us)
+                latency.record(sample);
 
-        report.totals.submitted += c.submitted;
-        report.totals.admitted += c.admitted;
-        report.totals.completed += c.completed;
-        report.totals.shed_admission += c.shed_admission;
-        report.totals.shed_evicted += c.shed_evicted;
-        report.totals.rejected_deadline += c.rejected_deadline;
-        report.totals.timeouts += c.timeouts;
-        report.totals.failed += c.failed;
-        report.totals.retries += c.retries;
-        report.totals.fallbacks += c.fallbacks;
-        report.totals.faulty_results += c.faulty_results;
-        report.tenants.push_back(std::move(tenant_report));
+            report.totals.submitted += c.submitted;
+            report.totals.admitted += c.admitted;
+            report.totals.completed += c.completed;
+            report.totals.shed_admission += c.shed_admission;
+            report.totals.shed_evicted += c.shed_evicted;
+            report.totals.rejected_deadline += c.rejected_deadline;
+            report.totals.timeouts += c.timeouts;
+            report.totals.failed += c.failed;
+            report.totals.retries += c.retries;
+            report.totals.fallbacks += c.fallbacks;
+            report.totals.faulty_results += c.faulty_results;
+            report.totals.wall_late += c.wall_late;
+            report.tenants.push_back(std::move(tenant_report));
+        }
+        return report;
     }
+
+    const ServeConfig& config_;
+    exec::Device& device_;
+    mpapca::Ledger* fault_sink_;
+    support::Clock& clock_;
+    exec::SubmitQueue queue_;
+    std::uint64_t cap_bits_;
+
+    /** Stable request storage: entries hold pointers into this deque
+     * for the whole session (submit_async callers keep nothing). */
+    std::deque<Request> requests_;
+    std::vector<std::shared_ptr<HandleState>> handles_;
+    ServeReport report_;
+
+    std::vector<TenantState> tenants_;
+    std::unordered_map<std::string, std::size_t> tenant_index_;
+    std::vector<Entry> ready_;
+    std::deque<WaveInFlight> inflight_;
+    double queued_cost_us_ = 0.0;
+    double device_free_us_ = 0.0; ///< in-order pipeline tail
+    double vnow_ = 0.0;
+    double virtual_end_ = 0.0;
+    std::uint64_t last_arrival_us_ = 0;
+    std::uint64_t wave_retries_ = 0;
+    std::uint64_t wave_fallbacks_ = 0;
+};
+
+} // namespace detail
+
+bool
+Server::Handle::settled() const
+{
+    CAMP_ASSERT(state_ != nullptr);
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->settled;
+}
+
+void
+Server::Handle::wait() const
+{
+    CAMP_ASSERT(state_ != nullptr);
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [this] { return state_->settled; });
+}
+
+const Outcome&
+Server::Handle::outcome() const
+{
+    wait();
+    return state_->outcome;
+}
+
+void
+Server::Handle::on_settle(std::function<void(const Outcome&)> callback)
+{
+    CAMP_ASSERT(state_ != nullptr);
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    if (state_->settled) {
+        lock.unlock();
+        if (callback)
+            callback(state_->outcome);
+        return;
+    }
+    state_->callback = std::move(callback);
+}
+
+Server::Server(ServeConfig config, exec::Device& device,
+               mpapca::Ledger* fault_sink, support::Clock* clock)
+    : config_(std::move(config)), device_(device),
+      fault_sink_(fault_sink)
+{
+    if (config_.wave_size == 0)
+        throw InvalidArgument("wave_size must be >= 1");
+    if (config_.max_attempts == 0)
+        throw InvalidArgument("max_attempts must be >= 1");
+    if (!(config_.max_backlog_us > 0.0))
+        throw InvalidArgument("max_backlog_us must be positive");
+    if (config_.limits.max_queue_depth == 0)
+        throw InvalidArgument("max_queue_depth must be >= 1");
+    if (config_.backoff_base.count() <= 0)
+        throw InvalidArgument("backoff_base must be >= 1us");
+    if (config_.max_inflight_waves == 0)
+        throw InvalidArgument("max_inflight_waves must be >= 1");
+    if (clock != nullptr) {
+        clock_ = clock;
+    } else {
+        if (config_.wall_clock)
+            owned_clock_ = std::make_unique<support::WallClock>();
+        else
+            owned_clock_ = std::make_unique<support::VirtualClock>();
+        clock_ = owned_clock_.get();
+    }
+}
+
+Server::~Server() = default;
+
+ServeReport
+Server::process(const std::vector<Request>& workload)
+{
+    if (engine_ != nullptr)
+        throw InvalidArgument(
+            "process() while an async session is open; finish() it "
+            "first");
+    support::trace::Span process_span("serve.process", "serve");
+    process_span.arg("requests",
+                     static_cast<double>(workload.size()));
+
+    // Arrival order is the event order; require it sorted so virtual
+    // time never runs backwards.
+    for (std::size_t i = 1; i < workload.size(); ++i)
+        if (workload[i].arrival_us < workload[i - 1].arrival_us)
+            throw InvalidArgument(
+                "workload must be sorted by arrival time");
+
+    detail::Engine engine(config_, device_, fault_sink_, *clock_);
+    for (const Request& request : workload)
+        engine.arrive(request, /*want_handle=*/false);
+    return engine.finish();
+}
+
+Server::Handle
+Server::submit_async(const Request& request)
+{
+    if (engine_ == nullptr)
+        engine_ = std::make_unique<detail::Engine>(
+            config_, device_, fault_sink_, *clock_);
+    return Handle(engine_->arrive(request, /*want_handle=*/true));
+}
+
+ServeReport
+Server::finish()
+{
+    if (engine_ == nullptr)
+        throw InvalidArgument(
+            "finish() without an open async session");
+    ServeReport report = engine_->finish();
+    engine_.reset();
     return report;
 }
 

@@ -9,18 +9,40 @@
  *
  * Determinism contract: all serving *decisions* (admit / shed / evict /
  * dispatch order / deadline / retry / fallback) are computed in virtual
- * time — a single-threaded event clock advanced by request arrival
+ * time — a single-threaded event ledger advanced by request arrival
  * stamps and by the device's own cost estimates — never by wall-clock
  * or thread timing. Products are still genuinely computed by the
  * device (through a coalescing exec::SubmitQueue, so the typed-error
  * futures are consumed for real), and the exec plane's bit-identity and
  * position-seeded fault-stream contracts make the full outcome — the
  * shed set included — identical at any CAMP_THREADS or CAMP_SHARDS.
+ *
+ * Two execution modes share that one decision engine (DESIGN.md §15):
+ *
+ *  - Virtual (default): waves execute inline at dispatch; the
+ *    support::VirtualClock is the ledger itself. This is the oracle.
+ *  - Wall (ServeConfig::wall_clock): waves execute asynchronously on
+ *    worker threads through the SubmitQueue wave ring, up to
+ *    max_inflight_waves overlapping; a support::WallClock stamps every
+ *    settlement so the report carries the per-request wall-vs-virtual
+ *    skew. Decisions still run on the virtual ledger, so a wall run
+ *    settles exactly the set the virtual oracle computes — the
+ *    differential property tests/test_serve_async.cpp asserts.
+ *
+ * Clients drive the engine either batch-style (process) or
+ * incrementally (submit_async / finish): submit_async admits the
+ * request immediately, returns a Handle, and pumps the engine up to
+ * the request's arrival stamp — settling (and firing the callbacks of)
+ * everything that virtually completed before it. The engine only runs
+ * inside submit_async/finish/process calls; Handle::wait from another
+ * thread blocks until one of them settles the request.
  */
 #ifndef CAMP_SERVE_SERVER_HPP
 #define CAMP_SERVE_SERVER_HPP
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,9 +50,15 @@
 #include "mpapca/ledger.hpp"
 #include "serve/config.hpp"
 #include "serve/workload.hpp"
+#include "support/clock.hpp"
 #include "support/errors.hpp"
 
 namespace camp::serve {
+
+namespace detail {
+class Engine;
+struct HandleState;
+} // namespace detail
 
 /** Terminal disposition of one request. */
 enum class RequestStatus
@@ -51,10 +79,16 @@ struct Outcome
     std::uint64_t id = 0;
     RequestStatus status = RequestStatus::Completed;
     ErrorCode error = ErrorCode::Ok;
-    /** Hint attached to shed outcomes: virtual microseconds until a
-     * retry is likely to be admitted. */
-    std::uint64_t retry_after_us = 0;
+    /** Hint attached to shed outcomes: how long (on the serving
+     * clock) until a retry is likely to be admitted. */
+    support::Clock::duration retry_after{0};
     std::uint64_t latency_us = 0; ///< completion - arrival (virtual)
+    /** Clock stamp at settlement: equals the virtual settle time on a
+     * VirtualClock, the real elapsed time on a WallClock. */
+    std::uint64_t wall_completion_us = 0;
+    /** wall_completion_us minus the virtual settle time — identically
+     * zero in virtual mode, the reconciliation signal in wall mode. */
+    std::int64_t skew_us = 0;
     unsigned attempts = 0;        ///< device dispatches consumed
     bool fallback = false;        ///< served by the exact CPU path
     bool faulty_seen = false;     ///< a device answer failed validation
@@ -76,6 +110,10 @@ struct TenantCounters
     std::uint64_t fallbacks = 0;      ///< exact-CPU products computed
                                       ///< (even if delivered late)
     std::uint64_t faulty_results = 0; ///< device answers flagged faulty
+    /** Completed inside the virtual deadline but past it on the wall
+     * clock — the reconciliation gap. Observational only: not part of
+     * conserved(), always zero in virtual mode. */
+    std::uint64_t wall_late = 0;
 };
 
 /** One tenant's report: counters plus the latency distribution of its
@@ -91,7 +129,7 @@ struct TenantReport
     std::uint64_t p99_us = 0;
 };
 
-/** Everything Server::process observed. */
+/** Everything the serving engine observed. */
 struct ServeReport
 {
     std::vector<Outcome> outcomes; ///< workload order
@@ -102,6 +140,8 @@ struct ServeReport
     std::uint64_t waves = 0;
     std::uint64_t virtual_end_us = 0; ///< clock when the last request
                                       ///< settled
+    std::uint64_t wall_end_us = 0; ///< serving-clock stamp at finish
+                                   ///< (== virtual_end_us when virtual)
 
     const TenantReport* tenant(const std::string& name) const;
 
@@ -119,26 +159,102 @@ class Server
 {
   public:
     /**
+     * Completion handle for one submit_async request. Cheap to copy
+     * (shared state); the outcome — product included — is retained by
+     * the handle independently of the report, so it stays valid after
+     * finish().
+     */
+    class Handle
+    {
+      public:
+        Handle() = default;
+
+        bool valid() const { return state_ != nullptr; }
+
+        /** True once the request settled (non-blocking). */
+        bool settled() const;
+
+        /** Block until the request settles. The engine only advances
+         * inside submit_async/finish/process calls, so waiting on the
+         * engine's own thread without one of those pending on another
+         * thread would deadlock — wait from a different thread, or
+         * structure the client to call finish() first. */
+        void wait() const;
+
+        /** The settled outcome; calls wait() first. */
+        const Outcome& outcome() const;
+
+        /**
+         * Register a completion callback, fired exactly once with the
+         * settled outcome — immediately (on the calling thread) when
+         * the request already settled, otherwise on the engine thread
+         * inside whichever submit_async/finish call settles it. The
+         * callback must not call back into the Server (the engine is
+         * mid-pump). Replaces any previously registered callback.
+         */
+        void on_settle(std::function<void(const Outcome&)> callback);
+
+      private:
+        friend class Server;
+        explicit Handle(std::shared_ptr<detail::HandleState> state)
+            : state_(std::move(state))
+        {
+        }
+
+        std::shared_ptr<detail::HandleState> state_;
+    };
+
+    /**
      * @p device executes every wave (not owned; must outlive the
      * server). @p fault_sink, when given, receives a thread-safe fold
      * of the fault/recovery counters after every wave
      * (Ledger::fold_fault_stats), so several servers may share one
-     * ledger.
+     * ledger. @p clock, when given, overrides the server-owned clock
+     * (config.wall_clock selects WallClock vs VirtualClock otherwise)
+     * — the sanctioned way to share one clock with a BreakerDevice.
      */
     explicit Server(ServeConfig config, exec::Device& device,
-                    mpapca::Ledger* fault_sink = nullptr);
+                    mpapca::Ledger* fault_sink = nullptr,
+                    support::Clock* clock = nullptr);
+
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
 
     /** Serve @p workload (already sorted by arrival; generate_workload
      * output qualifies) to completion and report. Deterministic for
-     * equal (config, workload, device config) triples. */
+     * equal (config, workload, device config) triples. Throws when an
+     * async session opened by submit_async is still unfinished. */
     ServeReport process(const std::vector<Request>& workload);
 
+    /**
+     * Async client edge: admit @p request (opening a session if none
+     * is open) and return its completion handle. Requests must arrive
+     * in nondecreasing arrival_us order — the event ledger cannot run
+     * backwards. Pumps the engine to the request's arrival stamp, so
+     * earlier requests whose virtual completion precedes it settle
+     * (and fire their callbacks) during this call.
+     */
+    Handle submit_async(const Request& request);
+
+    /** Drain the open async session to completion — every admitted
+     * request settles — and return the report. Throws when no session
+     * is open. */
+    ServeReport finish();
+
     const ServeConfig& config() const { return config_; }
+
+    /** The serving clock (virtual ledger or wall, per config). */
+    support::Clock& clock() { return *clock_; }
 
   private:
     ServeConfig config_;
     exec::Device& device_;
     mpapca::Ledger* fault_sink_;
+    std::unique_ptr<support::Clock> owned_clock_;
+    support::Clock* clock_;
+    std::unique_ptr<detail::Engine> engine_;
 };
 
 } // namespace camp::serve

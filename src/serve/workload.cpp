@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "support/env.hpp"
 #include "support/errors.hpp"
 #include "support/rng.hpp"
 
@@ -164,16 +165,9 @@ workload_spec_from_env(WorkloadSpec defaults)
         if (end != env && *end == '\0')
             defaults.seed = seed;
     }
-    if (const char* env = std::getenv("CAMP_SERVE_REQUESTS")) {
-        char* end = nullptr;
-        const long long count = std::strtoll(env, &end, 10);
-        if (end == env || *end != '\0' || count < 1)
-            throw InvalidArgument(
-                "CAMP_SERVE_REQUESTS must be a positive integer, "
-                "got '" +
-                std::string(env) + "'");
-        defaults.requests = static_cast<std::size_t>(count);
-    }
+    defaults.requests =
+        static_cast<std::size_t>(support::env_positive_u64(
+            "CAMP_SERVE_REQUESTS", defaults.requests));
     return defaults;
 }
 

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The Clock abstraction the serving stack is plumbed through
+ * (DESIGN.md §15). Every time-bearing quantity above the exec plane —
+ * deadlines, retry backoff, retry-after hints, breaker quarantine
+ * durations — is expressed in Clock::duration and read through a Clock
+ * so the same decision code runs against two sources of time:
+ *
+ *  - VirtualClock: the deterministic serving engine's ledger. It only
+ *    moves when the engine advances it (advance_to_us), so a run is a
+ *    pure function of (config, workload, device config) — the replay
+ *    and differential-oracle contract of serve::Server.
+ *  - WallClock: std::chrono::steady_clock, microseconds since the
+ *    clock's construction. advance_to_us is a no-op (wall time cannot
+ *    be steered); now_us genuinely moves between calls.
+ *
+ * The serving engine *decides* on the virtual ledger in both modes;
+ * a WallClock only contributes observability timestamps (per-request
+ * wall-vs-virtual completion skew, breaker open durations). That is
+ * what keeps the wall-clock async server bit-identical to the virtual
+ * oracle.
+ */
+#ifndef CAMP_SUPPORT_CLOCK_HPP
+#define CAMP_SUPPORT_CLOCK_HPP
+
+#include <chrono>
+#include <cstdint>
+
+namespace camp::support {
+
+class Clock
+{
+  public:
+    /** The one time unit of the serving stack. Typed APIs above the
+     * exec plane carry Clock::duration, never raw integers, so a
+     * wall-clock server cannot misread a virtual quantity. */
+    using duration = std::chrono::microseconds;
+
+    virtual ~Clock() = default;
+
+    /** Microseconds since this clock's epoch (construction for a
+     * WallClock; 0 for a fresh VirtualClock). */
+    virtual std::uint64_t now_us() const = 0;
+
+    /** Advance a steerable clock to @p when_us (monotone: earlier
+     * stamps are ignored). Wall clocks ignore this entirely. */
+    virtual void advance_to_us(std::uint64_t when_us) = 0;
+
+    /** True when time only moves via advance_to_us. */
+    virtual bool is_virtual() const = 0;
+
+    duration now() const { return duration(now_us()); }
+};
+
+/** The deterministic engine clock: holds still until advanced. */
+class VirtualClock final : public Clock
+{
+  public:
+    std::uint64_t now_us() const override { return now_us_; }
+
+    void advance_to_us(std::uint64_t when_us) override
+    {
+        if (when_us > now_us_)
+            now_us_ = when_us;
+    }
+
+    bool is_virtual() const override { return true; }
+
+  private:
+    std::uint64_t now_us_ = 0;
+};
+
+/** Monotonic real time, microseconds since construction. */
+class WallClock final : public Clock
+{
+  public:
+    WallClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+    std::uint64_t now_us() const override
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - epoch_)
+                .count());
+    }
+
+    void advance_to_us(std::uint64_t) override {}
+
+    bool is_virtual() const override { return false; }
+
+  private:
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+} // namespace camp::support
+
+#endif // CAMP_SUPPORT_CLOCK_HPP

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Hardened CAMP_* environment parsing. Every serving-layer knob goes
+ * through these helpers so misconfiguration is loud: junk, overflow
+ * (out of long long range), and *empty* values all throw
+ * camp::InvalidArgument naming the offending variable — an empty
+ * export is almost always a broken CI substitution, and silently
+ * falling back to the default there hides the mistake.
+ */
+#ifndef CAMP_SUPPORT_ENV_HPP
+#define CAMP_SUPPORT_ENV_HPP
+
+#include <cstdint>
+
+namespace camp::support {
+
+/** @p name as a strictly positive integer; @p fallback when unset.
+ * Throws camp::InvalidArgument (naming @p name) on junk, < 1,
+ * overflow, or an empty value. */
+std::uint64_t env_positive_u64(const char* name, std::uint64_t fallback);
+
+/** Like env_positive_u64, but 0 is allowed (= disabled). */
+std::uint64_t env_nonnegative_u64(const char* name,
+                                  std::uint64_t fallback);
+
+/** Boolean knob: "0"/"1" (also "false"/"true", "off"/"on"). Throws
+ * camp::InvalidArgument on anything else, empty included. */
+bool env_flag(const char* name, bool fallback);
+
+} // namespace camp::support
+
+#endif // CAMP_SUPPORT_ENV_HPP

@@ -340,21 +340,25 @@ TEST(ServeConfig, EnvironmentParsingAndValidation)
 
     ::setenv("CAMP_SERVE_DEPTH", "8", 1);
     ::setenv("CAMP_SERVE_RETRY_BUDGET", "5", 1);
-    ::setenv("CAMP_SERVE_INFLIGHT_US", "1000", 1);
+    ::setenv("CAMP_SERVE_BACKLOG_US", "1000", 1);
     ::setenv("CAMP_SERVE_WAVE", "4", 1);
+    ::setenv("CAMP_SERVE_INFLIGHT", "3", 1);
     ::setenv("CAMP_SERVE_DEADLINE_US", "0", 1);
     ::setenv("CAMP_SERVE_BACKOFF_US", "50", 1);
     ::setenv("CAMP_SERVE_ATTEMPTS", "2", 1);
+    ::setenv("CAMP_SERVE_WALL", "1", 1);
     ::setenv("CAMP_SERVE_BREAKER_THRESHOLD", "3", 1);
     ::setenv("CAMP_SERVE_BREAKER_PROBE", "10", 1);
     const serve::ServeConfig config = serve::serve_config_from_env();
     EXPECT_EQ(config.limits.max_queue_depth, 8u);
     EXPECT_EQ(config.limits.retry_budget, 5u);
-    EXPECT_EQ(config.max_inflight_us, 1000.0);
+    EXPECT_EQ(config.max_backlog_us, 1000.0);
     EXPECT_EQ(config.wave_size, 4u);
-    EXPECT_EQ(config.default_deadline_us, 0u);
-    EXPECT_EQ(config.backoff_base_us, 50u);
+    EXPECT_EQ(config.max_inflight_waves, 3u);
+    EXPECT_EQ(config.default_deadline.count(), 0);
+    EXPECT_EQ(config.backoff_base.count(), 50);
     EXPECT_EQ(config.max_attempts, 2u);
+    EXPECT_TRUE(config.wall_clock);
     EXPECT_EQ(config.breaker.open_threshold, 3u);
     EXPECT_EQ(config.breaker.probe_after, 10u);
 
@@ -363,9 +367,10 @@ TEST(ServeConfig, EnvironmentParsingAndValidation)
                  camp::InvalidArgument);
     for (const char* name :
          {"CAMP_SERVE_DEPTH", "CAMP_SERVE_RETRY_BUDGET",
-          "CAMP_SERVE_INFLIGHT_US", "CAMP_SERVE_WAVE",
-          "CAMP_SERVE_DEADLINE_US", "CAMP_SERVE_BACKOFF_US",
-          "CAMP_SERVE_ATTEMPTS", "CAMP_SERVE_BREAKER_THRESHOLD",
+          "CAMP_SERVE_BACKLOG_US", "CAMP_SERVE_WAVE",
+          "CAMP_SERVE_INFLIGHT", "CAMP_SERVE_DEADLINE_US",
+          "CAMP_SERVE_BACKOFF_US", "CAMP_SERVE_ATTEMPTS",
+          "CAMP_SERVE_WALL", "CAMP_SERVE_BREAKER_THRESHOLD",
           "CAMP_SERVE_BREAKER_PROBE"})
         ::unsetenv(name);
 }
@@ -412,7 +417,7 @@ TEST(Server, IdenticalRunsProduceIdenticalReports)
 
     serve::ServeConfig config;
     config.limits.max_queue_depth = 8;
-    config.max_inflight_us = 24.0;
+    config.max_backlog_us = 24.0;
     config.wave_size = 4;
 
     exec::SimDevice device_a;
@@ -437,7 +442,7 @@ TEST(Server, IdenticalRunsProduceIdenticalReports)
         if (outcome.status == serve::RequestStatus::ShedAdmission ||
             outcome.status == serve::RequestStatus::ShedEvicted) {
             EXPECT_EQ(outcome.error, camp::ErrorCode::Unavailable);
-            EXPECT_GT(outcome.retry_after_us, 0u);
+            EXPECT_GT(outcome.retry_after.count(), 0);
         }
 }
 
@@ -455,7 +460,7 @@ TEST(Server, ShedsLowestPriorityFirst)
             make_request(i, "alpha", serve::Priority::High, 0));
 
     serve::ServeConfig config;
-    config.max_inflight_us = 8.0; // eight 1-us-clamped slots
+    config.max_backlog_us = 8.0; // eight 1-us-clamped slots
     config.wave_size = 16;
 
     exec::SimDevice device;
@@ -547,14 +552,14 @@ TEST(Server, DeadlinesEnforcedAtEveryStage)
         EXPECT_TRUE(report.conserved());
     }
 
-    // (d) default_deadline_us applies to deadline-free requests.
+    // (d) default_deadline applies to deadline-free requests.
     {
         std::vector<serve::Request> workload;
         for (std::uint64_t i = 0; i < 10; ++i)
             workload.push_back(make_request(i, "alpha",
                                             serve::Priority::High, 0));
         serve::ServeConfig config;
-        config.default_deadline_us = 5;
+        config.default_deadline = camp::support::Clock::duration(5);
         const serve::ServeReport report =
             serve::Server(config, device).process(workload);
         EXPECT_GT(report.totals.timeouts, 0u)
@@ -579,7 +584,7 @@ TEST(Server, RetryableThrowsRecoverWithinBudget)
 
     serve::ServeConfig config;
     config.max_attempts = 3;
-    config.backoff_base_us = 10;
+    config.backoff_base = camp::support::Clock::duration(10);
     const serve::ServeReport report =
         serve::Server(config, device).process(workload);
     expect_exact_completions(workload, report);
@@ -841,7 +846,7 @@ TEST(Server, OutcomeInvariantAcrossShardCounts)
 
     serve::ServeConfig config;
     config.limits.max_queue_depth = 8;
-    config.max_inflight_us = 24.0;
+    config.max_backlog_us = 24.0;
     config.wave_size = 4;
     serve::BreakerPolicy policy;
     policy.open_threshold = 6;

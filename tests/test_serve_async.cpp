@@ -1,0 +1,658 @@
+/**
+ * @file
+ * Wall-clock async serving acceptance suite (DESIGN.md §15): the Clock
+ * abstraction, the submit_async/Handle client edge, the SubmitQueue
+ * wave ring, sticky-session shard affinity, hardened CAMP_SERVE_* env
+ * parsing, and above all the virtual-as-oracle differential property —
+ * a wall-clock run with overlapping in-flight waves settles exactly
+ * the admitted/shed/timeout outcome set the deterministic virtual
+ * engine computes for the same workload and config, with bit-identical
+ * products, at every CAMP_SHARDS x CAMP_SERVE_INFLIGHT combination the
+ * acceptance matrix names ({1,4} x {1,4}).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "exec/queue.hpp"
+#include "exec/scheduler.hpp"
+#include "exec/sim_device.hpp"
+#include "mpapca/cost_model.hpp"
+#include "mpapca/ledger.hpp"
+#include "mpn/natural.hpp"
+#include "serve/breaker.hpp"
+#include "serve/config.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+#include "support/clock.hpp"
+#include "support/errors.hpp"
+#include "support/fault.hpp"
+#include "support/rng.hpp"
+
+namespace exec = camp::exec;
+namespace serve = camp::serve;
+namespace sim = camp::sim;
+namespace support = camp::support;
+using camp::mpn::Natural;
+
+namespace {
+
+std::uint64_t
+fuzz_seed(std::uint64_t fallback)
+{
+    if (const char* env = std::getenv("CAMP_FUZZ_SEED")) {
+        char* end = nullptr;
+        const std::uint64_t seed = std::strtoull(env, &end, 0);
+        if (end != env)
+            return seed;
+    }
+    return fallback;
+}
+
+std::vector<serve::RequestStatus>
+statuses_of(const serve::ServeReport& report)
+{
+    std::vector<serve::RequestStatus> out;
+    out.reserve(report.outcomes.size());
+    for (const serve::Outcome& outcome : report.outcomes)
+        out.push_back(outcome.status);
+    return out;
+}
+
+/** The differential identity: a wall run reproduces the virtual
+ * oracle's full settled set — statuses, shed/timeout id sets, wave
+ * count, attempts, and bit-identical products. */
+void
+expect_differential_match(const serve::ServeReport& oracle,
+                          const serve::ServeReport& wall,
+                          const std::vector<serve::Request>& workload)
+{
+    ASSERT_EQ(oracle.outcomes.size(), wall.outcomes.size());
+    EXPECT_EQ(statuses_of(oracle), statuses_of(wall));
+    EXPECT_EQ(oracle.shed_ids, wall.shed_ids);
+    EXPECT_EQ(oracle.timeout_ids, wall.timeout_ids);
+    EXPECT_EQ(oracle.waves, wall.waves);
+    EXPECT_TRUE(oracle.conserved()) << oracle.table();
+    EXPECT_TRUE(wall.conserved()) << wall.table();
+    for (std::size_t i = 0; i < oracle.outcomes.size(); ++i) {
+        const serve::Outcome& a = oracle.outcomes[i];
+        const serve::Outcome& b = wall.outcomes[i];
+        EXPECT_EQ(a.status, b.status) << "request " << i;
+        EXPECT_EQ(a.attempts, b.attempts) << "request " << i;
+        EXPECT_EQ(a.latency_us, b.latency_us)
+            << "virtual latency is mode-invariant, request " << i;
+        if (a.status == serve::RequestStatus::Completed) {
+            EXPECT_EQ(a.product, b.product)
+                << "bit-identical products, request " << i;
+            EXPECT_EQ(a.product, workload[i].a * workload[i].b)
+                << "and exact, request " << i;
+        }
+    }
+    ASSERT_EQ(oracle.tenants.size(), wall.tenants.size());
+    for (std::size_t t = 0; t < oracle.tenants.size(); ++t) {
+        EXPECT_EQ(oracle.tenants[t].latencies_us,
+                  wall.tenants[t].latencies_us)
+            << oracle.tenants[t].name;
+    }
+}
+
+serve::ServeConfig
+differential_config(unsigned inflight, bool wall)
+{
+    serve::ServeConfig config;
+    config.limits.max_queue_depth = 16;
+    config.max_backlog_us = 32.0;
+    config.wave_size = 8;
+    config.max_inflight_waves = inflight;
+    config.wall_clock = wall;
+    return config;
+}
+
+std::vector<serve::Request>
+differential_workload(std::uint64_t seed)
+{
+    serve::WorkloadSpec spec;
+    spec.seed = seed;
+    spec.requests = 160;
+    spec.mean_interarrival_us = 1.5; // overloaded: decisions bite
+    spec.max_bits = 1024;
+    spec.deadline_fraction = 0.2;
+    spec.deadline_slack_us = 60;
+    return serve::generate_workload(spec);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Clock contract
+// ---------------------------------------------------------------------
+
+TEST(Clock, VirtualClockIsASteerableMonotoneLedger)
+{
+    support::VirtualClock clock;
+    EXPECT_TRUE(clock.is_virtual());
+    EXPECT_EQ(clock.now_us(), 0u);
+    clock.advance_to_us(40);
+    EXPECT_EQ(clock.now_us(), 40u);
+    clock.advance_to_us(25); // never backwards
+    EXPECT_EQ(clock.now_us(), 40u);
+    EXPECT_EQ(clock.now(), support::Clock::duration(40));
+}
+
+TEST(Clock, WallClockIgnoresSteeringAndMovesForward)
+{
+    support::WallClock clock;
+    EXPECT_FALSE(clock.is_virtual());
+    const std::uint64_t before = clock.now_us();
+    clock.advance_to_us(before + 1000000000ull); // steering is a no-op
+    const std::uint64_t after = clock.now_us();
+    EXPECT_GE(after, before);
+    EXPECT_LT(after, before + 1000000000ull);
+}
+
+// ---------------------------------------------------------------------
+// SubmitQueue wave ring
+// ---------------------------------------------------------------------
+
+TEST(SubmitQueueRing, OverlappingFlushesResolveOutOfOrder)
+{
+    exec::SimDevice device;
+    exec::SubmitQueue queue(device, /*max_pending=*/0,
+                            /*parallelism=*/1, /*inflight_waves=*/2);
+    EXPECT_EQ(queue.inflight_waves(), 2u);
+
+    camp::Rng rng(fuzz_seed(0x41a9));
+    std::vector<std::pair<Natural, Natural>> pairs;
+    std::vector<exec::SubmitQueue::Future> futures;
+    for (int i = 0; i < 12; ++i) {
+        pairs.emplace_back(Natural::random_bits(rng, 256),
+                           Natural::random_bits(rng, 256));
+        futures.push_back(
+            queue.submit(pairs.back().first, pairs.back().second));
+    }
+    exec::SubmitQueue::Ticket first = queue.begin_flush();
+    ASSERT_TRUE(first.valid());
+    EXPECT_EQ(queue.inflight_flushes(), 1u);
+    // Everything was already claimed by `first`; submit more for the
+    // second wave.
+    std::vector<std::pair<Natural, Natural>> more;
+    for (int i = 0; i < 5; ++i) {
+        more.emplace_back(Natural::random_bits(rng, 128),
+                          Natural::random_bits(rng, 128));
+        futures.push_back(
+            queue.submit(more.back().first, more.back().second));
+    }
+    exec::SubmitQueue::Ticket second = queue.begin_flush();
+    ASSERT_TRUE(second.valid());
+    EXPECT_EQ(queue.inflight_flushes(), 2u);
+    EXPECT_GE(queue.stats().overlapped, 1u)
+        << "the second begin overlapped the first";
+
+    // Publish out of order: the ring does not require FIFO completion.
+    EXPECT_EQ(queue.run_flush(std::move(second)), more.size());
+    EXPECT_EQ(queue.run_flush(std::move(first)), pairs.size());
+    EXPECT_EQ(queue.inflight_flushes(), 0u);
+
+    pairs.insert(pairs.end(), more.begin(), more.end());
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+        EXPECT_EQ(futures[i].get(), pairs[i].first * pairs[i].second)
+            << "product " << i;
+    EXPECT_EQ(queue.stats().flushes, 2u);
+}
+
+TEST(SubmitQueueRing, ClassicFlushStillDrainsEverything)
+{
+    exec::SimDevice device;
+    exec::SubmitQueue queue(device, 0, 1, /*inflight_waves=*/3);
+    camp::Rng rng(fuzz_seed(0x9921));
+    std::vector<std::pair<Natural, Natural>> pairs;
+    std::vector<exec::SubmitQueue::Future> futures;
+    for (int i = 0; i < 9; ++i) {
+        pairs.emplace_back(Natural::random_bits(rng, 200),
+                           Natural::random_bits(rng, 200));
+        futures.push_back(
+            queue.submit(pairs.back().first, pairs.back().second));
+    }
+    EXPECT_EQ(queue.flush(), 9u);
+    queue.wait_all();
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+        EXPECT_EQ(futures[i].get(), pairs[i].first * pairs[i].second);
+}
+
+// ---------------------------------------------------------------------
+// The virtual-as-oracle differential property
+// ---------------------------------------------------------------------
+
+TEST(ServeDifferential, WallRunSettlesTheVirtualOracleSet)
+{
+    // The acceptance matrix: shards {1,4} x inflight {1,4}, fault-free
+    // (timing-dependent breaker episodes need armed faults AND overlap
+    // to diverge; fault-free, the decision ledger is the whole story).
+    const std::vector<serve::Request> workload =
+        differential_workload(fuzz_seed(0xd1ff5e47e));
+    for (const unsigned shards : {1u, 4u}) {
+        for (const unsigned inflight : {1u, 4u}) {
+            SCOPED_TRACE("shards=" + std::to_string(shards) +
+                         " inflight=" + std::to_string(inflight));
+            exec::ShardPolicy shard_policy;
+            shard_policy.shards = shards;
+            shard_policy.drain_fault_threshold = 0;
+
+            exec::ShardedScheduler oracle_device(
+                sim::default_config(), shard_policy);
+            serve::Server oracle_server(
+                differential_config(inflight, /*wall=*/false),
+                oracle_device);
+            const serve::ServeReport oracle =
+                oracle_server.process(workload);
+
+            exec::ShardedScheduler wall_device(sim::default_config(),
+                                               shard_policy);
+            serve::Server wall_server(
+                differential_config(inflight, /*wall=*/true),
+                wall_device);
+            const serve::ServeReport wall =
+                wall_server.process(workload);
+
+            expect_differential_match(oracle, wall, workload);
+            // The oracle's clock IS the ledger: skew identically 0.
+            for (const serve::Outcome& outcome : oracle.outcomes)
+                EXPECT_EQ(outcome.skew_us, 0);
+            EXPECT_EQ(oracle.totals.wall_late, 0u);
+            EXPECT_EQ(oracle.wall_end_us, oracle.virtual_end_us);
+        }
+    }
+}
+
+TEST(ServeDifferential, ArmedFaultsMatchAtSerialInflight)
+{
+    // With faults armed the device-health observations stay
+    // deterministic as long as waves execute serially (inflight=1):
+    // wave composition, fault streams (position-seeded), retries, and
+    // fallbacks are then identical between virtual and wall runs.
+    sim::SimConfig sim_config = sim::default_config();
+    sim_config.faults.seed = 0x5e47e1ull;
+    sim_config.faults.rate_at(camp::FaultSite::IpuAccumulator) = 0.02;
+    sim_config.faults.rate_at(camp::FaultSite::GatherCarry) = 0.01;
+
+    const std::vector<serve::Request> workload =
+        differential_workload(fuzz_seed(0xfa0c7));
+
+    exec::SimDevice oracle_device(sim_config);
+    serve::Server oracle_server(differential_config(1, false),
+                                oracle_device);
+    const serve::ServeReport oracle = oracle_server.process(workload);
+
+    exec::SimDevice wall_device(sim_config);
+    serve::Server wall_server(differential_config(1, true),
+                              wall_device);
+    const serve::ServeReport wall = wall_server.process(workload);
+
+    EXPECT_GT(oracle.totals.faulty_results, 0u)
+        << "faults must fire for this differential to bite";
+    expect_differential_match(oracle, wall, workload);
+    EXPECT_EQ(oracle.totals.faulty_results, wall.totals.faulty_results);
+    EXPECT_EQ(oracle.totals.retries, wall.totals.retries);
+    EXPECT_EQ(oracle.totals.fallbacks, wall.totals.fallbacks);
+}
+
+TEST(ServeDifferential, LedgerFoldIsExactInWallMode)
+{
+    sim::SimConfig sim_config = sim::default_config();
+    sim_config.faults.seed = 0x1ed6e4ull;
+    sim_config.faults.rate_at(camp::FaultSite::IpuAccumulator) = 0.02;
+    exec::SimDevice device(sim_config);
+
+    camp::mpapca::CostModel model{};
+    camp::mpapca::Ledger ledger(model);
+    serve::Server server(differential_config(4, true), device,
+                         &ledger);
+    const serve::ServeReport report =
+        server.process(differential_workload(fuzz_seed(0x1ed6)));
+    EXPECT_TRUE(report.conserved()) << report.table();
+
+    std::uint64_t attempts = 0;
+    for (const serve::Outcome& outcome : report.outcomes)
+        attempts += outcome.attempts;
+    const camp::mpapca::FaultStats folded =
+        ledger.fault_stats_snapshot();
+    EXPECT_EQ(folded.checks, attempts);
+    EXPECT_EQ(folded.detected, report.totals.faulty_results);
+    EXPECT_EQ(folded.retried, report.totals.retries);
+    EXPECT_EQ(folded.fallbacks, report.totals.fallbacks);
+}
+
+// ---------------------------------------------------------------------
+// The async client edge
+// ---------------------------------------------------------------------
+
+TEST(ServeAsync, HandlesSettleWithCallbacksExactlyOnce)
+{
+    const std::vector<serve::Request> workload =
+        differential_workload(fuzz_seed(0xa51c));
+    exec::SimDevice device;
+    serve::Server server(differential_config(2, false), device);
+
+    std::vector<serve::Server::Handle> handles;
+    std::vector<std::atomic<int>> fired(workload.size());
+    for (auto& f : fired)
+        f.store(0);
+    handles.reserve(workload.size());
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+        serve::Server::Handle handle =
+            server.submit_async(workload[i]);
+        ASSERT_TRUE(handle.valid());
+        handle.on_settle([&fired, i](const serve::Outcome& outcome) {
+            fired[i].fetch_add(1);
+            EXPECT_EQ(outcome.id, i);
+        });
+        handles.push_back(std::move(handle));
+    }
+    const serve::ServeReport report = server.finish();
+    EXPECT_TRUE(report.conserved()) << report.table();
+    ASSERT_EQ(report.outcomes.size(), workload.size());
+
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        EXPECT_TRUE(handles[i].settled()) << i;
+        EXPECT_EQ(fired[i].load(), 1) << "exactly-once callback " << i;
+        const serve::Outcome& outcome = handles[i].outcome();
+        EXPECT_EQ(outcome.status, report.outcomes[i].status) << i;
+        EXPECT_EQ(outcome.attempts, report.outcomes[i].attempts);
+        if (outcome.status == serve::RequestStatus::Completed)
+            EXPECT_EQ(outcome.product,
+                      workload[i].a * workload[i].b)
+                << "the handle retains the exact product, " << i;
+        // Registering after settlement fires immediately.
+        int late = 0;
+        handles[i].on_settle(
+            [&late](const serve::Outcome&) { ++late; });
+        EXPECT_EQ(late, 1);
+    }
+}
+
+TEST(ServeAsync, AsyncSessionMatchesBatchProcess)
+{
+    const std::vector<serve::Request> workload =
+        differential_workload(fuzz_seed(0xbac4));
+    exec::SimDevice device_a;
+    serve::Server batch(differential_config(1, false), device_a);
+    const serve::ServeReport batch_report = batch.process(workload);
+
+    exec::SimDevice device_b;
+    serve::Server incremental(differential_config(1, false), device_b);
+    for (const serve::Request& request : workload)
+        incremental.submit_async(request);
+    const serve::ServeReport async_report = incremental.finish();
+
+    EXPECT_EQ(statuses_of(batch_report), statuses_of(async_report));
+    EXPECT_EQ(batch_report.shed_ids, async_report.shed_ids);
+    EXPECT_EQ(batch_report.timeout_ids, async_report.timeout_ids);
+    EXPECT_EQ(batch_report.waves, async_report.waves);
+    EXPECT_EQ(batch_report.virtual_end_us,
+              async_report.virtual_end_us);
+}
+
+TEST(ServeAsync, WaitBlocksUntilAnotherThreadFinishes)
+{
+    std::vector<serve::Request> workload =
+        differential_workload(fuzz_seed(0x3a17));
+    exec::SimDevice device;
+    serve::Server server(differential_config(2, true), device);
+    serve::Server::Handle last;
+    for (const serve::Request& request : workload)
+        last = server.submit_async(request);
+    std::atomic<bool> settled_seen{false};
+    std::thread waiter([&last, &settled_seen] {
+        last.wait();
+        settled_seen.store(true);
+    });
+    const serve::ServeReport report = server.finish();
+    waiter.join();
+    EXPECT_TRUE(settled_seen.load());
+    EXPECT_TRUE(last.settled());
+    EXPECT_TRUE(report.conserved());
+}
+
+TEST(ServeAsync, SessionDisciplineIsEnforced)
+{
+    exec::SimDevice device;
+    serve::Server server(differential_config(1, false), device);
+    serve::Request first;
+    first.id = 0;
+    first.tenant = "alpha";
+    first.arrival_us = 100;
+    first.a = Natural(3);
+    first.b = Natural(5);
+    server.submit_async(first);
+
+    // The ledger cannot run backwards.
+    serve::Request earlier = first;
+    earlier.id = 1;
+    earlier.arrival_us = 50;
+    EXPECT_THROW(server.submit_async(earlier), camp::InvalidArgument);
+
+    // process() refuses to trample an open session.
+    EXPECT_THROW(server.process({}), camp::InvalidArgument);
+    // finish() closes it; a second finish has nothing to close.
+    EXPECT_TRUE(server.finish().conserved());
+    EXPECT_THROW(server.finish(), camp::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// Sticky sessions
+// ---------------------------------------------------------------------
+
+TEST(StickySessions, RepeatedOperandsPinWithoutChangingOutcomes)
+{
+    serve::WorkloadSpec spec;
+    spec.seed = fuzz_seed(0x571c4);
+    spec.requests = 200;
+    spec.max_bits = 1024;
+    spec.repeat_fraction = 0.5; // heavy repeated-operand traffic
+    spec.deadline_fraction = 0.0;
+    const std::vector<serve::Request> workload =
+        serve::generate_workload(spec);
+
+    exec::ShardPolicy plain_policy;
+    plain_policy.shards = 4;
+    plain_policy.drain_fault_threshold = 0;
+    exec::ShardPolicy sticky_policy = plain_policy;
+    sticky_policy.sticky_sessions = true;
+
+    exec::ShardedScheduler plain(sim::default_config(), plain_policy);
+    exec::ShardedScheduler sticky(sim::default_config(),
+                                  sticky_policy);
+
+    const serve::ServeReport plain_report =
+        serve::Server(differential_config(1, false), plain)
+            .process(workload);
+    const serve::ServeReport sticky_report =
+        serve::Server(differential_config(1, false), sticky)
+            .process(workload);
+
+    // Placement is invisible in the outcome (the resharding
+    // determinism contract) ...
+    EXPECT_EQ(statuses_of(plain_report), statuses_of(sticky_report));
+    EXPECT_EQ(plain_report.shed_ids, sticky_report.shed_ids);
+    for (std::size_t i = 0; i < workload.size(); ++i)
+        if (sticky_report.outcomes[i].status ==
+            serve::RequestStatus::Completed)
+            EXPECT_EQ(sticky_report.outcomes[i].product,
+                      workload[i].a * workload[i].b);
+    // ... but the affinity table genuinely pinned repeats.
+    EXPECT_GT(sticky.stats().affinity_hits, 0u);
+    EXPECT_GT(sticky.stats().affinity_misses, 0u);
+    EXPECT_EQ(plain.stats().affinity_hits, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Breaker on the serving clock
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Device whose batch path throws HardwareFault for the first
+ * @p sick batches, exact afterwards. */
+class SickThenHealedDevice : public exec::Device
+{
+  public:
+    explicit SickThenHealedDevice(unsigned sick) : sick_(sick) {}
+
+    const char* name() const override { return "sick-then-healed"; }
+    exec::DeviceKind kind() const override
+    {
+        return exec::DeviceKind::Accelerator;
+    }
+    std::uint64_t base_cap_bits() const override { return 0; }
+
+    exec::MulOutcome mul(const Natural& a, const Natural& b) override
+    {
+        return exec::MulOutcome{a * b, 0};
+    }
+
+    sim::BatchResult
+    mul_batch(const std::vector<std::pair<Natural, Natural>>& pairs,
+              unsigned) override
+    {
+        if (sick_ > 0) {
+            --sick_;
+            throw camp::HardwareFault("sick batch");
+        }
+        sim::BatchResult result;
+        result.products.reserve(pairs.size());
+        for (const auto& [a, b] : pairs)
+            result.products.push_back(a * b);
+        result.per_product.resize(pairs.size());
+        result.parallelism = 1;
+        return result;
+    }
+
+    exec::CostEstimate cost(std::uint64_t, std::uint64_t) const override
+    {
+        return exec::CostEstimate{1.0, 1e-6, 0.0};
+    }
+
+  private:
+    unsigned sick_;
+};
+
+} // namespace
+
+TEST(BreakerClock, OpenResidencyAccumulatesOnTheSharedClock)
+{
+    serve::BreakerPolicy policy;
+    policy.open_threshold = 2;
+    policy.probe_after = 1;
+    support::VirtualClock clock;
+    serve::BreakerDevice breaker(
+        std::make_unique<SickThenHealedDevice>(2), policy, &clock);
+    const std::vector<std::pair<Natural, Natural>> pairs = {
+        {Natural(7), Natural(9)}};
+
+    clock.advance_to_us(10);
+    EXPECT_THROW(breaker.mul_batch(pairs), camp::HardwareFault);
+    EXPECT_THROW(breaker.mul_batch(pairs), camp::HardwareFault);
+    EXPECT_EQ(breaker.state(), serve::BreakerState::Open);
+    EXPECT_EQ(breaker.stats().last_transition_us, 10u);
+
+    clock.advance_to_us(50);
+    // Quarantined batch: exact fallback, then HalfOpen (probe_after=1)
+    // — 40 virtual us of Open residency on the shared clock.
+    const sim::BatchResult quarantined = breaker.mul_batch(pairs);
+    EXPECT_EQ(quarantined.products[0], Natural(63));
+    EXPECT_EQ(breaker.state(), serve::BreakerState::HalfOpen);
+    EXPECT_EQ(breaker.stats().open_total.count(), 40);
+    EXPECT_EQ(breaker.stats().last_transition_us, 50u);
+
+    clock.advance_to_us(60);
+    const sim::BatchResult probe = breaker.mul_batch(pairs); // healed
+    EXPECT_EQ(probe.products[0], Natural(63));
+    EXPECT_EQ(breaker.state(), serve::BreakerState::Closed);
+    EXPECT_EQ(breaker.stats().open_total.count(), 40)
+        << "HalfOpen time is not Open residency";
+    EXPECT_EQ(breaker.stats().last_transition_us, 60u);
+}
+
+// ---------------------------------------------------------------------
+// Hardened CAMP_SERVE_* environment parsing
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+expect_env_throws_naming(const char* name, const char* value)
+{
+    ::setenv(name, value, 1);
+    try {
+        serve::serve_config_from_env();
+        ADD_FAILURE() << name << "='" << value
+                      << "' must throw InvalidArgument";
+    } catch (const camp::InvalidArgument& e) {
+        EXPECT_NE(std::string(e.what()).find(name),
+                  std::string::npos)
+            << "the error must name the variable: " << e.what();
+    }
+    ::unsetenv(name);
+}
+
+} // namespace
+
+TEST(ServeEnv, JunkOverflowAndEmptyValuesThrowNamingTheVariable)
+{
+    const char* numeric[] = {
+        "CAMP_SERVE_DEPTH",       "CAMP_SERVE_RETRY_BUDGET",
+        "CAMP_SERVE_BACKLOG_US",  "CAMP_SERVE_WAVE",
+        "CAMP_SERVE_INFLIGHT",    "CAMP_SERVE_DEADLINE_US",
+        "CAMP_SERVE_BACKOFF_US",  "CAMP_SERVE_ATTEMPTS",
+        "CAMP_SERVE_BREAKER_THRESHOLD", "CAMP_SERVE_BREAKER_PROBE"};
+    for (const char* name : numeric) {
+        SCOPED_TRACE(name);
+        expect_env_throws_naming(name, "banana");
+        expect_env_throws_naming(name, "12abc");
+        expect_env_throws_naming(
+            name, "123456789012345678901234567890"); // ERANGE
+        expect_env_throws_naming(name, ""); // set-but-empty is a typo
+        expect_env_throws_naming(name, "-4");
+    }
+    // Zero is junk for the positive knobs, fine for the deadline.
+    expect_env_throws_naming("CAMP_SERVE_WAVE", "0");
+    ::setenv("CAMP_SERVE_DEADLINE_US", "0", 1);
+    EXPECT_EQ(serve::serve_config_from_env().default_deadline.count(),
+              0);
+    ::unsetenv("CAMP_SERVE_DEADLINE_US");
+    // The wall-clock flag accepts 1/true/on and 0/false/off only.
+    expect_env_throws_naming("CAMP_SERVE_WALL", "banana");
+    expect_env_throws_naming("CAMP_SERVE_WALL", "");
+    ::setenv("CAMP_SERVE_WALL", "true", 1);
+    EXPECT_TRUE(serve::serve_config_from_env().wall_clock);
+    ::setenv("CAMP_SERVE_WALL", "off", 1);
+    EXPECT_FALSE(serve::serve_config_from_env().wall_clock);
+    ::unsetenv("CAMP_SERVE_WALL");
+}
+
+TEST(ServeEnv, WorkloadRequestCountIsHardenedToo)
+{
+    for (const char* bad :
+         {"junk", "", "0", "-3", "123456789012345678901234567890"}) {
+        ::setenv("CAMP_SERVE_REQUESTS", bad, 1);
+        try {
+            serve::workload_spec_from_env();
+            ADD_FAILURE() << "CAMP_SERVE_REQUESTS='" << bad
+                          << "' must throw";
+        } catch (const camp::InvalidArgument& e) {
+            EXPECT_NE(
+                std::string(e.what()).find("CAMP_SERVE_REQUESTS"),
+                std::string::npos)
+                << e.what();
+        }
+    }
+    ::setenv("CAMP_SERVE_REQUESTS", "17", 1);
+    EXPECT_EQ(serve::workload_spec_from_env().requests, 17u);
+    ::unsetenv("CAMP_SERVE_REQUESTS");
+}

@@ -22,6 +22,13 @@
  * share of the busiest shard — so wave imbalance across a
  * CAMP_SHARDS deployment is visible straight from a CAMP_TRACE
  * export.
+ *
+ * Spans named `serve.settle.<tenant>` (one per request the serving
+ * front-end settles) aggregate into a serving-side table: per-tenant
+ * settled/admitted/completed/shed/late/failed counts plus the
+ * wall-vs-virtual completion skew ("skew_us" arg — identically zero
+ * on a virtual-clock run, the reconciliation signal on a wall-clock
+ * one).
  */
 #include <algorithm>
 #include <cstdio>
@@ -50,6 +57,27 @@ struct ShardStats
     std::uint64_t products = 0; ///< sum of the spans' "count" args
     double total_us = 0;
     double max_us = 0;
+};
+
+/** Aggregate over one tenant's serve.settle.<tenant> spans. */
+struct ServeTenantStats
+{
+    std::uint64_t settled = 0;
+    std::uint64_t by_status[6] = {0, 0, 0, 0, 0, 0};
+    double skew_sum_us = 0; ///< wall minus virtual settle stamp
+    double skew_max_us = 0;
+};
+
+/** RequestStatus ordinals as the serve plane emits them in the
+ * "status" span argument (serve/server.hpp). */
+enum ServeStatus
+{
+    kCompleted = 0,
+    kShedAdmission = 1,
+    kShedEvicted = 2,
+    kRejectedDeadline = 3,
+    kTimedOut = 4,
+    kFailed = 5,
 };
 
 /** Value of `"key": ` in @p line as a double, or @p fallback. */
@@ -97,6 +125,7 @@ main(int argc, char** argv)
 
     std::map<std::string, NameStats> by_name;
     std::map<unsigned, ShardStats> by_shard;
+    std::map<std::string, ServeTenantStats> by_tenant;
     std::uint64_t events = 0;
     char buf[4096];
     while (std::fgets(buf, sizeof buf, f) != nullptr) {
@@ -123,6 +152,22 @@ main(int argc, char** argv)
                 field_number(line, "count", 0));
             sh.total_us += dur_us;
             sh.max_us = std::max(sh.max_us, dur_us);
+        }
+        // Settlement spans (serve.settle.<tenant>, one per request)
+        // roll up into the serving-side table: per-tenant outcome
+        // counts and the wall-vs-virtual completion skew.
+        static const char kSettlePrefix[] = "serve.settle.";
+        if (name.rfind(kSettlePrefix, 0) == 0) {
+            ServeTenantStats& tenant =
+                by_tenant[name.substr(sizeof kSettlePrefix - 1)];
+            ++tenant.settled;
+            const int status =
+                static_cast<int>(field_number(line, "status", -1));
+            if (status >= 0 && status < 6)
+                ++tenant.by_status[status];
+            const double skew = field_number(line, "skew_us", 0);
+            tenant.skew_sum_us += skew;
+            tenant.skew_max_us = std::max(tenant.skew_max_us, skew);
         }
     }
     std::fclose(f);
@@ -190,6 +235,44 @@ main(int argc, char** argv)
                         busiest_us > 0
                             ? sh.total_us / busiest_us * 100.0
                             : 0.0);
+    }
+
+    if (!by_tenant.empty()) {
+        // One settle span per request, so these counts reproduce the
+        // server's conservation ledger; "late" folds the two
+        // deadline-driven dispositions (rejected + timed out), and
+        // skew is wall-minus-virtual per settlement — identically 0
+        // on a virtual-clock run.
+        std::printf("\nserving settlements (%zu tenants; "
+                    "serve.settle.* spans)\n",
+                    by_tenant.size());
+        std::printf("%-10s %8s %8s %9s %6s %6s %6s %12s %12s\n",
+                    "tenant", "settled", "admitted", "completed",
+                    "shed", "late", "failed", "mean skew us",
+                    "max skew us");
+        for (const auto& [name, t] : by_tenant) {
+            const std::uint64_t admitted =
+                t.settled - t.by_status[kShedAdmission] -
+                t.by_status[kRejectedDeadline];
+            std::printf(
+                "%-10s %8llu %8llu %9llu %6llu %6llu %6llu "
+                "%12.1f %12.1f\n",
+                name.c_str(),
+                static_cast<unsigned long long>(t.settled),
+                static_cast<unsigned long long>(admitted),
+                static_cast<unsigned long long>(
+                    t.by_status[kCompleted]),
+                static_cast<unsigned long long>(
+                    t.by_status[kShedAdmission] +
+                    t.by_status[kShedEvicted]),
+                static_cast<unsigned long long>(
+                    t.by_status[kRejectedDeadline] +
+                    t.by_status[kTimedOut]),
+                static_cast<unsigned long long>(
+                    t.by_status[kFailed]),
+                t.skew_sum_us / static_cast<double>(t.settled),
+                t.skew_max_us);
+        }
     }
     return 0;
 }
