@@ -9,7 +9,9 @@
 #     single-shard and fanned-out paths, then at CAMP_SIMD=scalar and
 #     CAMP_SIMD=avx2 (skipped with a notice when the host lacks AVX2)
 #     so every tier of the dispatched limb kernels runs the full suite
-#     and results stay bit-identical across tiers;
+#     and results stay bit-identical across tiers, and at
+#     CAMP_OPCACHE=0 and =1 so the operand-digest inverse cache's
+#     hit path provably never changes a result;
 #  2. perf-regression gate: perf_smoke and batch_throughput vs
 #     bench/baselines at a generous machine-portability tolerance, a
 #     CAMP_TRACE export smoke-checked through tools/trace_report, and a
@@ -33,7 +35,8 @@
 #     sharded scheduler, memory plane (per-thread arena magazines +
 #     concurrent wave slot writes), serving layer (concurrent ledger
 #     folding), async wall-clock serving (overlapping wave workers,
-#     handle callbacks, the differential oracle) — at CAMP_THREADS=4
+#     handle callbacks, the differential oracle), operand cache
+#     (sharded LRU hit/miss/evict races) — at CAMP_THREADS=4
 #     (skip with CAMP_CI_SKIP_SANITIZE=1);
 #  5. report-only coverage summary via gcovr/gcov when available
 #     (opt in with CAMP_CI_COVERAGE=1; never gates).
@@ -79,6 +82,14 @@ CAMP_BACKEND=sharded CAMP_SHARDS=4 \
 # test_simd_kernels' differential fuzz). The avx2 leg is skipped with
 # a notice on hosts without the ISA — CAMP_SIMD=avx2 would fall back
 # to scalar there and silently duplicate the previous leg.
+# Operand-cache matrix: the whole tier-1 suite with the inverse cache
+# disabled (every derivation cold) and force-enabled — results must be
+# bit-identical either way, the DESIGN.md §16 invariance contract that
+# tests/test_opcache.cpp fuzzes differentially within one process.
+echo "==== ctest build (CAMP_OPCACHE=0) ===="
+CAMP_OPCACHE=0 ctest --test-dir build --output-on-failure -j "${JOBS}"
+echo "==== ctest build (CAMP_OPCACHE=1) ===="
+CAMP_OPCACHE=1 ctest --test-dir build --output-on-failure -j "${JOBS}"
 echo "==== ctest build (CAMP_SIMD=scalar) ===="
 CAMP_SIMD=scalar ctest --test-dir build --output-on-failure -j "${JOBS}"
 if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
@@ -149,6 +160,18 @@ if [[ "${CAMP_CI_SKIP_PERF:-0}" != "1" ]]; then
         CAMP_BENCH_DIR=build \
         ./build/bench/serve_soak --wall
 
+    # Operand-cache bench: the binary itself hard-fails unless the
+    # repeated-operand pi-regrow walk wins >= 2x with the cache on
+    # (and reports Montgomery/reciprocal reuse and the unchanged cold
+    # path); the gate on top catches ns/op regressions on every row.
+    OPCACHE_BASELINE="bench/baselines/BENCH_opcache_bench.json"
+    echo "==== perf gate (opcache_bench vs ${OPCACHE_BASELINE}) ===="
+    CAMP_BENCH_DIR=build \
+        CAMP_BENCH_GATE=1 \
+        CAMP_BENCH_BASELINE="${OPCACHE_BASELINE}" \
+        CAMP_BENCH_TOLERANCE="${CAMP_BENCH_TOLERANCE:-4.0}" \
+        ./build/bench/opcache_bench
+
     # Negative control: a doctored baseline (every ns_per_op forced to
     # 1 ns) must make the gate fail on any machine, proving the gate
     # actually bites. The freshly written BENCH json is reused so this
@@ -196,11 +219,12 @@ if [[ "${CAMP_CI_SKIP_SANITIZE:-0}" != "1" ]]; then
     echo "==== build build-tsan ===="
     cmake --build build-tsan -j "${JOBS}" --target \
         test_thread_pool test_mpn_mul test_sim_batch test_mpapca \
-        test_scheduler test_memory_plane test_serve test_serve_async
+        test_scheduler test_memory_plane test_serve test_serve_async \
+        test_opcache
     echo "==== tsan tests (CAMP_THREADS=4) ===="
     for t in test_thread_pool test_mpn_mul test_sim_batch test_mpapca \
              test_scheduler test_memory_plane test_serve \
-             test_serve_async; do
+             test_serve_async test_opcache; do
         echo "---- ${t} ----"
         CAMP_THREADS=4 ./build-tsan/tests/"${t}"
     done

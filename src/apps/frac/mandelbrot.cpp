@@ -1,10 +1,13 @@
 #include "apps/frac/mandelbrot.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "mpn/natural.hpp"
 #include "support/assert.hpp"
+#include "support/opcache.hpp"
 
 namespace camp::apps::frac {
 
@@ -36,26 +39,53 @@ parse_decimal(const std::string& text, std::uint64_t precision_bits)
     return negative ? -value : value;
 }
 
+OrbitTracker::OrbitTracker(FloatComplex c)
+    : c_(std::move(c)),
+      zr_(Float::with_prec(c_.re.prec())),
+      zi_(Float::with_prec(c_.re.prec()))
+{
+}
+
+std::vector<std::complex<double>>
+OrbitTracker::orbit(unsigned max_iterations)
+{
+    last_fresh_points_ = 0;
+    orbit_.reserve(max_iterations + 1);
+    const Float four = Float::from_double(4.0, 64);
+    // Extend: replay exactly the op sequence the cold loop runs —
+    // push z_n, escape-check it, then advance z at full precision.
+    // zr_/zi_ always hold the next point to push, so resuming here is
+    // indistinguishable from never having stopped.
+    while (!escaped_ && orbit_.size() <= max_iterations) {
+        orbit_.emplace_back(zr_.to_double(), zi_.to_double());
+        ++last_fresh_points_;
+        // z = z^2 + c at full precision.
+        const Float zr2 = zr_ * zr_;
+        const Float zi2 = zi_ * zi_;
+        if (zr2 + zi2 > four) {
+            escaped_ = true;
+            break;
+        }
+        const Float new_zi = (zr_ + zr_) * zi_ + c_.im;
+        zr_ = zr2 - zi2 + c_.re;
+        zi_ = new_zi;
+    }
+    // Prefix view: a cold run at a smaller target is exactly the first
+    // min(len, M+1) points (escape, if any, happens at the same index).
+    const std::size_t len =
+        std::min(orbit_.size(),
+                 static_cast<std::size_t>(max_iterations) + 1);
+    return std::vector<std::complex<double>>(orbit_.begin(),
+                                             orbit_.begin() + len);
+}
+
 std::vector<std::complex<double>>
 reference_orbit(const FloatComplex& c, unsigned max_iterations)
 {
-    std::vector<std::complex<double>> orbit;
-    orbit.reserve(max_iterations + 1);
-    Float zr = Float::with_prec(c.re.prec());
-    Float zi = Float::with_prec(c.re.prec());
-    const Float four = Float::from_double(4.0, 64);
-    for (unsigned n = 0; n <= max_iterations; ++n) {
-        orbit.emplace_back(zr.to_double(), zi.to_double());
-        // z = z^2 + c at full precision.
-        const Float zr2 = zr * zr;
-        const Float zi2 = zi * zi;
-        if (zr2 + zi2 > four)
-            break;
-        const Float new_zi = (zr + zr) * zi + c.im;
-        zr = zr2 - zi2 + c.re;
-        zi = new_zi;
-    }
-    return orbit;
+    // Cold path = a throwaway session; OrbitTracker's loop *is* the
+    // reference semantics, so cold and incremental cannot diverge.
+    OrbitTracker tracker(c);
+    return tracker.orbit(max_iterations);
 }
 
 RenderResult
@@ -65,7 +95,13 @@ render(const RenderParams& params)
         parse_decimal(params.center_re, params.precision_bits),
         parse_decimal(params.center_im, params.precision_bits)};
     const auto orbit = reference_orbit(c, params.max_iterations);
+    return render_with_orbit(params, orbit);
+}
 
+RenderResult
+render_with_orbit(const RenderParams& params,
+                  const std::vector<std::complex<double>>& orbit)
+{
     RenderResult result;
     result.orbit_length = orbit.size();
     result.iterations.assign(
@@ -127,6 +163,41 @@ render(const RenderParams& params)
     }
     result.checksum = hash;
     return result;
+}
+
+bool
+RenderSession::tracker_matches(const RenderParams& params) const
+{
+    return params.center_re == center_re_ &&
+           params.center_im == center_im_ &&
+           params.precision_bits == precision_bits_;
+}
+
+RenderResult
+RenderSession::render(const RenderParams& params)
+{
+    if (!support::OpCache::global().enabled()) {
+        // Cache-off arm: cold every frame, retain nothing.
+        tracker_.reset();
+        precision_bits_ = 0;
+        center_re_.clear();
+        center_im_.clear();
+        RenderResult result = frac::render(params);
+        last_fresh_points_ = result.orbit_length;
+        return result;
+    }
+    if (!tracker_ || !tracker_matches(params)) {
+        const FloatComplex c{
+            parse_decimal(params.center_re, params.precision_bits),
+            parse_decimal(params.center_im, params.precision_bits)};
+        tracker_ = std::make_unique<OrbitTracker>(c);
+        center_re_ = params.center_re;
+        center_im_ = params.center_im;
+        precision_bits_ = params.precision_bits;
+    }
+    const auto orbit = tracker_->orbit(params.max_iterations);
+    last_fresh_points_ = tracker_->last_fresh_points();
+    return render_with_orbit(params, orbit);
 }
 
 std::string

@@ -13,6 +13,7 @@
 
 #include <complex>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,78 @@ reference_orbit(const FloatComplex& c, unsigned max_iterations);
 
 /** Render one frame with perturbation theory. */
 RenderResult render(const RenderParams& params);
+
+/**
+ * Perturbation render of one frame against an already-computed
+ * reference orbit (must equal reference_orbit(center(params),
+ * params.max_iterations)). render() and RenderSession both call this,
+ * so the incremental path shares the exact per-pixel code.
+ */
+RenderResult
+render_with_orbit(const RenderParams& params,
+                  const std::vector<std::complex<double>>& orbit);
+
+/**
+ * Incremental reference-orbit session (ROADMAP item 4): retains the
+ * arbitrary-precision iteration state (z_n as Floats) alongside the
+ * double orbit so a deeper zoom's larger max_iterations only iterates
+ * the *new* tail. Float arithmetic is deterministic and the extension
+ * replays exactly the op sequence the cold loop would run, so
+ * orbit(M) is bit-identical to reference_orbit(c, M) for every M —
+ * larger (extend), equal (reuse) or smaller (prefix view).
+ */
+class OrbitTracker
+{
+  public:
+    explicit OrbitTracker(FloatComplex c);
+
+    /** The orbit exactly as reference_orbit(c, max_iterations) would
+     * return it; extends or slices retained state as needed. */
+    std::vector<std::complex<double>> orbit(unsigned max_iterations);
+
+    /** Orbit points held (coverage so far). */
+    std::size_t computed_points() const { return orbit_.size(); }
+
+    /** Whether the retained orbit ended by escaping. */
+    bool escaped() const { return escaped_; }
+
+    /** Points freshly iterated at full precision by the last orbit()
+     * call (0 on pure reuse; bench asserts incremental << cold). */
+    std::size_t last_fresh_points() const { return last_fresh_points_; }
+
+  private:
+    FloatComplex c_;
+    mpf::Float zr_; ///< z at index orbit_.size() — next point to push
+    mpf::Float zi_;
+    std::vector<std::complex<double>> orbit_;
+    bool escaped_ = false;
+    std::size_t last_fresh_points_ = 0;
+};
+
+/**
+ * Incremental frame renderer: reuses the OrbitTracker across frames of
+ * a zoom sequence (same center/precision, growing zoom_log2 and
+ * max_iterations), producing RenderResults bit-identical to cold
+ * render(). A center or precision change, or a disabled operand cache
+ * (CAMP_OPCACHE=0), resets to the cold path.
+ */
+class RenderSession
+{
+  public:
+    RenderResult render(const RenderParams& params);
+
+    /** Orbit points iterated at full precision by the last render(). */
+    std::size_t last_fresh_points() const { return last_fresh_points_; }
+
+  private:
+    bool tracker_matches(const RenderParams& params) const;
+
+    std::string center_re_;
+    std::string center_im_;
+    std::uint64_t precision_bits_ = 0;
+    std::unique_ptr<OrbitTracker> tracker_;
+    std::size_t last_fresh_points_ = 0;
+};
 
 /** ASCII-art rendering (for the example binary). */
 std::string to_ascii(const RenderResult& result, unsigned width,

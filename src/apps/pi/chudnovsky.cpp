@@ -3,6 +3,7 @@
 #include "mpn/natural.hpp"
 #include "profile/profiler.hpp"
 #include "support/assert.hpp"
+#include "support/opcache.hpp"
 
 namespace camp::apps::pi {
 
@@ -50,6 +51,12 @@ binary_split(std::uint64_t a, std::uint64_t b)
     const std::uint64_t m = a + (b - a) / 2;
     const SplitTriple left = binary_split(a, m);
     const SplitTriple right = binary_split(m, b);
+    return merge_triples(left, right);
+}
+
+SplitTriple
+merge_triples(const SplitTriple& left, const SplitTriple& right)
+{
     SplitTriple merged;
     merged.p = left.p * right.p;
     merged.q = left.q * right.q;
@@ -63,7 +70,13 @@ compute_pi(std::uint64_t digits)
     CAMP_ASSERT(digits >= 1);
     const std::uint64_t terms = terms_for_digits(digits);
     const SplitTriple split = binary_split(0, terms);
+    return finalize_pi(digits, split);
+}
 
+std::string
+finalize_pi(std::uint64_t digits, const SplitTriple& split)
+{
+    CAMP_ASSERT(digits >= 1);
     // pi = 426880 * sqrt(10005) * Q / T. Work on integers scaled by
     // 10^(digits + guard).
     const std::uint64_t guard = 10;
@@ -84,6 +97,54 @@ compute_pi(std::uint64_t digits)
     }
     CAMP_ASSERT(digits_str.size() == digits + 1); // leading "3"
     return "3." + digits_str.substr(1);
+}
+
+std::string
+PiCalculator::digits(std::uint64_t digits)
+{
+    CAMP_ASSERT(digits >= 1);
+    if (!support::OpCache::global().enabled()) {
+        // Cache-off arm: cold every call, retain nothing.
+        reset();
+        const std::uint64_t terms = terms_for_digits(digits);
+        last_fresh_terms_ = terms;
+        return compute_pi(digits);
+    }
+    if (terms_ != 0 && digits == last_digits_) {
+        last_fresh_terms_ = 0; // memoized repeat
+        return last_result_;
+    }
+    const std::uint64_t terms = terms_for_digits(digits);
+    if (terms_ == 0 || terms < terms_) {
+        // Cold start, or a shrinking target: a merged prefix cannot be
+        // un-merged, so recompute at exactly the smaller term count
+        // (identical to what compute_pi would build).
+        split_ = binary_split(0, terms);
+        terms_ = terms;
+        last_fresh_terms_ = terms;
+    } else if (terms > terms_) {
+        // Growth: split only the new tail [terms_, terms) and merge.
+        // merge_triples is associative over exact integers, so this
+        // equals binary_split(0, terms) bit for bit.
+        split_ = merge_triples(split_, binary_split(terms_, terms));
+        last_fresh_terms_ = terms - terms_;
+        terms_ = terms;
+    } else {
+        last_fresh_terms_ = 0; // same term count, new scale only
+    }
+    last_digits_ = digits;
+    last_result_ = finalize_pi(digits, split_);
+    return last_result_;
+}
+
+void
+PiCalculator::reset()
+{
+    terms_ = 0;
+    split_ = SplitTriple{};
+    last_digits_ = 0;
+    last_result_.clear();
+    last_fresh_terms_ = 0;
 }
 
 } // namespace camp::apps::pi

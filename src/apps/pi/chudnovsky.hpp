@@ -30,14 +30,73 @@ struct SplitTriple
 SplitTriple binary_split(std::uint64_t a, std::uint64_t b);
 
 /**
+ * Merge adjacent ranges: left over [a, m), right over [m, b) combine
+ * into the triple over [a, b). The combination rule is exact integer
+ * arithmetic and associative, so *any* merge order yields the same
+ * triple bit for bit — this is what makes incremental extension
+ * (PiCalculator) provably identical to a cold binary_split.
+ */
+SplitTriple merge_triples(const SplitTriple& left,
+                          const SplitTriple& right);
+
+/**
  * pi to @p digits decimal digits (truncated), returned as the string
  * "3.<digits>". Runs entirely on Integer arithmetic: the square root
  * and division are performed on scaled integers.
  */
 std::string compute_pi(std::uint64_t digits);
 
+/**
+ * Scale/sqrt/divide finalization of a binary-splitting triple over
+ * [0, terms_for_digits(digits)) into the digit string. compute_pi and
+ * PiCalculator share this, so their outputs agree exactly.
+ */
+std::string finalize_pi(std::uint64_t digits, const SplitTriple& split);
+
 /** Number of series terms needed for @p digits digits (~14.18/term). */
 std::uint64_t terms_for_digits(std::uint64_t digits);
+
+/**
+ * Incremental pi session (ROADMAP item 4): retains the binary-splitting
+ * triple across calls so a growing digit target only computes the *new*
+ * series terms and one merge, instead of re-splitting from scratch.
+ * ARCHITECT's observation — iterative AP compute touches few
+ * high-order digits between iterations — shows up here as the triple
+ * over [0, t_old) being a reusable prefix of the triple over
+ * [0, t_new).
+ *
+ * Exactness: merge_triples is associative over exact integers, so the
+ * extended triple is bit-identical to binary_split(0, t_new), and the
+ * digit string identical to compute_pi. A shrinking target recomputes
+ * cold at the smaller term count (a prefix cannot be un-merged).
+ *
+ * Honors the operand-cache switch: when support::OpCache is disabled
+ * (CAMP_OPCACHE=0) every call takes the cold path and no state is
+ * retained, giving the differential tests their cache-off arm.
+ */
+class PiCalculator
+{
+  public:
+    /** pi to @p digits digits, reusing prior state when possible. */
+    std::string digits(std::uint64_t digits);
+
+    /** Series terms covered by the retained triple (0 = no state). */
+    std::uint64_t terms() const { return terms_; }
+
+    /** Terms freshly split in the last digits() call (0 on a pure
+     * reuse/memo hit; bench asserts incremental << cold). */
+    std::uint64_t last_fresh_terms() const { return last_fresh_terms_; }
+
+    /** Drop all retained state (next call is cold). */
+    void reset();
+
+  private:
+    std::uint64_t terms_ = 0;
+    SplitTriple split_;
+    std::uint64_t last_digits_ = 0;
+    std::string last_result_;
+    std::uint64_t last_fresh_terms_ = 0;
+};
 
 } // namespace camp::apps::pi
 

@@ -8,6 +8,7 @@
 #include "sim/comparators.hpp"
 #include "support/assert.hpp"
 #include "support/metrics.hpp"
+#include "support/opcache.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
@@ -121,6 +122,8 @@ Runtime::run(const std::string& label, const std::function<void()>& app)
     auto& profiler = profile::Profiler::instance();
 
     const double cpu_power = sim::skylake_cpu().power_w;
+    const support::OpCacheStats opcache_before =
+        support::OpCache::global().stats();
 
     if (device_->kind() == exec::DeviceKind::Host) {
         app();
@@ -148,6 +151,11 @@ Runtime::run(const std::string& label, const std::function<void()>& app)
             ledger_.total_energy_j() + report.host_seconds * cpu_power;
         report.faults = ledger_.fault_stats();
     }
+    const support::OpCacheStats opcache_after =
+        support::OpCache::global().stats();
+    report.opcache_hits = opcache_after.hits - opcache_before.hits;
+    report.opcache_misses =
+        opcache_after.misses - opcache_before.misses;
     report.breakdown = profiler.breakdown_table(label);
     return report;
 }

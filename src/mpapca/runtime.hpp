@@ -65,6 +65,11 @@ struct AppReport
     double kernel_seconds = 0;  ///< kernel operators (measured or sim)
     std::string breakdown;      ///< rendered profiler table
     FaultStats faults;          ///< fault/recovery counters for the run
+    /** Global operand-cache (support::OpCache) activity during this
+     * run, as deltas: reciprocal / Montgomery-constant reuse inside
+     * the app's kernel operators. Zero when CAMP_OPCACHE=0. */
+    std::uint64_t opcache_hits = 0;
+    std::uint64_t opcache_misses = 0;
 };
 
 /**

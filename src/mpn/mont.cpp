@@ -7,6 +7,7 @@
 #include "mpn/mul.hpp"
 #include "mpn/ophook.hpp"
 #include "support/assert.hpp"
+#include "support/opcache.hpp"
 
 namespace camp::mpn {
 
@@ -17,6 +18,23 @@ MontCtx::MontCtx(const Limb* mp, std::size_t mn)
         throw std::invalid_argument("MontCtx: modulus must be odd");
     nn_ = mn;
     m_.assign(mp, mp + mn);
+
+    // Montgomery constants depend only on the modulus, and a serving
+    // session reuses the same modulus across many modexps — the
+    // inverse cache turns the R / R^2 divisions into a verified hit.
+    support::OpCache& cache = support::OpCache::global();
+    const bool use_cache = cache.enabled();
+    support::OpKey key;
+    if (use_cache) {
+        key = support::make_key(support::OpTag::Montgomery, m_);
+        if (const auto hit = cache.lookup(key)) {
+            // Copy-on-return: the cached limbs stay immutable.
+            r1_ = hit->parts[0];
+            r2_ = hit->parts[1];
+            n0inv_ = hit->scalars[0];
+            return;
+        }
+    }
 
     // -m^-1 mod B by Newton iteration (quadratic convergence from the
     // 3-bit-correct seed m itself, since m * m == 1 mod 8 for odd m).
@@ -40,6 +58,14 @@ MontCtx::MontCtx(const Limb* mp, std::size_t mn)
         divrem(q.data(), r2_.data(), sqv.data(), sn, m_.data(), nn_);
     } else {
         copy(r2_.data(), sqv.data(), sn);
+    }
+
+    if (use_cache) {
+        support::OpValue value;
+        value.parts.push_back(r1_);
+        value.parts.push_back(r2_);
+        value.scalars.push_back(n0inv_);
+        cache.insert(key, std::move(value));
     }
 }
 

@@ -4,26 +4,19 @@
 
 #include "support/assert.hpp"
 #include "support/bits.hpp"
+#include "support/opcache.hpp"
 
 namespace camp::mpn {
 
+namespace {
+
+/** Newton iteration core: floor(2^(bits(d) + extra) / d) for a
+ * non-power-of-two d with bits(d) > 64 and extra >= 64. */
 Natural
-newton_reciprocal(const Natural& d, std::uint64_t extra)
+reciprocal_iterate(const Natural& d, std::uint64_t extra)
 {
-    if (d.is_zero())
-        throw std::invalid_argument("newton_reciprocal: zero divisor");
     const std::uint64_t bits = d.bits();
     const std::uint64_t m = bits + extra;
-
-    // A power-of-two divisor (including d == 1) has the exact
-    // reciprocal 2^(m - (bits-1)) — no iteration, no division.
-    if ((d & (d - Natural(1))).is_zero())
-        return Natural(1) << (m - (bits - 1));
-
-    // Small targets: direct division is cheaper than iterating.
-    if (extra < 64 || bits <= 64) {
-        return ((Natural(1) << m) / d);
-    }
 
     // 63-good-bit seed from the top 64 divisor bits (rounded up so the
     // seed under-approximates and the first iterations stay stable).
@@ -65,6 +58,60 @@ newton_reciprocal(const Natural& d, std::uint64_t extra)
         x += deficit;
         dx = d * x;
         CAMP_ASSERT(++guard < 8);
+    }
+    return x;
+}
+
+} // namespace
+
+Natural
+newton_reciprocal(const Natural& d, std::uint64_t extra)
+{
+    if (d.is_zero())
+        throw std::invalid_argument("newton_reciprocal: zero divisor");
+    const std::uint64_t bits = d.bits();
+    const std::uint64_t m = bits + extra;
+
+    // A power-of-two divisor (including d == 1) has the exact
+    // reciprocal 2^(m - (bits-1)) — no iteration, no division.
+    if ((d & (d - Natural(1))).is_zero())
+        return Natural(1) << (m - (bits - 1));
+
+    // Small targets: direct division is cheaper than iterating (and
+    // cheaper than a cache round-trip).
+    if (extra < 64 || bits <= 64) {
+        return ((Natural(1) << m) / d);
+    }
+
+    // Inverse cache: reciprocals are keyed by the divisor alone and
+    // stored at the widest precision computed so far. A cached
+    // floor(2^(bits+se)/d) with se >= extra yields this call's value
+    // by an exact downshift — floor(floor(a/d) / 2^k) ==
+    // floor(a / (d 2^k)) — so a hit is bit-identical to recomputing.
+    support::OpCache& cache = support::OpCache::global();
+    const bool use_cache = cache.enabled();
+    support::OpKey key;
+    if (use_cache) {
+        key = support::make_key(support::OpTag::Reciprocal, d.limbs());
+        if (const auto hit = cache.lookup(key)) {
+            const std::uint64_t stored_extra = hit->scalars[0];
+            if (stored_extra >= extra) {
+                // Copy-on-return: the cached limbs stay immutable.
+                Natural x = Natural::from_limbs(hit->parts[0]);
+                return stored_extra == extra
+                           ? x
+                           : x >> (stored_extra - extra);
+            }
+        }
+    }
+
+    Natural x = reciprocal_iterate(d, extra);
+
+    if (use_cache) {
+        support::OpValue value;
+        value.parts.push_back(x.limbs());
+        value.scalars.push_back(extra);
+        cache.insert(key, std::move(value));
     }
     return x;
 }

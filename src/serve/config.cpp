@@ -35,6 +35,7 @@ serve_config_from_env()
     config.max_attempts = static_cast<unsigned>(
         env_positive_u64("CAMP_SERVE_ATTEMPTS", config.max_attempts));
     config.wall_clock = env_flag("CAMP_SERVE_WALL", config.wall_clock);
+    config.use_opcache = env_flag("CAMP_OPCACHE", config.use_opcache);
     config.breaker.open_threshold =
         static_cast<unsigned>(env_positive_u64(
             "CAMP_SERVE_BREAKER_THRESHOLD",

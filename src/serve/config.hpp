@@ -93,6 +93,15 @@ struct ServeConfig
      * are identical either way — the differential-oracle contract. */
     bool wall_clock = false;
 
+    /** Consult a per-server operand-digest product cache at dispatch
+     * (support::OpCache, DESIGN.md §16): repeated operand pairs — the
+     * workload generator's repeat_fraction traffic — are served from
+     * the verified cache instead of re-executing on the device. The
+     * virtual-time ledger is unchanged (hits keep their model cost),
+     * so the report is identical either way except opcache.* metrics.
+     * Env: CAMP_OPCACHE (shared with the mpn-layer global cache). */
+    bool use_opcache = true;
+
     BreakerPolicy breaker;
 };
 

@@ -159,7 +159,25 @@ struct Entry
     unsigned attempts = 0;
     double ready_us = 0.0;           ///< earliest dispatch (retries)
     bool faulty_seen = false;
+    bool from_cache = false; ///< product served by the opcache
+    Natural cached_product;  ///< set when from_cache
 };
+
+/** Product-cache key for one request's operand pair. The leading
+ * size(a) word makes (a, b) unambiguous in the flat material. */
+support::OpKey
+product_key(const Request& req)
+{
+    const std::vector<mpn::Limb>& a = req.a.limbs();
+    const std::vector<mpn::Limb>& b = req.b.limbs();
+    std::vector<std::uint64_t> material;
+    material.reserve(a.size() + b.size() + 1);
+    material.push_back(a.size());
+    material.insert(material.end(), a.begin(), a.end());
+    material.insert(material.end(), b.begin(), b.end());
+    return support::make_key(support::OpTag::Product,
+                             std::move(material));
+}
 
 /** Outcome of one entry's pass through the device. */
 struct ExecResult
@@ -228,9 +246,10 @@ class Engine
 {
   public:
     Engine(const ServeConfig& config, exec::Device& device,
-           mpapca::Ledger* fault_sink, support::Clock& clock)
+           mpapca::Ledger* fault_sink, support::Clock& clock,
+           support::OpCache* opcache)
         : config_(config), device_(device), fault_sink_(fault_sink),
-          clock_(clock),
+          clock_(clock), opcache_(opcache),
           queue_(device, 0, 0, config.max_inflight_waves),
           cap_bits_(device.base_cap_bits())
     {
@@ -633,6 +652,22 @@ class Engine
             }
             ++entry.attempts;
             wave_cost += entry.cost_us;
+            // Product-cache lookup, on the engine thread in virtual
+            // event order — the hit pattern is a pure function of the
+            // dispatch sequence, identical across threads/shards/wall
+            // vs virtual (the differential-oracle contract). A hit
+            // keeps its model cost in wave_cost, so the virtual
+            // timeline — and with it every shed/deadline decision —
+            // is byte-identical with the cache off.
+            if (opcache_ != nullptr) {
+                if (const auto hit =
+                        opcache_->lookup(product_key(*entry.req))) {
+                    entry.from_cache = true;
+                    // Copy-on-return: cached limbs stay immutable.
+                    entry.cached_product =
+                        Natural::from_limbs(hit->parts[0]);
+                }
+            }
             dispatched.push_back(std::move(entry));
         }
         wave.entries = std::move(dispatched);
@@ -645,11 +680,17 @@ class Engine
 
         // Real execution through the coalescing queue: the typed-error
         // futures of the exec plane are the actual failure channel.
+        // Cache hits skip the device entirely — only misses submit.
         wave.futures.reserve(wave.entries.size());
         for (const Entry& entry : wave.entries)
-            wave.futures.push_back(
-                queue_.submit(entry.req->a, entry.req->b));
-        if (config_.wall_clock) {
+            if (!entry.from_cache)
+                wave.futures.push_back(
+                    queue_.submit(entry.req->a, entry.req->b));
+        if (wave.futures.empty()) {
+            // Every entry hit the cache: nothing to flush, and the
+            // results can be materialized immediately in either mode.
+            harvest(wave);
+        } else if (config_.wall_clock) {
             // Wall mode: claim the wave (ring backpressure can never
             // bite here — the engine bounds in-flight waves to the
             // ring depth) and execute it on its own worker; results
@@ -677,23 +718,36 @@ class Engine
         inflight_.push_back(std::move(wave));
     }
 
-    /** Resolve the wave's futures into results (non-blocking when the
-     * flush already ran; triggers it otherwise). */
+    /** Resolve the wave into results: cache hits materialize from the
+     * entry's cached product; misses consume their futures in order
+     * (non-blocking when the flush already ran; triggers it
+     * otherwise). */
     void
     harvest(WaveInFlight& wave)
     {
         wave.results.resize(wave.entries.size());
-        for (std::size_t i = 0; i < wave.futures.size(); ++i) {
+        std::size_t future = 0;
+        for (std::size_t i = 0; i < wave.entries.size(); ++i) {
             ExecResult& res = wave.results[i];
-            res.error = wave.futures[i].error();
+            if (wave.entries[i].from_cache) {
+                // Verified cache hit: exact product, never faulty,
+                // nothing injected — the device never saw it.
+                res.product =
+                    std::move(wave.entries[i].cached_product);
+                res.error = ErrorCode::Ok;
+                continue;
+            }
+            CAMP_ASSERT(future < wave.futures.size());
+            res.error = wave.futures[future].error();
             if (res.error == ErrorCode::Ok) {
                 // take(): moves the product out of the queue slot —
                 // this delivery edge used to deep-copy every product.
-                res.product = wave.futures[i].take();
-                res.faulty = wave.futures[i].faulty();
-                res.injected = wave.futures[i].injected();
+                res.product = wave.futures[future].take();
+                res.faulty = wave.futures[future].faulty();
+                res.injected = wave.futures[future].injected();
                 wave.injected += res.injected;
             }
+            ++future;
         }
         wave.futures.clear();
     }
@@ -735,12 +789,27 @@ class Engine
                     continue;
                 }
             }
+            // Populate the product cache from clean device results
+            // only — a flagged-faulty product must never be served to
+            // a later repeat, and hits need no re-insert (lookup
+            // already refreshed their LRU position).
+            if (opcache_ != nullptr && !entry.from_cache &&
+                !res.faulty) {
+                support::OpValue value;
+                value.parts.push_back(res.product.limbs());
+                opcache_->insert(product_key(*entry.req),
+                                 std::move(value));
+            }
             complete_exact(entry, std::move(res.product), when,
                            /*fallback=*/false);
         }
         if (fault_sink_ != nullptr) {
             mpapca::FaultStats delta;
             delta.injected = wave.injected;
+            // Every result is validated: device products by the exec
+            // plane's fault check, cache hits by the opcache's
+            // checksum + full operand compare — so the ledger keeps
+            // the checks == attempts conservation identity.
             delta.checks = wave.results.size();
             delta.detected = wave_faulty;
             delta.retried = wave_retries_;
@@ -854,6 +923,7 @@ class Engine
     exec::Device& device_;
     mpapca::Ledger* fault_sink_;
     support::Clock& clock_;
+    support::OpCache* opcache_; ///< per-server; nullptr = disabled
     exec::SubmitQueue queue_;
     std::uint64_t cap_bits_;
 
@@ -941,6 +1011,13 @@ Server::Server(ServeConfig config, exec::Device& device,
             owned_clock_ = std::make_unique<support::VirtualClock>();
         clock_ = owned_clock_.get();
     }
+    if (config_.use_opcache)
+        // Per-server product cache: each server starts cold, so two
+        // servers fed the same workload observe the same hit pattern
+        // — the property every differential test relies on.
+        opcache_ = std::make_unique<support::OpCache>(
+            support::OpCache::env_max_bytes(), true, 8,
+            "opcache.serve");
 }
 
 Server::~Server() = default;
@@ -963,7 +1040,8 @@ Server::process(const std::vector<Request>& workload)
             throw InvalidArgument(
                 "workload must be sorted by arrival time");
 
-    detail::Engine engine(config_, device_, fault_sink_, *clock_);
+    detail::Engine engine(config_, device_, fault_sink_, *clock_,
+                          opcache_.get());
     for (const Request& request : workload)
         engine.arrive(request, /*want_handle=*/false);
     return engine.finish();
@@ -974,8 +1052,16 @@ Server::submit_async(const Request& request)
 {
     if (engine_ == nullptr)
         engine_ = std::make_unique<detail::Engine>(
-            config_, device_, fault_sink_, *clock_);
+            config_, device_, fault_sink_, *clock_, opcache_.get());
     return Handle(engine_->arrive(request, /*want_handle=*/true));
+}
+
+support::OpCacheStats
+Server::opcache_stats() const
+{
+    if (opcache_ == nullptr)
+        return support::OpCacheStats{};
+    return opcache_->stats();
 }
 
 ServeReport

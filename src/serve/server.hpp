@@ -52,6 +52,7 @@
 #include "serve/workload.hpp"
 #include "support/clock.hpp"
 #include "support/errors.hpp"
+#include "support/opcache.hpp"
 
 namespace camp::serve {
 
@@ -248,12 +249,19 @@ class Server
     /** The serving clock (virtual ledger or wall, per config). */
     support::Clock& clock() { return *clock_; }
 
+    /** Counters of this server's product cache (all zero when
+     * config().use_opcache is false). The cache is per-server — never
+     * shared across servers — so differential runs of the same
+     * workload see identical hit patterns (DESIGN.md §16). */
+    support::OpCacheStats opcache_stats() const;
+
   private:
     ServeConfig config_;
     exec::Device& device_;
     mpapca::Ledger* fault_sink_;
     std::unique_ptr<support::Clock> owned_clock_;
     support::Clock* clock_;
+    std::unique_ptr<support::OpCache> opcache_;
     std::unique_ptr<detail::Engine> engine_;
 };
 

@@ -446,6 +446,89 @@ TEST(Server, IdenticalRunsProduceIdenticalReports)
         }
 }
 
+TEST(Server, OpcacheInvariantUnderRepeatTraffic)
+{
+    // The product cache must change *costs only*, never behavior: on a
+    // repeat-heavy workload under shedding pressure, the full
+    // ServeReport — outcomes, products, shed/timeout sets, wave count,
+    // virtual timeline, tenant ledgers and latency percentiles — is
+    // identical with the cache on and off; only opcache.* stats may
+    // differ. Hits keep the model cost in the wave, so the virtual
+    // clock cannot diverge (DESIGN.md §16).
+    serve::WorkloadSpec spec;
+    spec.seed = fuzz_seed(0x09cac8e);
+    spec.requests = 300;
+    spec.repeat_fraction = 0.6; // most traffic re-submits earlier pairs
+    spec.mean_interarrival_us = 2.0; // overload: shed/deadline paths live
+    const auto workload = serve::generate_workload(spec);
+
+    serve::ServeConfig config;
+    config.limits.max_queue_depth = 16;
+    config.max_backlog_us = 64.0;
+    config.wave_size = 4;
+
+    exec::SimDevice device_on;
+    exec::SimDevice device_off;
+    config.use_opcache = true;
+    serve::Server cached(config, device_on);
+    const serve::ServeReport on = cached.process(workload);
+    config.use_opcache = false;
+    serve::Server uncached(config, device_off);
+    const serve::ServeReport off = uncached.process(workload);
+
+    // The cache saw the repeats; the uncached server has no cache.
+    EXPECT_GT(cached.opcache_stats().hits, 0u);
+    EXPECT_EQ(uncached.opcache_stats().hits +
+                  uncached.opcache_stats().misses,
+              0u);
+
+    ASSERT_EQ(on.outcomes.size(), off.outcomes.size());
+    for (std::size_t i = 0; i < on.outcomes.size(); ++i) {
+        const serve::Outcome& a = on.outcomes[i];
+        const serve::Outcome& b = off.outcomes[i];
+        EXPECT_EQ(a.id, b.id) << i;
+        EXPECT_EQ(a.status, b.status) << i;
+        EXPECT_EQ(a.error, b.error) << i;
+        EXPECT_EQ(a.retry_after.count(), b.retry_after.count()) << i;
+        EXPECT_EQ(a.latency_us, b.latency_us) << i;
+        EXPECT_EQ(a.wall_completion_us, b.wall_completion_us) << i;
+        EXPECT_EQ(a.skew_us, b.skew_us) << i;
+        EXPECT_EQ(a.attempts, b.attempts) << i;
+        EXPECT_EQ(a.fallback, b.fallback) << i;
+        EXPECT_EQ(a.faulty_seen, b.faulty_seen) << i;
+        ASSERT_EQ(a.product, b.product) << "request " << a.id;
+    }
+    EXPECT_GT(on.shed_ids.size(), 0u)
+        << "the overload must actually shed for this test to bite";
+    EXPECT_EQ(on.shed_ids, off.shed_ids);
+    EXPECT_EQ(on.timeout_ids, off.timeout_ids);
+    EXPECT_EQ(on.waves, off.waves);
+    EXPECT_EQ(on.virtual_end_us, off.virtual_end_us);
+    ASSERT_EQ(on.tenants.size(), off.tenants.size());
+    for (std::size_t i = 0; i < on.tenants.size(); ++i) {
+        const serve::TenantReport& a = on.tenants[i];
+        const serve::TenantReport& b = off.tenants[i];
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.counters.submitted, b.counters.submitted);
+        EXPECT_EQ(a.counters.admitted, b.counters.admitted);
+        EXPECT_EQ(a.counters.completed, b.counters.completed);
+        EXPECT_EQ(a.counters.failed, b.counters.failed);
+        EXPECT_EQ(a.latencies_us, b.latencies_us) << a.name;
+        EXPECT_EQ(a.p50_us, b.p50_us);
+        EXPECT_EQ(a.p95_us, b.p95_us);
+        EXPECT_EQ(a.p99_us, b.p99_us);
+    }
+    EXPECT_TRUE(on.conserved()) << on.table();
+    EXPECT_TRUE(off.conserved()) << off.table();
+    expect_exact_completions(workload, on);
+
+    // A second pass of the same workload through the *same* cached
+    // server hits on every previously-seen operand pair.
+    const auto before = cached.opcache_stats();
+    cached.process(workload);
+    EXPECT_GT(cached.opcache_stats().hits, before.hits);
+}
+
 TEST(Server, ShedsLowestPriorityFirst)
 {
     // Ten low-priority requests land first and fill the backlog; five

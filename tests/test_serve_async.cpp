@@ -469,12 +469,17 @@ TEST(StickySessions, RepeatedOperandsPinWithoutChangingOutcomes)
     exec::ShardedScheduler sticky(sim::default_config(),
                                   sticky_policy);
 
+    // The affinity table only sees operands that reach the device;
+    // disable the serve-layer product cache so the repeat traffic this
+    // test is about actually hits the scheduler (with the cache on,
+    // repeats are served upstream — tests/test_opcache.cpp covers
+    // that path).
+    serve::ServeConfig config = differential_config(1, false);
+    config.use_opcache = false;
     const serve::ServeReport plain_report =
-        serve::Server(differential_config(1, false), plain)
-            .process(workload);
+        serve::Server(config, plain).process(workload);
     const serve::ServeReport sticky_report =
-        serve::Server(differential_config(1, false), sticky)
-            .process(workload);
+        serve::Server(config, sticky).process(workload);
 
     // Placement is invisible in the outcome (the resharding
     // determinism contract) ...
